@@ -1,0 +1,123 @@
+(* Benchmark driver: regenerates every table and figure of the paper's
+   evaluation (printed as aligned tables with the paper's reference values
+   in the notes), then runs Bechamel microbenchmarks of the NetKernel
+   dataplane primitives.
+
+     dune exec bench/main.exe              -- everything (reduced durations;
+                                              statistically equivalent, see
+                                              EXPERIMENTS.md on scale-downs)
+     dune exec bench/main.exe -- --full    -- paper-length durations
+     dune exec bench/main.exe -- fig18 table5
+     dune exec bench/main.exe -- --micro   -- only the Bechamel suite *)
+
+let quick = ref true
+let micro_only = ref false
+let selected = ref []
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--full" -> quick := false
+        | "--quick" | "-q" -> quick := true
+        | "--micro" -> micro_only := true
+        | id -> selected := id :: !selected)
+    Sys.argv
+
+(* ---- paper experiments ---------------------------------------------------- *)
+
+let run_experiments () =
+  let entries =
+    match !selected with
+    | [] -> Experiments.Registry.all
+    | ids ->
+        List.filter
+          (fun (e : Experiments.Registry.entry) -> List.mem e.Experiments.Registry.id ids)
+          Experiments.Registry.all
+  in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      Printf.printf "\n>>> %s (%s)%!" e.Experiments.Registry.id e.Experiments.Registry.title;
+      let t0 = Unix.gettimeofday () in
+      let report = e.Experiments.Registry.run ~quick:!quick () in
+      Printf.printf "  [%.1fs]\n%!" (Unix.gettimeofday () -. t0);
+      Experiments.Report.print Format.std_formatter report;
+      Format.pp_print_flush Format.std_formatter ())
+    entries
+
+(* ---- Bechamel microbenchmarks ---------------------------------------------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let nqe_roundtrip =
+    Test.make ~name:"nqe encode+decode"
+      (Staged.stage (fun () ->
+           let nqe =
+             Nkcore.Nqe.make ~op:Nkcore.Nqe.Send ~vm_id:1 ~qset:0 ~sock:42 ~data_ptr:4096
+               ~size:8192 ()
+           in
+           match Nkcore.Nqe.decode (Nkcore.Nqe.encode nqe) with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  let ring = Nkutil.Spsc_ring.create ~capacity:1024 in
+  let payload = Bytes.create 32 in
+  let ring_pushpop =
+    Test.make ~name:"spsc ring push+pop"
+      (Staged.stage (fun () ->
+           ignore (Nkutil.Spsc_ring.push ring payload);
+           ignore (Nkutil.Spsc_ring.pop ring)))
+  in
+  let hp = Nkcore.Hugepages.create ~page_size:(2 * 1024 * 1024) ~pages:4 () in
+  let msg = String.make 8192 'x' in
+  let hugepage_copy =
+    Test.make ~name:"hugepage alloc+copy8K+free"
+      (Staged.stage (fun () ->
+           match Nkcore.Hugepages.alloc hp 8192 with
+           | None -> failwith "hugepages full"
+           | Some e ->
+               Nkcore.Hugepages.write_payload hp e (Tcpstack.Types.Data msg);
+               Nkcore.Hugepages.free hp e))
+  in
+  let heap = Nkutil.Heap.create ~leq:(fun (a : float) b -> a <= b) () in
+  let heap_ops =
+    Test.make ~name:"event heap add+pop"
+      (Staged.stage (fun () ->
+           Nkutil.Heap.add heap 1.0;
+           Nkutil.Heap.add heap 0.5;
+           ignore (Nkutil.Heap.pop_min heap);
+           ignore (Nkutil.Heap.pop_min heap)))
+  in
+  let tests =
+    Test.make_grouped ~name:"netkernel-primitives"
+      [ nqe_roundtrip; ring_pushpop; hugepage_copy; heap_ops ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let analyzed = Analyze.all ols (Measure.label Instance.monotonic_clock |> fun _ -> Instance.monotonic_clock) raw in
+  print_endline "\n=== Bechamel microbenchmarks (ns/op, monotonic clock) ===";
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let est =
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some (t :: _) -> Printf.sprintf "%10.1f ns/op" t
+          | Some [] | None -> "(no estimate)"
+        in
+        (name, est) :: acc)
+      analyzed []
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "%-48s %s\n" name est)
+    (List.sort compare rows)
+
+let () =
+  if !micro_only then bechamel_suite ()
+  else begin
+    run_experiments ();
+    if !selected = [] then bechamel_suite ()
+  end;
+  print_endline "\nbench: done"

@@ -1,0 +1,1 @@
+bin/calibrate.ml: Addr List Nkapps Nkcore Nkutil Nsm Option Printf Result Sim Tcpstack Testbed Vm

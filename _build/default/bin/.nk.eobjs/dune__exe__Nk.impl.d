@@ -1,0 +1,1 @@
+bin/nk.ml: Addr Arg Cmd Cmdliner Experiments Format List Nkapps Nkcore Nsm Printf Sim Tcpstack Term Testbed Vm

@@ -1,0 +1,1 @@
+examples/fair_sharing.ml: Addr Nkapps Nkcore Nkutil Nsm Printf Segment Sim Tcpstack Testbed Vm

@@ -1,0 +1,1 @@
+examples/fair_sharing.mli:

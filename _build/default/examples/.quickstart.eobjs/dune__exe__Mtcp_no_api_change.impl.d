@@ -1,0 +1,1 @@
+examples/mtcp_no_api_change.ml: Addr Nkapps Nkcore Nsm Option Printf Sim Tcpstack Testbed Vm

@@ -1,0 +1,1 @@
+examples/mtcp_no_api_change.mli:

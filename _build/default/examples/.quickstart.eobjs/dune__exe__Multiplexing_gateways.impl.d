@@ -1,0 +1,1 @@
+examples/multiplexing_gateways.ml: Addr List Nkapps Nkcore Nktrace Nsm Printf Sim Tcpstack Testbed Vm

@@ -1,0 +1,1 @@
+examples/multiplexing_gateways.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Coreengine Guestlib Host Nkcore Nsm Option Printf Sim Tcpstack Testbed Vm

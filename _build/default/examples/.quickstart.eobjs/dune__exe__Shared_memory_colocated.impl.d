@@ -1,0 +1,1 @@
+examples/shared_memory_colocated.ml: Addr Nkapps Nkcore Nsm Printf Sim Tcpstack Testbed Vm

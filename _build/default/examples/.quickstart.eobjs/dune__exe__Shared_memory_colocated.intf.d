@@ -1,0 +1,1 @@
+examples/shared_memory_colocated.mli:

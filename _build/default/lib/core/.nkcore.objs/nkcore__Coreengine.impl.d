@@ -1,0 +1,1 @@
+lib/core/coreengine.ml: Array Bytes Float Hashtbl List Nk_costs Nk_device Nkutil Nqe Queue Queue_set Sim

@@ -1,0 +1,1 @@
+lib/core/coreengine.mli: Nk_costs Nk_device Sim

@@ -1,0 +1,1 @@
+lib/core/guestlib.ml: Addr Array Hashtbl Hugepages Int Int64 List Nk_costs Nk_device Nkutil Nqe Option Printf Queue Queue_set Sim String Sys Tcpstack

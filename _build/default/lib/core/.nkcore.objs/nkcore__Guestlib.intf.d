@@ -1,0 +1,1 @@
+lib/core/guestlib.mli: Nk_costs Nk_device Sim Tcpstack

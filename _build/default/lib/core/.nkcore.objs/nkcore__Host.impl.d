@@ -1,0 +1,1 @@
+lib/core/host.ml: Coreengine Fabric Nic Nk_costs Nkutil Sim Tcpstack Vswitch

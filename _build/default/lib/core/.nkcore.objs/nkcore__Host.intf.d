@@ -1,0 +1,1 @@
+lib/core/host.mli: Addr Coreengine Fabric Nic Nk_costs Nkutil Sim Tcpstack Vswitch

@@ -1,0 +1,1 @@
+lib/core/hugepages.ml: Bytes Hashtbl List Tcpstack

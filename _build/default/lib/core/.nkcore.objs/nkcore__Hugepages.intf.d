@@ -1,0 +1,1 @@
+lib/core/hugepages.mli: Tcpstack

@@ -1,0 +1,1 @@
+lib/core/nk_costs.ml: Sim

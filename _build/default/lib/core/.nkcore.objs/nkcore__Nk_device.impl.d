@@ -1,0 +1,1 @@
+lib/core/nk_device.ml: Array Hugepages Nkutil Queue Queue_set

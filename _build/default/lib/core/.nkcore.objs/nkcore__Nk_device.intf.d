@@ -1,0 +1,1 @@
+lib/core/nk_device.mli: Hugepages Queue_set

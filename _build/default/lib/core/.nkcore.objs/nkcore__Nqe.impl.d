@@ -1,0 +1,1 @@
+lib/core/nqe.ml: Addr Bytes Int32 Int64 Printf Tcpstack

@@ -1,0 +1,1 @@
+lib/core/nqe.mli: Addr Tcpstack

@@ -1,0 +1,1 @@
+lib/core/nsm.ml: Array Coreengine Host Hugepages List Mtcpstack Nk_device Nsm_shmem Servicelib Sim Tcpstack

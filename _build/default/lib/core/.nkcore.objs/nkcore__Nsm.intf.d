@@ -1,0 +1,1 @@
+lib/core/nsm.mli: Addr Host Hugepages Nk_device Servicelib Sim Tcpstack

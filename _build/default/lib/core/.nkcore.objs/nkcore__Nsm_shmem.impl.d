@@ -1,0 +1,1 @@
+lib/core/nsm_shmem.ml: Addr Array Hashtbl Hugepages Int List Nk_costs Nk_device Nkutil Nqe Queue Queue_set Sim Tcpstack

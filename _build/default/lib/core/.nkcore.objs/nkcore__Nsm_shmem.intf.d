@@ -1,0 +1,1 @@
+lib/core/nsm_shmem.mli: Addr Hugepages Nk_costs Nk_device Sim

@@ -1,0 +1,1 @@
+lib/core/servicelib.ml: Addr Array Hashtbl Hugepages Int Int64 List Nk_costs Nk_device Nkutil Nqe Printf Queue Queue_set Sim Sys Tcpstack

@@ -1,0 +1,1 @@
+lib/core/servicelib.mli: Addr Hugepages Nk_costs Nk_device Sim Tcpstack

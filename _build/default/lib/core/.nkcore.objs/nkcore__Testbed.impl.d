@@ -1,0 +1,1 @@
+lib/core/testbed.ml: Fabric Host Nk_costs Nkutil Sim Tcpstack

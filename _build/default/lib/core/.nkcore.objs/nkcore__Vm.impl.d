@@ -1,0 +1,1 @@
+lib/core/vm.ml: Addr Coreengine Guestlib Host Hugepages List Nk_device Nsm Sim Tcpstack

@@ -1,0 +1,1 @@
+lib/core/vm.mli: Addr Guestlib Host Hugepages Nsm Sim Tcpstack

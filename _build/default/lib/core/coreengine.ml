@@ -1,0 +1,376 @@
+module Cpu = Sim.Cpu
+module Engine = Sim.Engine
+module Ring = Nkutil.Spsc_ring
+
+type route = { nsm_id : int; nsm_qset : int }
+
+type deferred_entry =
+  | To_nsm of bytes
+  | To_vm of { src_nsm : int; src_qset : int; raw : bytes }
+
+type stats = {
+  mutable switched : int;
+  mutable rate_deferred : int;
+  mutable ring_deferred : int;
+  mutable dropped : int;
+  mutable sweeps : int;
+}
+
+type t = {
+  engine : Engine.t;
+  ce_core : Cpu.t;
+  costs : Nk_costs.t;
+  vms : (int, Nk_device.t) Hashtbl.t;
+  nsms : (int, Nk_device.t) Hashtbl.t;
+  mutable device_order : (Nk_device.t * [ `Vm | `Nsm ]) list;
+  assignment : (int, int array * int ref) Hashtbl.t; (* vm_id -> nsms, rr *)
+  conn_table : (int * int, route) Hashtbl.t; (* (vm_id, sock) -> route *)
+  buckets : (int, Nkutil.Token_bucket.t) Hashtbl.t;
+  (* Per-VM FIFO of NQEs awaiting tokens or ring space; once non-empty all
+     of that VM's traffic flows through it to preserve ordering. Entries
+     remember their direction so re-dispatch uses the right routing. *)
+  deferred : (int, deferred_entry Queue.t) Hashtbl.t;
+  mutable running : bool;
+  mutable release_scheduled : bool;
+  stats : stats;
+}
+
+let create ~engine ~core ~costs () =
+  {
+    engine;
+    ce_core = core;
+    costs;
+    vms = Hashtbl.create 16;
+    nsms = Hashtbl.create 16;
+    device_order = [];
+    assignment = Hashtbl.create 16;
+    conn_table = Hashtbl.create 1024;
+    buckets = Hashtbl.create 16;
+    deferred = Hashtbl.create 16;
+    running = false;
+    release_scheduled = false;
+    stats = { switched = 0; rate_deferred = 0; ring_deferred = 0; dropped = 0; sweeps = 0 };
+  }
+
+let core t = t.ce_core
+
+let stats t = t.stats
+
+let conn_table_size t = Hashtbl.length t.conn_table
+
+let attach t ~vm_id ~nsm_ids =
+  if nsm_ids = [] then invalid_arg "Coreengine.attach: need at least one NSM";
+  Hashtbl.replace t.assignment vm_id (Array.of_list nsm_ids, ref 0)
+
+let set_rate_limit t ~vm_id ~bytes_per_sec ?burst () =
+  let burst = match burst with Some b -> b | None -> bytes_per_sec *. 0.05 in
+  Hashtbl.replace t.buckets vm_id
+    (Nkutil.Token_bucket.create ~rate:bytes_per_sec ~burst ~now:(Engine.now t.engine))
+
+let clear_rate_limit t ~vm_id = Hashtbl.remove t.buckets vm_id
+
+(* ---- switching --------------------------------------------------------- *)
+
+let wake t dev qset =
+  ignore
+    (Engine.schedule t.engine ~delay:t.costs.Nk_costs.wake_latency (fun () ->
+         Nk_device.kick_owner dev qset))
+
+(* Push an inbound NQE into [dev]'s queue [q] of [qset]; false if full. *)
+let push_inbound t dev ~qset q raw =
+  let s = Nk_device.qset dev qset in
+  let ring =
+    match q with
+    | `Job -> s.Queue_set.job
+    | `Completion -> s.Queue_set.completion
+    | `Send -> s.Queue_set.send
+    | `Receive -> s.Queue_set.receive
+  in
+  if Ring.push ring raw then begin
+    wake t dev qset;
+    true
+  end
+  else false
+
+(* With SmartNIC offload only table misses consume CE cycles (§7.8): the
+   hardware switches known connections by itself. *)
+let charge_table_miss t =
+  if t.costs.Nk_costs.ce_hw_offload then
+    Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_switch
+
+let route_vm_to_nsm t (nqe : Nqe.t) raw =
+  match Hashtbl.find_opt t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock) with
+  | Some r -> (
+      match Hashtbl.find_opt t.nsms r.nsm_id with
+      | None ->
+          t.stats.dropped <- t.stats.dropped + 1;
+          true
+      | Some dev ->
+          let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
+          if nqe.Nqe.op = Nqe.Close then
+            Hashtbl.remove t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock);
+          if push_inbound t dev ~qset:r.nsm_qset q raw then begin
+            t.stats.switched <- t.stats.switched + 1;
+            true
+          end
+          else false)
+  | None -> (
+      (* First NQE of this socket: assign an NSM and a queue set. *)
+      match Hashtbl.find_opt t.assignment nqe.Nqe.vm_id with
+      | None ->
+          t.stats.dropped <- t.stats.dropped + 1;
+          true
+      | Some (nsms, rr) ->
+          charge_table_miss t;
+          let nsm_id = nsms.(!rr mod Array.length nsms) in
+          incr rr;
+          let dev = Hashtbl.find t.nsms nsm_id in
+          let nsm_qset = nqe.Nqe.sock * 2654435761 land max_int mod Nk_device.n_qsets dev in
+          Hashtbl.replace t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock) { nsm_id; nsm_qset };
+          let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
+          if push_inbound t dev ~qset:nsm_qset q raw then begin
+            t.stats.switched <- t.stats.switched + 1;
+            true
+          end
+          else false)
+
+let route_nsm_to_vm t ~src_nsm ~src_qset (nqe : Nqe.t) raw =
+  match Hashtbl.find_opt t.vms nqe.Nqe.vm_id with
+  | None ->
+      t.stats.dropped <- t.stats.dropped + 1;
+      true
+  | Some dev ->
+      let n = Nk_device.n_qsets dev in
+      let qset =
+        if nqe.Nqe.qset < n then nqe.Nqe.qset
+        else begin
+          let key_sock =
+            match nqe.Nqe.op with Nqe.Ev_accept -> nqe.Nqe.size | _ -> nqe.Nqe.sock
+          in
+          let q = key_sock * 2654435761 land max_int mod n in
+          (* Complete the NQE with the chosen queue set before delivery. *)
+          Bytes.set_uint8 raw 2 q;
+          q
+        end
+      in
+      (* Keep the table complete for NSM-allocated sockets (paper step 4):
+         an accept event introduces the new socket id (in the size field),
+         pinned to the ServiceLib queue set that emitted it. *)
+      let table_sock =
+        match nqe.Nqe.op with Nqe.Ev_accept -> nqe.Nqe.size | _ -> nqe.Nqe.sock
+      in
+      if not (Hashtbl.mem t.conn_table (nqe.Nqe.vm_id, table_sock)) then
+        Hashtbl.replace t.conn_table (nqe.Nqe.vm_id, table_sock)
+          { nsm_id = src_nsm; nsm_qset = src_qset };
+      if nqe.Nqe.op = Nqe.Comp_close then
+        Hashtbl.remove t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock);
+      let q =
+        match nqe.Nqe.op with
+        | Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof -> `Receive
+        | _ -> `Completion
+      in
+      if push_inbound t dev ~qset q raw then begin
+        t.stats.switched <- t.stats.switched + 1;
+        true
+      end
+      else false
+
+let deferred_queue t vm_id =
+  match Hashtbl.find_opt t.deferred vm_id with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.deferred vm_id q;
+      q
+
+let rec schedule_release t delay =
+  if not t.release_scheduled then begin
+    t.release_scheduled <- true;
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           t.release_scheduled <- false;
+           drain_deferred t))
+  end
+
+and drain_deferred t =
+  let next_delay = ref infinity in
+  Hashtbl.iter
+    (fun vm_id q ->
+      let rec loop () =
+        match Queue.peek_opt q with
+        | None -> ()
+        | Some entry -> (
+            let raw =
+              match entry with To_nsm raw -> raw | To_vm { raw; _ } -> raw
+            in
+            match Nqe.decode raw with
+            | Error _ ->
+                ignore (Queue.pop q);
+                t.stats.dropped <- t.stats.dropped + 1;
+                loop ()
+            | Ok nqe -> (
+                match entry with
+                | To_vm { src_nsm; src_qset; _ } ->
+                    if route_nsm_to_vm t ~src_nsm ~src_qset nqe raw then begin
+                      ignore (Queue.pop q);
+                      Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_switch;
+                      loop ()
+                    end
+                    else next_delay := Float.min !next_delay 5e-6
+                | To_nsm _ ->
+                    let tokens_ok =
+                      match (nqe.Nqe.op, Hashtbl.find_opt t.buckets vm_id) with
+                      | Nqe.Send, Some bucket ->
+                          let now = Engine.now t.engine in
+                          let need = float_of_int nqe.Nqe.size in
+                          if Nkutil.Token_bucket.try_take bucket ~now need then true
+                          else begin
+                            next_delay :=
+                              Float.min !next_delay
+                                (Nkutil.Token_bucket.time_until bucket ~now need);
+                            false
+                          end
+                      | _, _ -> true
+                    in
+                    if tokens_ok then
+                      if route_vm_to_nsm t nqe raw then begin
+                        ignore (Queue.pop q);
+                        Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_switch;
+                        loop ()
+                      end
+                      else next_delay := Float.min !next_delay 5e-6))
+      in
+      loop ())
+    t.deferred;
+  if !next_delay < infinity then schedule_release t (Float.max 1e-6 !next_delay)
+
+(* One full sweep over all devices, popping at most [ce_batch] NQEs per
+   outbound ring. Returns the work list. *)
+let sweep t =
+  let batch = t.costs.Nk_costs.ce_batch in
+  let work = ref [] in
+  let take src ring =
+    let rec loop i =
+      if i < batch then
+        match Ring.pop ring with
+        | None -> ()
+        | Some raw ->
+            work := (src, raw) :: !work;
+            loop (i + 1)
+    in
+    loop 0
+  in
+  List.iter
+    (fun (dev, side) ->
+      Nk_device.flush_overflow dev;
+      for i = 0 to Nk_device.n_qsets dev - 1 do
+        let s = Nk_device.qset dev i in
+        match side with
+        | `Vm ->
+            take (`Vm dev) s.Queue_set.job;
+            take (`Vm dev) s.Queue_set.send
+        | `Nsm ->
+            take (`Nsm (dev, i)) s.Queue_set.completion;
+            take (`Nsm (dev, i)) s.Queue_set.receive
+      done)
+    t.device_order;
+  List.rev !work
+
+let dispatch t (src, raw) =
+  match Nqe.decode raw with
+  | Error _ -> t.stats.dropped <- t.stats.dropped + 1
+  | Ok nqe -> (
+      match src with
+      | `Nsm (dev, src_qset) ->
+          (* NSM->VM results must not jump ahead of deferred ones for the
+             same VM, and a full VM ring parks them too. *)
+          let dq = deferred_queue t nqe.Nqe.vm_id in
+          let has_deferred_to_vm =
+            Queue.fold
+              (fun acc e -> acc || match e with To_vm _ -> true | To_nsm _ -> false)
+              false dq
+          in
+          if
+            has_deferred_to_vm
+            || not (route_nsm_to_vm t ~src_nsm:(Nk_device.id dev) ~src_qset nqe raw)
+          then begin
+            t.stats.ring_deferred <- t.stats.ring_deferred + 1;
+            Queue.add (To_vm { src_nsm = Nk_device.id dev; src_qset; raw }) dq;
+            schedule_release t 5e-6
+          end
+      | `Vm _dev ->
+          let vm_id = nqe.Nqe.vm_id in
+          let dq = deferred_queue t vm_id in
+          let must_defer =
+            Queue.fold
+              (fun acc e -> acc || match e with To_nsm _ -> true | To_vm _ -> false)
+              false dq
+            ||
+            match (nqe.Nqe.op, Hashtbl.find_opt t.buckets vm_id) with
+            | Nqe.Send, Some bucket ->
+                not
+                  (Nkutil.Token_bucket.try_take bucket ~now:(Engine.now t.engine)
+                     (float_of_int nqe.Nqe.size))
+            | _, _ -> false
+          in
+          if must_defer then begin
+            t.stats.rate_deferred <- t.stats.rate_deferred + 1;
+            Queue.add (To_nsm raw) dq;
+            schedule_release t 1e-5
+          end
+          else if not (route_vm_to_nsm t nqe raw) then begin
+            t.stats.ring_deferred <- t.stats.ring_deferred + 1;
+            Queue.add (To_nsm raw) dq;
+            schedule_release t 5e-6
+          end)
+
+let rec process t =
+  match sweep t with
+  | [] ->
+      t.running <- false;
+      Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_poll_iter
+  | work ->
+      t.stats.sweeps <- t.stats.sweeps + 1;
+      let per_nqe, per_sweep =
+        (* hardware-offloaded switching leaves only a residual descriptor
+           cost on the CE core — no software queue sweeps either; table
+           misses are charged where they occur *)
+        if t.costs.Nk_costs.ce_hw_offload then (4.0, 10.0)
+        else (t.costs.Nk_costs.ce_switch, t.costs.Nk_costs.ce_poll_iter)
+      in
+      let cycles = per_sweep +. (float_of_int (List.length work) *. per_nqe) in
+      Cpu.exec t.ce_core ~cycles (fun () ->
+          List.iter (dispatch t) work;
+          process t)
+
+let kick t =
+  if not t.running then begin
+    t.running <- true;
+    ignore (Engine.schedule t.engine ~delay:t.costs.Nk_costs.ce_poll_latency (fun () -> process t))
+  end
+
+let register_common t dev side =
+  Nk_device.set_kick_ce dev (fun () -> kick t);
+  t.device_order <- t.device_order @ [ (dev, side) ]
+
+let register_vm t dev =
+  Hashtbl.replace t.vms (Nk_device.id dev) dev;
+  register_common t dev `Vm
+
+let register_nsm t dev =
+  Hashtbl.replace t.nsms (Nk_device.id dev) dev;
+  register_common t dev `Nsm
+
+let deregister_vm t ~vm_id =
+  (match Hashtbl.find_opt t.vms vm_id with
+  | None -> ()
+  | Some dev ->
+      t.device_order <-
+        List.filter (fun (d, _) -> not (d == dev)) t.device_order);
+  Hashtbl.remove t.vms vm_id;
+  Hashtbl.remove t.assignment vm_id;
+  Hashtbl.remove t.buckets vm_id;
+  Hashtbl.remove t.deferred vm_id;
+  Hashtbl.iter
+    (fun key _ -> if fst key = vm_id then Hashtbl.remove t.conn_table key)
+    (Hashtbl.copy t.conn_table)

@@ -1,0 +1,40 @@
+(** GuestLib: transparent BSD-socket redirection inside the guest (paper
+    §4.1–§4.2).
+
+    Presents the same {!Tcpstack.Socket_api.t} applications use over the
+    in-VM stack, but implements every call by translating it into NQEs on
+    the VM's NK device: control operations go to the job queue, sends copy
+    payload into the shared hugepages and enqueue a send NQE, results and
+    receive events come back through the completion and receive queues.
+    I/O event notification (epoll) is served locally from GuestLib state,
+    woken by the NK device's interrupt-driven polling (§4.6).
+
+    Send-buffer semantics follow the paper's pipelining: [send] returns as
+    soon as payload is in the hugepages; the NSM's completion NQE returns
+    the buffer credit. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  vm_id:int ->
+  cores:Sim.Cpu.Set.t ->
+  device:Nk_device.t ->
+  costs:Nk_costs.t ->
+  profile:Sim.Cost_profile.t ->
+  unit ->
+  t
+(** [device] must have one queue set per core in [cores]. [profile] is the
+    guest kernel's cost profile (syscall entry, copies, epoll wake). *)
+
+val api : t -> Tcpstack.Socket_api.t
+
+type stats = {
+  mutable nqes_tx : int;
+  mutable nqes_rx : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable send_eagain : int;  (** sends rejected for lack of buffer/extent *)
+}
+
+val stats : t -> stats

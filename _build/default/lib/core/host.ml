@@ -1,0 +1,67 @@
+type t = {
+  engine : Sim.Engine.t;
+  fabric : Fabric.t;
+  registry : Tcpstack.Conn_registry.t;
+  master_rng : Nkutil.Rng.t;
+  costs : Nk_costs.t;
+  name : string;
+  pressure : Sim.Pressure.t;
+  nic : Nic.t;
+  vswitch : Vswitch.t;
+  mutable ce : Coreengine.t option;
+  mutable ce_core : Sim.Cpu.t option;
+  mutable next_vm_id : int;
+  mutable next_nsm_id : int;
+}
+
+let create ~engine ~fabric ~registry ~rng ~costs ~name () =
+  let pressure = Sim.Pressure.create engine () in
+  let nic = Nic.create engine ~name:(name ^ ".pnic") ~pressure () in
+  Fabric.attach fabric nic;
+  let vswitch = Vswitch.create engine ~nic () in
+  { engine; fabric; registry; master_rng = rng; costs; name; pressure; nic; vswitch;
+    ce = None; ce_core = None; next_vm_id = 1; next_nsm_id = 1 }
+
+let name t = t.name
+let engine t = t.engine
+let nic t = t.nic
+let vswitch t = t.vswitch
+let pressure t = t.pressure
+let registry t = t.registry
+let rng t = Nkutil.Rng.split t.master_rng
+let costs t = t.costs
+
+let own_ip t ip = Fabric.add_route t.fabric ip t.nic
+
+let new_cores t ~name ~n =
+  Sim.Cpu.Set.create t.engine ~name:(t.name ^ "." ^ name) ~n ()
+
+let enable_netkernel t =
+  match t.ce with
+  | Some _ -> ()
+  | None ->
+      let core = Sim.Cpu.create t.engine ~name:(t.name ^ ".coreengine") () in
+      t.ce_core <- Some core;
+      t.ce <- Some (Coreengine.create ~engine:t.engine ~core ~costs:t.costs ())
+
+let coreengine t =
+  match t.ce with
+  | Some ce -> ce
+  | None -> invalid_arg (t.name ^ ": NetKernel is not enabled on this host")
+
+let netkernel_enabled t = t.ce <> None
+
+let ce_core t =
+  match t.ce_core with
+  | Some c -> c
+  | None -> invalid_arg (t.name ^ ": NetKernel is not enabled on this host")
+
+let fresh_vm_id t =
+  let id = t.next_vm_id in
+  t.next_vm_id <- t.next_vm_id + 1;
+  id
+
+let fresh_nsm_id t =
+  let id = t.next_nsm_id in
+  t.next_nsm_id <- t.next_nsm_id + 1;
+  id

@@ -1,0 +1,52 @@
+(** A physical server: NIC, vswitch, memory-pressure estimator, and (when
+    NetKernel is enabled) the CoreEngine on its dedicated core. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  fabric:Fabric.t ->
+  registry:Tcpstack.Conn_registry.t ->
+  rng:Nkutil.Rng.t ->
+  costs:Nk_costs.t ->
+  name:string ->
+  unit ->
+  t
+(** Attaches a NIC to the fabric and builds the host vswitch. *)
+
+val name : t -> string
+
+val engine : t -> Sim.Engine.t
+
+val nic : t -> Nic.t
+
+val vswitch : t -> Vswitch.t
+
+val pressure : t -> Sim.Pressure.t
+
+val registry : t -> Tcpstack.Conn_registry.t
+
+val rng : t -> Nkutil.Rng.t
+(** A fresh independent RNG split per call. *)
+
+val costs : t -> Nk_costs.t
+
+val own_ip : t -> Addr.ip -> unit
+(** Route [ip] to this host in the fabric. *)
+
+val new_cores : t -> name:string -> n:int -> Sim.Cpu.Set.t
+
+val enable_netkernel : t -> unit
+(** Allocate the dedicated CoreEngine core and start the CoreEngine
+    (idempotent). *)
+
+val coreengine : t -> Coreengine.t
+(** Raises [Invalid_argument] if NetKernel was not enabled. *)
+
+val netkernel_enabled : t -> bool
+
+val ce_core : t -> Sim.Cpu.t
+
+val fresh_vm_id : t -> int
+
+val fresh_nsm_id : t -> int

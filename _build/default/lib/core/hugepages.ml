@@ -1,0 +1,74 @@
+type extent = { offset : int; len : int }
+
+type t = {
+  buf : bytes;
+  mutable free_list : (int * int) list; (* (offset, len), sorted by offset *)
+  mutable in_use : int;
+  live : (int, int) Hashtbl.t; (* offset -> len, for double-free detection *)
+}
+
+let create ?(page_size = 2 * 1024 * 1024) ?(pages = 32) () =
+  let size = page_size * pages in
+  { buf = Bytes.create size; free_list = [ (0, size) ]; in_use = 0; live = Hashtbl.create 64 }
+
+let capacity t = Bytes.length t.buf
+
+let bytes_in_use t = t.in_use
+
+let allocations t = Hashtbl.length t.live
+
+(* Round to 64-byte cache lines so adjacent extents don't false-share. *)
+let round n = (n + 63) land lnot 63
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Hugepages.alloc: size must be positive";
+  let need = round n in
+  let rec take acc = function
+    | [] -> None
+    | (off, len) :: rest when len >= need ->
+        let remainder = if len > need then [ (off + need, len - need) ] else [] in
+        t.free_list <- List.rev_append acc (remainder @ rest);
+        t.in_use <- t.in_use + need;
+        Hashtbl.replace t.live off need;
+        Some { offset = off; len = n }
+    | hole :: rest -> take (hole :: acc) rest
+  in
+  take [] t.free_list
+
+let free t e =
+  match Hashtbl.find_opt t.live e.offset with
+  | None -> invalid_arg "Hugepages.free: extent is not live (double free?)"
+  | Some rounded ->
+      Hashtbl.remove t.live e.offset;
+      t.in_use <- t.in_use - rounded;
+      (* Insert sorted by offset, then coalesce adjacent holes. *)
+      let rec insert = function
+        | [] -> [ (e.offset, rounded) ]
+        | (off, len) :: rest ->
+            if e.offset < off then (e.offset, rounded) :: (off, len) :: rest
+            else (off, len) :: insert rest
+      in
+      let rec coalesce = function
+        | (o1, l1) :: (o2, l2) :: rest when o1 + l1 = o2 -> coalesce ((o1, l1 + l2) :: rest)
+        | hole :: rest -> hole :: coalesce rest
+        | [] -> []
+      in
+      t.free_list <- coalesce (insert t.free_list)
+
+let write_payload t e payload =
+  let len = Tcpstack.Types.payload_len payload in
+  if len > e.len then invalid_arg "Hugepages.write_payload: payload larger than extent";
+  match payload with
+  | Tcpstack.Types.Zeros _ -> ()
+  | Tcpstack.Types.Data s -> Bytes.blit_string s 0 t.buf e.offset len
+
+let read_payload t e ~pos ~len ~synthetic =
+  if pos < 0 || len < 0 || pos + len > e.len then
+    invalid_arg "Hugepages.read_payload: slice out of extent";
+  if synthetic then Tcpstack.Types.Zeros len
+  else Tcpstack.Types.Data (Bytes.sub_string t.buf (e.offset + pos) len)
+
+let blit_between ~src ~src_extent ~dst ~dst_extent ~len =
+  if len > src_extent.len || len > dst_extent.len then
+    invalid_arg "Hugepages.blit_between: length exceeds an extent";
+  Bytes.blit src.buf src_extent.offset dst.buf dst_extent.offset len

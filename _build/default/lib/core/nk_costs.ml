@@ -1,0 +1,60 @@
+type t = {
+  nk_syscall : float;
+  guest_epoll_wake : float;
+  nqe_encode : float;
+  nqe_decode : float;
+  guest_poll : float;
+  guest_interrupt : float;
+  guest_idle_window : float;
+  ce_poll_iter : float;
+  ce_switch : float;
+  ce_poll_latency : float;
+  service_poll : float;
+  hugepage_alloc : float;
+  hugepage_copy_base : float;
+  hugepage_copy_contention : float;
+  wake_latency : float;
+  ce_batch : int;
+  guest_sendbuf : int;
+  nsm_rwnd : int;
+  nsm_zerocopy : bool;
+  ce_hw_offload : bool;
+}
+
+let default =
+  {
+    nk_syscall = 500.0;
+    guest_epoll_wake = 900.0;
+    nqe_encode = 60.0;
+    nqe_decode = 60.0;
+    guest_poll = 80.0;
+    guest_interrupt = 1500.0;
+    guest_idle_window = 20e-6;
+    ce_poll_iter = 120.0;
+    ce_switch = 170.0;
+    ce_poll_latency = 2e-7;
+    service_poll = 80.0;
+    hugepage_alloc = 100.0;
+    hugepage_copy_base = 0.02;
+    hugepage_copy_contention = 0.2;
+    wake_latency = 5e-7;
+    ce_batch = 4;
+    guest_sendbuf = 512 * 1024;
+    nsm_rwnd = 256 * 1024;
+    nsm_zerocopy = false;
+    ce_hw_offload = false;
+  }
+
+let hugepage_copy_cycles t pressure n =
+  if t.nsm_zerocopy then
+    (* page pinning / address translation only; no data movement, so no
+       memory-bandwidth contention term *)
+    float_of_int n *. 0.002
+  else
+    float_of_int n
+    *. Sim.Pressure.hugepage_copy_cost pressure ~base:t.hugepage_copy_base
+         ~contention:t.hugepage_copy_contention
+
+let zerocopy t = { t with nsm_zerocopy = true }
+
+let ce_offloaded t = { t with ce_hw_offload = true }

@@ -1,0 +1,64 @@
+(** CPU cycle costs of NetKernel's own machinery.
+
+    Calibration anchors (DESIGN.md §5):
+    - CoreEngine switches ~8M NQEs/s on one 2.3 GHz core without batching
+      (Fig 11) → ~290 cycles per unbatched switch; batching amortizes the
+      per-iteration part.
+    - Table 7: NetKernel adds only 5–9% CPU for short connections → the
+      per-NQE translation costs must be tens of cycles, small against a
+      ~30 K-cycle connection lifecycle.
+    - Table 6: the overhead for bulk throughput grows 1.14x → 1.70x between
+      20 and 100 Gb/s → the NSM-side hugepage copy's per-byte cost carries a
+      quadratic memory-pressure term (see {!Sim.Pressure}). *)
+
+type t = {
+  nk_syscall : float;
+      (** guest kernel crossing for a redirected socket call: the
+          SOCK_NETKERNEL path enters the guest kernel but skips the whole
+          socket layer below it *)
+  guest_epoll_wake : float;
+      (** waking an epoll waiter in GuestLib — nk_poll checks the receive
+          queue directly (paper §4.2), cheaper than a full kernel epoll *)
+  nqe_encode : float;  (** translate a socket op into an NQE *)
+  nqe_decode : float;  (** parse an NQE back into an op/result *)
+  guest_poll : float;  (** GuestLib NK-device poll, per inbound batch *)
+  guest_interrupt : float;
+      (** waking a GuestLib device that had gone idle (interrupt-driven
+          polling, paper §4.6) *)
+  guest_idle_window : float;
+      (** polling window after which the device sleeps (20 us in the
+          paper) *)
+  ce_poll_iter : float;  (** CoreEngine polling iteration *)
+  ce_switch : float;  (** CoreEngine per-NQE switch: lookup + two copies *)
+  ce_poll_latency : float;  (** producer kick to CE processing *)
+  service_poll : float;  (** ServiceLib poll, per inbound batch *)
+  hugepage_alloc : float;  (** allocate/free an extent *)
+  hugepage_copy_base : float;  (** per-byte copy in/out of hugepages *)
+  hugepage_copy_contention : float;
+      (** quadratic memory-pressure coefficient (Table 6) *)
+  wake_latency : float;  (** CE-to-device wake latency *)
+  ce_batch : int;  (** CoreEngine NQE batch size (4, per §7.2) *)
+  guest_sendbuf : int;  (** per-socket hugepage send-buffer budget *)
+  nsm_rwnd : int;  (** per-connection receive credit towards the VM *)
+  nsm_zerocopy : bool;
+      (** paper future work (§7.8, §10): map hugepage extents straight into
+          the NSM stack instead of copying — the per-byte copy cost drops to
+          a small pin/translate overhead *)
+  ce_hw_offload : bool;
+      (** paper future work (§7.8): NQE switching offloaded to SmartNIC
+          hardware queues; only connection-table misses consume CE CPU *)
+}
+
+val default : t
+
+val hugepage_copy_cycles : t -> Sim.Pressure.t -> int -> float
+(** [hugepage_copy_cycles t pressure n] is the cycle cost of copying [n]
+    bytes through hugepages under current memory pressure; with
+    [nsm_zerocopy] it is a small constant-per-byte pin/translate cost that
+    ignores memory pressure. *)
+
+val zerocopy : t -> t
+(** The same costs with [nsm_zerocopy] enabled. *)
+
+val ce_offloaded : t -> t
+(** The same costs with [ce_hw_offload] enabled. *)

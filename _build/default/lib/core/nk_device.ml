@@ -1,0 +1,80 @@
+type role = Vm_side | Nsm_side
+
+type overflow = { q : [ `Job | `Completion | `Send | `Receive ]; qset : int; nqe : bytes }
+
+type t = {
+  id : int;
+  role : role;
+  qsets : Queue_set.t array;
+  hugepages : Hugepages.t;
+  overflow : overflow Queue.t;
+  mutable kick_ce : (unit -> unit) option;
+  mutable kick_owner : (int -> unit) option;
+}
+
+let create ~id ~role ~qsets ?capacity ~hugepages () =
+  if qsets < 1 then invalid_arg "Nk_device.create: need at least one queue set";
+  {
+    id;
+    role;
+    qsets = Array.init qsets (fun _ -> Queue_set.create ?capacity ());
+    hugepages;
+    overflow = Queue.create ();
+    kick_ce = None;
+    kick_owner = None;
+  }
+
+let id t = t.id
+
+let role t = t.role
+
+let n_qsets t = Array.length t.qsets
+
+let qset t i = t.qsets.(i)
+
+let hugepages t = t.hugepages
+
+let set_kick_ce t f = t.kick_ce <- Some f
+
+let set_kick_owner t f = t.kick_owner <- Some f
+
+let kick_owner t i = match t.kick_owner with None -> () | Some f -> f i
+
+let ring t ~qset q =
+  let s = t.qsets.(qset) in
+  match q with
+  | `Job -> s.Queue_set.job
+  | `Completion -> s.Queue_set.completion
+  | `Send -> s.Queue_set.send
+  | `Receive -> s.Queue_set.receive
+
+let flush_overflow t =
+  let rec loop () =
+    match Queue.peek_opt t.overflow with
+    | None -> ()
+    | Some o ->
+        if Nkutil.Spsc_ring.push (ring t ~qset:o.qset o.q) o.nqe then begin
+          ignore (Queue.pop t.overflow);
+          loop ()
+        end
+  in
+  loop ()
+
+let post t ~qset q nqe =
+  flush_overflow t;
+  if
+    (not (Queue.is_empty t.overflow)) || not (Nkutil.Spsc_ring.push (ring t ~qset q) nqe)
+  then Queue.add { q; qset; nqe } t.overflow;
+  match t.kick_ce with None -> () | Some f -> f ()
+
+let outbound_pending t ~qset =
+  let s = t.qsets.(qset) in
+  let ring_part =
+    match t.role with
+    | Vm_side ->
+        Nkutil.Spsc_ring.length s.Queue_set.job + Nkutil.Spsc_ring.length s.Queue_set.send
+    | Nsm_side ->
+        Nkutil.Spsc_ring.length s.Queue_set.completion
+        + Nkutil.Spsc_ring.length s.Queue_set.receive
+  in
+  ring_part + Queue.length t.overflow

@@ -1,0 +1,48 @@
+(** NK device: the virtual device pairing a VM or NSM with CoreEngine.
+
+    Bundles one queue set per vCPU plus the hugepage region reference, and
+    carries the two notification directions:
+    - [kick_ce]: the device owner produced outbound NQEs (GuestLib's job and
+      send queues, or ServiceLib's completion and receive queues);
+    - [kick_owner]: CoreEngine delivered inbound NQEs to queue set [i].
+
+    Outbound posting goes through a per-queue overflow buffer so a full
+    ring backpressures instead of dropping (the simulated analogue of the
+    producer spinning on a full lockless queue). *)
+
+type role = Vm_side | Nsm_side
+
+type t
+
+val create :
+  id:int -> role:role -> qsets:int -> ?capacity:int -> hugepages:Hugepages.t -> unit -> t
+
+val id : t -> int
+
+val role : t -> role
+
+val n_qsets : t -> int
+
+val qset : t -> int -> Queue_set.t
+
+val hugepages : t -> Hugepages.t
+
+val set_kick_ce : t -> (unit -> unit) -> unit
+(** Installed by CoreEngine at registration. *)
+
+val set_kick_owner : t -> (int -> unit) -> unit
+(** Installed by GuestLib / ServiceLib; argument is the queue-set index. *)
+
+val kick_owner : t -> int -> unit
+
+val post : t -> qset:int -> [ `Job | `Completion | `Send | `Receive ] -> bytes -> unit
+(** Owner-side enqueue of an encoded NQE + CE kick; spills to the overflow
+    buffer when the ring is full. *)
+
+val flush_overflow : t -> unit
+(** Move spilled NQEs into their rings as space allows (CoreEngine calls
+    this as it drains). *)
+
+val outbound_pending : t -> qset:int -> int
+(** Encoded NQEs waiting for the CoreEngine in [qset] (rings + overflow),
+    counting the queues this device's owner produces. *)

@@ -1,0 +1,92 @@
+(** NetKernel Queue Elements — the fixed 32-byte socket-semantics units.
+
+    This is the paper's Figure 3 laid out for real: every socket operation
+    and every result crossing the VM/NSM boundary is marshalled into 32
+    bytes, transmitted through the lockless queues and switched by
+    CoreEngine. The codec is an actual binary serializer over [bytes] so
+    the Fig 11 microbenchmark measures genuine encode/switch/decode work.
+
+    Layout (little-endian):
+    {v
+    off len field
+      0   1  op type
+      1   1  VM id
+      2   1  queue-set id
+      3   4  VM socket id
+      7   8  op_data (addresses, backlog, result codes)
+     15   8  data pointer (hugepage offset)
+     23   4  size
+     27   1  flags (bit 0: synthetic payload)
+     28   4  reserved
+    v} *)
+
+type op =
+  (* VM -> NSM *)
+  | Socket
+  | Bind
+  | Listen
+  | Connect
+  | Send
+  | Recv_done  (** return receive-buffer credit after the app consumed data *)
+  | Close
+  (* NSM -> VM *)
+  | Comp_socket
+  | Comp_bind
+  | Comp_listen
+  | Comp_connect
+  | Comp_send
+  | Comp_close
+  | Ev_accept  (** new connection on a listener (pipelined accept, §4.6) *)
+  | Ev_data  (** newly received data sitting in hugepages *)
+  | Ev_eof
+  | Ev_err
+
+val op_to_string : op -> string
+
+type t = {
+  op : op;
+  vm_id : int;  (** 0–255 *)
+  qset : int;  (** queue-set id; {!qset_unassigned} lets CoreEngine pick *)
+  sock : int;  (** VM socket id (GuestLib- or NSM-allocated) *)
+  op_data : int64;
+  data_ptr : int;  (** hugepage offset for Send / Ev_data *)
+  size : int;
+  synthetic : bool;  (** payload is content-free filler *)
+}
+
+val qset_unassigned : int
+(** Placed in [qset] by the NSM for events with no VM-side history
+    (e.g. [Ev_accept]); CoreEngine then picks the target queue set. *)
+
+val nsm_sock_bit : int
+(** Socket ids with this bit set were allocated by the NSM side (accepted
+    connections), so the two allocators never collide. *)
+
+val size_bytes : int
+(** 32. *)
+
+val make :
+  op:op -> vm_id:int -> qset:int -> sock:int -> ?op_data:int64 -> ?data_ptr:int ->
+  ?size:int -> ?synthetic:bool -> unit -> t
+
+val encode : t -> bytes
+(** Always returns a fresh 32-byte buffer. *)
+
+val encode_into : t -> bytes -> pos:int -> unit
+
+val decode : bytes -> (t, string) result
+
+val decode_from : bytes -> pos:int -> (t, string) result
+
+(** {1 Field packing helpers} *)
+
+val pack_addr : Addr.t -> int64
+
+val unpack_addr : int64 -> Addr.t
+
+val err_code : Tcpstack.Types.err -> int64
+
+val err_of_code : int64 -> Tcpstack.Types.err option
+(** [None] for 0 (success). *)
+
+val ok_code : int64

@@ -1,0 +1,106 @@
+module Cpu = Sim.Cpu
+
+type backend =
+  | Tcp of { service : Servicelib.t; stacks : Tcpstack.Stack.t list }
+  | Shm of Nsm_shmem.t
+
+type t = {
+  host : Host.t;
+  nsm_id : int;
+  name : string;
+  cores : Cpu.Set.t;
+  device : Nk_device.t;
+  backend : backend;
+}
+
+let id t = t.nsm_id
+let name t = t.name
+let cores t = t.cores
+let device t = t.device
+
+let make_device host ~nsm_id ~vcpus =
+  (* The NSM-side device needs no payload region of its own: payloads live
+     in the per-VM hugepages. *)
+  ignore host;
+  Nk_device.create ~id:nsm_id ~role:Nk_device.Nsm_side ~qsets:vcpus
+    ~hugepages:(Hugepages.create ~page_size:4096 ~pages:1 ())
+    ()
+
+let finish host ~name ~cores ~device ~backend ~nsm_id =
+  Host.enable_netkernel host;
+  Coreengine.register_nsm (Host.coreengine host) device;
+  { host; nsm_id; name; cores; device; backend }
+
+let create_kernel host ~name ~vcpus ?(profile = Sim.Cost_profile.linux_kernel) ?cc_factory
+    ?tcb () =
+  let nsm_id = Host.fresh_nsm_id host in
+  let cores = Host.new_cores host ~name ~n:vcpus in
+  let device = make_device host ~nsm_id ~vcpus in
+  let base = Tcpstack.Stack.default_config profile in
+  let cfg =
+    {
+      base with
+      Tcpstack.Stack.charge_syscalls = false (* ServiceLib calls kernel APIs directly *);
+      charge_user_copy = false (* the hugepage copy is charged by ServiceLib *);
+      cc_factory = (match cc_factory with Some f -> f | None -> base.Tcpstack.Stack.cc_factory);
+      tcb = (match tcb with Some c -> c | None -> base.Tcpstack.Stack.tcb);
+      (* several NSMs may originate connections from one VM IP: give each a
+         disjoint ephemeral slice *)
+      ephemeral_range =
+        (let slice = 3500 in
+         let base_port = 32768 + (nsm_id mod 8 * slice) in
+         (base_port, base_port + slice - 1));
+    }
+  in
+  let stack =
+    Tcpstack.Stack.create ~engine:(Host.engine host) ~name ~cores ~vswitch:(Host.vswitch host)
+      ~registry:(Host.registry host) ~rng:(Host.rng host) cfg
+  in
+  let service =
+    Servicelib.create ~engine:(Host.engine host) ~device
+      ~ops:(Tcpstack.Stack_ops.of_stack stack) ~cores ~costs:(Host.costs host)
+      ~pressure:(Host.pressure host) ()
+  in
+  finish host ~name ~cores ~device ~backend:(Tcp { service; stacks = [ stack ] }) ~nsm_id
+
+let create_mtcp host ~name ~vcpus ?cc_factory ?tcb () =
+  let nsm_id = Host.fresh_nsm_id host in
+  let cores = Host.new_cores host ~name ~n:vcpus in
+  let device = make_device host ~nsm_id ~vcpus in
+  let mtcp =
+    Mtcpstack.Mtcp.create ~engine:(Host.engine host) ~name ~cores
+      ~vswitch:(Host.vswitch host) ~registry:(Host.registry host) ~rng:(Host.rng host)
+      ?cc_factory ?tcb ~charge_user_copy:false ()
+  in
+  let service =
+    Servicelib.create ~engine:(Host.engine host) ~device ~ops:(Mtcpstack.Mtcp.ops mtcp)
+      ~cores ~costs:(Host.costs host) ~pressure:(Host.pressure host) ()
+  in
+  finish host ~name ~cores ~device
+    ~backend:(Tcp { service; stacks = Array.to_list (Mtcpstack.Mtcp.shards mtcp) })
+    ~nsm_id
+
+let create_shmem host ~name ~vcpus ?copy_cycles_per_byte () =
+  let nsm_id = Host.fresh_nsm_id host in
+  let cores = Host.new_cores host ~name ~n:vcpus in
+  let device = make_device host ~nsm_id ~vcpus in
+  let shm =
+    Nsm_shmem.create ~engine:(Host.engine host) ~device ~cores ~costs:(Host.costs host)
+      ?copy_cycles_per_byte ()
+  in
+  finish host ~name ~cores ~device ~backend:(Shm shm) ~nsm_id
+
+let register_vm t ~vm_id ~hugepages ~ips =
+  match t.backend with
+  | Tcp { service; _ } -> Servicelib.register_vm service ~vm_id ~hugepages ~ips
+  | Shm shm -> Nsm_shmem.register_vm shm ~vm_id ~hugepages ~ips
+
+let stack_stats t =
+  match t.backend with
+  | Tcp { stacks; _ } -> List.map Tcpstack.Stack.stats stacks
+  | Shm _ -> []
+
+let servicelib_stats t =
+  match t.backend with Tcp { service; _ } -> Some (Servicelib.stats service) | Shm _ -> None
+
+let busy_cycles t = Cpu.Set.total_busy_cycles t.cores

@@ -1,0 +1,53 @@
+(** Network Stack Modules: the operator-managed stacks VMs attach to.
+
+    An NSM is "an individual VM" on the host (paper §3) with its own vCPUs,
+    a vNIC into the host vswitch, an NK device towards CoreEngine, and a
+    ServiceLib driving a network stack. Three kinds are provided, mirroring
+    the paper's implementation and use cases:
+
+    - {!create_kernel}: the Linux-kernel-stack NSM (ServiceLib calls kernel
+      APIs directly — no syscall cost, §5);
+    - {!create_mtcp}: the mTCP NSM ({!Mtcpstack.Mtcp}, §6.3);
+    - {!create_shmem}: the shared-memory NSM for colocated VMs (§6.4). *)
+
+type t
+
+val create_kernel :
+  Host.t ->
+  name:string ->
+  vcpus:int ->
+  ?profile:Sim.Cost_profile.t ->
+  ?cc_factory:Tcpstack.Cc.factory ->
+  ?tcb:Tcpstack.Tcb.config ->
+  unit ->
+  t
+
+val create_mtcp :
+  Host.t ->
+  name:string ->
+  vcpus:int ->
+  ?cc_factory:Tcpstack.Cc.factory ->
+  ?tcb:Tcpstack.Tcb.config ->
+  unit ->
+  t
+
+val create_shmem : Host.t -> name:string -> vcpus:int -> ?copy_cycles_per_byte:float -> unit -> t
+
+val id : t -> int
+
+val name : t -> string
+
+val cores : t -> Sim.Cpu.Set.t
+
+val device : t -> Nk_device.t
+
+val register_vm : t -> vm_id:int -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
+(** Called by {!Vm.create_nk}; wires the VM's payload region and IPs. *)
+
+val stack_stats : t -> Tcpstack.Stack.stats list
+(** Per-stack (or per-shard) statistics; empty for the shared-memory NSM. *)
+
+val servicelib_stats : t -> Servicelib.stats option
+
+val busy_cycles : t -> float
+(** Total CPU cycles consumed by the NSM's cores. *)

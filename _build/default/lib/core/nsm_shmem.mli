@@ -1,0 +1,30 @@
+(** Shared-memory NSM (paper §6.4).
+
+    Serves colocated VMs of the same user: instead of running a TCP stack,
+    it moves message chunks directly between the two VMs' hugepage regions
+    and bypasses transport processing entirely. Connection semantics
+    (connect/accept/EOF/close) are preserved at NQE level, and the same
+    per-connection receive credit provides flow control. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  device:Nk_device.t ->
+  cores:Sim.Cpu.Set.t ->
+  costs:Nk_costs.t ->
+  ?copy_cycles_per_byte:float ->
+  unit ->
+  t
+(** [copy_cycles_per_byte] is the cross-region memcpy cost (default 0.3,
+    calibrated so a 2-core shared-memory NSM sustains ~100 Gb/s as in the
+    paper's Fig 10). *)
+
+val register_vm : t -> vm_id:int -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
+(** The VM's IPs become resolvable for colocated connects. *)
+
+val deregister_vm : t -> vm_id:int -> unit
+
+type stats = { mutable bytes_copied : int; mutable conns : int }
+
+val stats : t -> stats

@@ -1,0 +1,22 @@
+type queue = bytes Nkutil.Spsc_ring.t
+
+type t = {
+  job : queue;
+  completion : queue;
+  send : queue;
+  receive : queue;
+}
+
+let create ?(capacity = 8192) () =
+  {
+    job = Nkutil.Spsc_ring.create ~capacity;
+    completion = Nkutil.Spsc_ring.create ~capacity;
+    send = Nkutil.Spsc_ring.create ~capacity;
+    receive = Nkutil.Spsc_ring.create ~capacity;
+  }
+
+let total_queued t =
+  Nkutil.Spsc_ring.length t.job
+  + Nkutil.Spsc_ring.length t.completion
+  + Nkutil.Spsc_ring.length t.send
+  + Nkutil.Spsc_ring.length t.receive

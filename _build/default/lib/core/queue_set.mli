@@ -1,0 +1,21 @@
+(** One queue set of an NK device (paper §4.2).
+
+    Four independent single-producer/single-consumer rings of encoded NQEs:
+    {e job} for control operations from the VM, {e completion} for their
+    results, {e send} for data-carrying operations, and {e receive} for
+    events of newly received data. Each ring is shared memory with the
+    CoreEngine, which is what keeps them lockless. *)
+
+type queue = bytes Nkutil.Spsc_ring.t
+
+type t = {
+  job : queue;
+  completion : queue;
+  send : queue;
+  receive : queue;
+}
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] per ring, default 8192. *)
+
+val total_queued : t -> int

@@ -1,0 +1,440 @@
+module Cpu = Sim.Cpu
+module Engine = Sim.Engine
+module Types = Tcpstack.Types
+module Stack_ops = Tcpstack.Stack_ops
+module Ring = Nkutil.Spsc_ring
+
+type pending_send = { extent : Hugepages.extent; mutable off : int; p_synthetic : bool }
+
+type vm_ctx = {
+  vm_id : int;
+  hugepages : Hugepages.t;
+  socks : (int, ssock) Hashtbl.t;
+  mutable next_gid : int;
+}
+
+and ssock = {
+  gid : int;
+  vm : vm_ctx;
+  mutable conn : Stack_ops.conn option;
+  mutable listener : Stack_ops.listener option;
+  mutable bound : Addr.t option;
+  mutable vm_qset : int; (* VM-side queue set echoed in replies *)
+  mutable nsm_qset : int; (* NSM-side queue set this sock is pinned to *)
+  sendq : pending_send Queue.t;
+  mutable send_pumping : bool;
+  mutable recv_credit_used : int;
+  mutable recv_pumping : bool;
+  mutable closing : bool;
+  mutable closed : bool;
+  mutable eof_sent : bool;
+  mutable err_sent : bool;
+}
+
+type qset_state = { mutable scheduled : bool }
+
+type stats = {
+  mutable nqes_rx : int;
+  mutable nqes_tx : int;
+  mutable bytes_to_stack : int;
+  mutable bytes_to_vm : int;
+}
+
+type t = {
+  engine : Engine.t;
+  device : Nk_device.t;
+  ops : Stack_ops.t;
+  cores : Cpu.Set.t;
+  costs : Nk_costs.t;
+  pressure : Sim.Pressure.t;
+  vms : (int, vm_ctx) Hashtbl.t;
+  qstates : qset_state array;
+  stats : stats;
+}
+
+let stats t = t.stats
+
+let nk_debug = Sys.getenv_opt "NKDEBUG" <> None
+
+let dbg fmt = if nk_debug then Printf.eprintf fmt else Printf.ifprintf stderr fmt
+
+let core_index t core =
+  let cores = Cpu.Set.cores t.cores in
+  let rec loop i = if i >= Array.length cores then 0 else if cores.(i) == core then i else loop (i + 1) in
+  loop 0
+
+(* ---- NQE replies --------------------------------------------------------- *)
+
+let post t (ss : ssock) op ?op_data ?data_ptr ?size ?synthetic () =
+  t.stats.nqes_tx <- t.stats.nqes_tx + 1;
+  Cpu.charge (Cpu.Set.core t.cores ss.nsm_qset) ~cycles:t.costs.Nk_costs.nqe_encode;
+  let queue =
+    match op with Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof -> `Receive | _ -> `Completion
+  in
+  Nk_device.post t.device ~qset:ss.nsm_qset queue
+    (Nqe.encode
+       (Nqe.make ~op ~vm_id:ss.vm.vm_id ~qset:ss.vm_qset ~sock:ss.gid ?op_data ?data_ptr
+          ?size ?synthetic ()))
+
+let post_result t ss op err =
+  let op_data = match err with None -> Nqe.ok_code | Some e -> Nqe.err_code e in
+  post t ss op ~op_data ()
+
+(* ---- send path ------------------------------------------------------------ *)
+
+let rec pump_send t ss =
+  match ss.conn with
+  | None -> ()
+  | Some conn ->
+      if not ss.send_pumping then begin
+        ss.send_pumping <- true;
+        (* ServiceLib busy-polls its queues (paper §4.5); picking up send
+           work costs a poll iteration, not a kernel epoll wake. *)
+        Cpu.charge (t.ops.Stack_ops.conn_core conn) ~cycles:t.costs.Nk_costs.service_poll;
+        let rec go () =
+          match Queue.peek_opt ss.sendq with
+          | None ->
+              ss.send_pumping <- false;
+              if ss.closing then finish_close t ss
+          | Some p ->
+              let len = p.extent.Hugepages.len - p.off in
+              let payload =
+                if p.p_synthetic then Types.Zeros len
+                else
+                  Hugepages.read_payload ss.vm.hugepages p.extent ~pos:p.off ~len
+                    ~synthetic:false
+              in
+              t.ops.Stack_ops.send conn payload ~k:(fun r ->
+                  match r with
+                  | Ok n ->
+                      (* The "extra copy" from hugepages into the NSM stack
+                         (paper Table 6), charged with memory pressure. *)
+                      Cpu.charge
+                        (t.ops.Stack_ops.conn_core conn)
+                        ~cycles:(Nk_costs.hugepage_copy_cycles t.costs t.pressure n);
+                      t.stats.bytes_to_stack <- t.stats.bytes_to_stack + n;
+                      p.off <- p.off + n;
+                      if p.off >= p.extent.Hugepages.len then begin
+                        ignore (Queue.pop ss.sendq);
+                        post t ss Nqe.Comp_send ~data_ptr:p.extent.Hugepages.offset
+                          ~size:p.extent.Hugepages.len ()
+                      end;
+                      go ()
+                  | Error Types.Eagain -> ss.send_pumping <- false
+                  | Error _ ->
+                      ss.send_pumping <- false;
+                      flush_sendq t ss)
+        in
+        go ()
+      end
+
+(* Return all queued send extents to the VM (connection died). *)
+and flush_sendq t ss =
+  let rec loop () =
+    match Queue.pop ss.sendq with
+    | exception Queue.Empty -> ()
+    | p ->
+        post t ss Nqe.Comp_send ~data_ptr:p.extent.Hugepages.offset
+          ~size:p.extent.Hugepages.len ();
+        loop ()
+  in
+  loop ()
+
+and finish_close t ss =
+  if not ss.closed then begin
+    ss.closed <- true;
+    (match ss.conn with Some conn -> t.ops.Stack_ops.close_conn conn | None -> ());
+    (match ss.listener with Some l -> t.ops.Stack_ops.close_listener l | None -> ());
+    post_result t ss Nqe.Comp_close None;
+    Hashtbl.remove ss.vm.socks ss.gid
+  end
+
+(* ---- receive path ---------------------------------------------------------- *)
+
+let rec pump_recv t ss =
+  match ss.conn with
+  | None -> ()
+  | Some conn ->
+      if (not ss.recv_pumping) && (not ss.closing) && not ss.closed then begin
+        ss.recv_pumping <- true;
+        Cpu.charge (t.ops.Stack_ops.conn_core conn)
+          ~cycles:t.ops.Stack_ops.epoll_wake_cycles;
+        let rec go () =
+          let credit = t.costs.Nk_costs.nsm_rwnd - ss.recv_credit_used in
+          if credit <= 0 then begin
+            dbg "[%.4f] slib: gid=%x credit exhausted\n" (Engine.now t.engine) ss.gid;
+            ss.recv_pumping <- false
+          end
+          else begin
+            let max = Int.min 65536 credit in
+            match Hugepages.alloc ss.vm.hugepages max with
+            | None ->
+                (* Hugepage pressure: retry once the VM frees extents. *)
+                ss.recv_pumping <- false;
+                ignore (Engine.schedule t.engine ~delay:50e-6 (fun () -> pump_recv t ss))
+            | Some extent ->
+                t.ops.Stack_ops.recv conn ~max ~mode:`Auto ~k:(fun r ->
+                    match r with
+                    | Ok payload when Types.payload_len payload = 0 ->
+                        Hugepages.free ss.vm.hugepages extent;
+                        if not ss.eof_sent then begin
+                          ss.eof_sent <- true;
+                          post t ss Nqe.Ev_eof ()
+                        end;
+                        ss.recv_pumping <- false
+                    | Ok payload ->
+                        let n = Types.payload_len payload in
+                        let synthetic =
+                          match payload with Types.Zeros _ -> true | Types.Data _ -> false
+                        in
+                        Hugepages.write_payload ss.vm.hugepages extent payload;
+                        Cpu.charge
+                          (t.ops.Stack_ops.conn_core conn)
+                          ~cycles:
+                            (Nk_costs.hugepage_copy_cycles t.costs t.pressure n
+                            +. t.costs.Nk_costs.hugepage_alloc);
+                        ss.recv_credit_used <- ss.recv_credit_used + n;
+                        t.stats.bytes_to_vm <- t.stats.bytes_to_vm + n;
+                        post t ss Nqe.Ev_data ~data_ptr:extent.Hugepages.offset ~size:n
+                          ~synthetic ();
+                        go ()
+                    | Error Types.Eagain ->
+                        Hugepages.free ss.vm.hugepages extent;
+                        ss.recv_pumping <- false
+                    | Error e ->
+                        Hugepages.free ss.vm.hugepages extent;
+                        ss.recv_pumping <- false;
+                        if not ss.err_sent then begin
+                          ss.err_sent <- true;
+                          post t ss Nqe.Ev_err ~op_data:(Nqe.err_code e) ()
+                        end)
+          end
+        in
+        go ()
+      end
+
+(* ---- connection events ------------------------------------------------------ *)
+
+let on_conn_event t ss (ev : Types.events) =
+  if not ss.closed then begin
+    if ev.Types.readable then pump_recv t ss;
+    if ev.Types.writable then pump_send t ss;
+    if ev.Types.hup then begin
+      (match ss.conn with
+      | Some conn -> (
+          match t.ops.Stack_ops.conn_error conn with
+          | Some e ->
+              if not ss.err_sent then begin
+                ss.err_sent <- true;
+                flush_sendq t ss;
+                post t ss Nqe.Ev_err ~op_data:(Nqe.err_code e) ()
+              end
+          | None -> ())
+      | None -> ());
+      (* Remaining in-order data (before a FIN) is still pumped above. *)
+      if ev.Types.readable then () else pump_recv t ss
+    end
+  end
+
+let wire_conn t ss conn =
+  ss.conn <- Some conn;
+  ss.nsm_qset <- core_index t (t.ops.Stack_ops.conn_core conn);
+  t.ops.Stack_ops.set_conn_handler conn (fun ev -> on_conn_event t ss ev);
+  pump_recv t ss
+
+(* ---- accepting ---------------------------------------------------------------- *)
+
+let fresh_ssock vm ~gid ~qset =
+  {
+    gid;
+    vm;
+    conn = None;
+    listener = None;
+    bound = None;
+    vm_qset = qset;
+    nsm_qset = 0;
+    sendq = Queue.create ();
+    send_pumping = false;
+    recv_credit_used = 0;
+    recv_pumping = false;
+    closing = false;
+    closed = false;
+    eof_sent = false;
+    err_sent = false;
+  }
+
+let on_accept t vm (lsock : ssock) conn ~peer =
+  (* NSM-allocated ids carry the NSM id so several NSMs serving one VM
+     never collide (bit 30 | nsm_id | counter). *)
+  let gid =
+    Nqe.nsm_sock_bit
+    lor (Nk_device.id t.device lsl 22)
+    lor (vm.next_gid land 0x3FFFFF)
+  in
+  vm.next_gid <- vm.next_gid + 1;
+  let ss = fresh_ssock vm ~gid ~qset:Nqe.qset_unassigned in
+  Hashtbl.replace vm.socks gid ss;
+  wire_conn t ss conn;
+  (* Announce the pipelined accept: the VM learns the new socket id through
+     the size field, the peer address through op_data. *)
+  t.stats.nqes_tx <- t.stats.nqes_tx + 1;
+  Cpu.charge (Cpu.Set.core t.cores ss.nsm_qset) ~cycles:t.costs.Nk_costs.nqe_encode;
+  Nk_device.post t.device ~qset:ss.nsm_qset `Receive
+    (Nqe.encode
+       (Nqe.make ~op:Nqe.Ev_accept ~vm_id:vm.vm_id ~qset:Nqe.qset_unassigned
+          ~sock:lsock.gid ~op_data:(Nqe.pack_addr peer) ~size:gid ()))
+
+(* ---- NQE dispatch ---------------------------------------------------------------- *)
+
+let lookup_or_create t vm (nqe : Nqe.t) =
+  match Hashtbl.find_opt vm.socks nqe.Nqe.sock with
+  | Some ss ->
+      ss.vm_qset <- nqe.Nqe.qset;
+      Some ss
+  | None ->
+      if nqe.Nqe.op = Nqe.Socket then begin
+        let ss = fresh_ssock vm ~gid:nqe.Nqe.sock ~qset:nqe.Nqe.qset in
+        Hashtbl.replace vm.socks nqe.Nqe.sock ss;
+        Some ss
+      end
+      else begin
+        ignore t;
+        None
+      end
+
+let apply t ~qset_idx (nqe : Nqe.t) =
+  t.stats.nqes_rx <- t.stats.nqes_rx + 1;
+  match Hashtbl.find_opt t.vms nqe.Nqe.vm_id with
+  | None -> ()
+  | Some vm -> (
+      match lookup_or_create t vm nqe with
+      | None -> ()
+      | Some ss -> (
+          if ss.conn = None && ss.listener = None then ss.nsm_qset <- qset_idx;
+          match nqe.Nqe.op with
+          | Nqe.Socket -> post_result t ss Nqe.Comp_socket None
+          | Nqe.Bind ->
+              ss.bound <- Some (Nqe.unpack_addr nqe.Nqe.op_data);
+              post_result t ss Nqe.Comp_bind None
+          | Nqe.Listen -> (
+              match ss.bound with
+              | None -> post_result t ss Nqe.Comp_listen (Some Types.Einval)
+              | Some addr -> (
+                  match
+                    t.ops.Stack_ops.new_listener ~addr
+                      ~backlog:(Int64.to_int nqe.Nqe.op_data)
+                      ~on_accept:(fun conn ~peer -> on_accept t vm ss conn ~peer)
+                  with
+                  | Ok l ->
+                      ss.listener <- Some l;
+                      post_result t ss Nqe.Comp_listen None
+                  | Error e -> post_result t ss Nqe.Comp_listen (Some e)))
+          | Nqe.Connect ->
+              let dst = Nqe.unpack_addr nqe.Nqe.op_data in
+              t.ops.Stack_ops.connect ~dst ~k:(fun r ->
+                  match r with
+                  | Ok conn ->
+                      if ss.closing || ss.closed then t.ops.Stack_ops.abort_conn conn
+                      else begin
+                        wire_conn t ss conn;
+                        post_result t ss Nqe.Comp_connect None
+                      end
+                  | Error e -> post_result t ss Nqe.Comp_connect (Some e))
+          | Nqe.Send ->
+              Queue.add
+                {
+                  extent = { Hugepages.offset = nqe.Nqe.data_ptr; len = nqe.Nqe.size };
+                  off = 0;
+                  p_synthetic = nqe.Nqe.synthetic;
+                }
+                ss.sendq;
+              pump_send t ss
+          | Nqe.Recv_done ->
+              ss.recv_credit_used <- Int.max 0 (ss.recv_credit_used - nqe.Nqe.size);
+              dbg "[%.4f] slib: gid=%x recv_done %d -> used %d\n" (Engine.now t.engine)
+                ss.gid nqe.Nqe.size ss.recv_credit_used;
+              pump_recv t ss
+          | Nqe.Close ->
+              ss.closing <- true;
+              if Queue.is_empty ss.sendq then finish_close t ss
+          | Nqe.Comp_socket | Nqe.Comp_bind | Nqe.Comp_listen | Nqe.Comp_connect
+          | Nqe.Comp_send | Nqe.Comp_close | Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof
+          | Nqe.Ev_err ->
+              (* NSM-bound queues never carry NSM-to-VM results. *)
+              ()))
+
+(* ---- polling ------------------------------------------------------------------------ *)
+
+let rec process_qset t qi =
+  let s = Nk_device.qset t.device qi in
+  let pop ring acc n =
+    let rec loop acc n =
+      if n >= 64 then (acc, n)
+      else
+        match Ring.pop ring with
+        | None -> (acc, n)
+        | Some raw -> loop (raw :: acc) (n + 1)
+    in
+    loop acc n
+  in
+  let jobs, n1 = pop s.Queue_set.job [] 0 in
+  let sends, n2 = pop s.Queue_set.send [] n1 in
+  ignore n1;
+  let batch = List.rev_append jobs (List.rev sends) in
+  let qs = t.qstates.(qi) in
+  if batch = [] then qs.scheduled <- false
+  else begin
+    let cycles =
+      t.costs.Nk_costs.service_poll +. (float_of_int n2 *. t.costs.Nk_costs.nqe_decode)
+    in
+    Cpu.exec (Cpu.Set.core t.cores qi) ~cycles (fun () ->
+        List.iter
+          (fun raw ->
+            match Nqe.decode raw with Error _ -> () | Ok nqe -> apply t ~qset_idx:qi nqe)
+          batch;
+        process_qset t qi)
+  end
+
+let on_kick t qi =
+  let qs = t.qstates.(qi) in
+  if not qs.scheduled then begin
+    qs.scheduled <- true;
+    process_qset t qi
+  end
+
+(* ---- construction -------------------------------------------------------------------- *)
+
+let create ~engine ~device ~ops ~cores ~costs ~pressure () =
+  let t =
+    {
+      engine;
+      device;
+      ops;
+      cores;
+      costs;
+      pressure;
+      vms = Hashtbl.create 8;
+      qstates = Array.init (Nk_device.n_qsets device) (fun _ -> { scheduled = false });
+      stats = { nqes_rx = 0; nqes_tx = 0; bytes_to_stack = 0; bytes_to_vm = 0 };
+    }
+  in
+  Nk_device.set_kick_owner device (fun qi -> on_kick t qi);
+  t
+
+let register_vm t ~vm_id ~hugepages ~ips =
+  let vm = { vm_id; hugepages; socks = Hashtbl.create 256; next_gid = 1 } in
+  Hashtbl.replace t.vms vm_id vm;
+  List.iter t.ops.Stack_ops.add_ip ips
+
+let deregister_vm t ~vm_id =
+  match Hashtbl.find_opt t.vms vm_id with
+  | None -> ()
+  | Some vm ->
+      Hashtbl.iter
+        (fun _ ss ->
+          (match ss.conn with Some conn -> t.ops.Stack_ops.abort_conn conn | None -> ());
+          match ss.listener with
+          | Some l -> t.ops.Stack_ops.close_listener l
+          | None -> ())
+        vm.socks;
+      Hashtbl.remove t.vms vm_id

@@ -1,0 +1,46 @@
+(** ServiceLib: the NSM-side shim between NQEs and the network stack
+    (paper §4.5, §5).
+
+    Polls the NSM device's job and send queues (busy-polling, emulated
+    kick-driven), translates each NQE into the corresponding call of the
+    backend stack ({!Tcpstack.Stack_ops.t} — kernel stack or mTCP), and
+    translates stack results and received data back into NQEs:
+
+    - accepted connections are announced eagerly ([Ev_accept], pipelined
+      accept per §4.6), with NSM-allocated socket ids;
+    - received data is copied into the VM's hugepages and announced with
+      [Ev_data]; a per-connection receive credit bounds in-flight data and
+      closes the TCP window when the VM stops reading;
+    - sends drain from hugepages into the stack, buffering when the stack's
+      send buffer is full, and return the credit with [Comp_send].
+
+    One ServiceLib can serve several VMs (multiplexing, §6.1): each VM is
+    registered with its device's hugepage region. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  device:Nk_device.t ->
+  ops:Tcpstack.Stack_ops.t ->
+  cores:Sim.Cpu.Set.t ->
+  costs:Nk_costs.t ->
+  pressure:Sim.Pressure.t ->
+  unit ->
+  t
+(** [device] is the NSM's NK device (one queue set per core in [cores]). *)
+
+val register_vm : t -> vm_id:int -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
+(** Serve [vm_id]: its payloads live in [hugepages]; the NSM stack takes
+    ownership of the VM's IPs. *)
+
+val deregister_vm : t -> vm_id:int -> unit
+
+type stats = {
+  mutable nqes_rx : int;
+  mutable nqes_tx : int;
+  mutable bytes_to_stack : int;
+  mutable bytes_to_vm : int;
+}
+
+val stats : t -> stats

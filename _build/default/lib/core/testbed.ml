@@ -1,0 +1,25 @@
+type t = {
+  engine : Sim.Engine.t;
+  registry : Tcpstack.Conn_registry.t;
+  fabric : Fabric.t;
+  rng : Nkutil.Rng.t;
+  costs : Nk_costs.t;
+}
+
+let create ?(rate_gbps = 100.0) ?(delay = 20e-6) ?buffer_bytes ?ecn_threshold_bytes
+    ?(seed = 42) ?(costs = Nk_costs.default) () =
+  let engine = Sim.Engine.create () in
+  let fabric =
+    Fabric.create engine ~rate_bps:(rate_gbps *. 1e9) ~delay ?buffer_bytes
+      ?ecn_threshold_bytes ()
+  in
+  { engine; registry = Tcpstack.Conn_registry.create (); fabric;
+    rng = Nkutil.Rng.create ~seed; costs }
+
+let add_host t ~name =
+  Host.create ~engine:t.engine ~fabric:t.fabric ~registry:t.registry
+    ~rng:(Nkutil.Rng.split t.rng) ~costs:t.costs ~name ()
+
+let run ?until t = Sim.Engine.run ?until t.engine
+
+let now t = Sim.Engine.now t.engine

@@ -1,0 +1,30 @@
+(** Simulated testbed: engine + fabric + shared connection registry.
+
+    Mirrors the paper's setup (§7.1): servers with 16-core 2.3 GHz CPUs and
+    100G NICs behind a switch. Experiments, tests and examples all build
+    their worlds through this module. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  registry : Tcpstack.Conn_registry.t;
+  fabric : Fabric.t;
+  rng : Nkutil.Rng.t;
+  costs : Nk_costs.t;
+}
+
+val create :
+  ?rate_gbps:float ->
+  ?delay:float ->
+  ?buffer_bytes:int ->
+  ?ecn_threshold_bytes:int ->
+  ?seed:int ->
+  ?costs:Nk_costs.t ->
+  unit ->
+  t
+(** Defaults: 100 Gb/s ports, 20 us one-way delay, seed 42. *)
+
+val add_host : t -> name:string -> Host.t
+
+val run : ?until:float -> t -> unit
+
+val now : t -> float

@@ -1,0 +1,1 @@
+lib/experiments/abl_batching.ml: List Nkcore Nkutil Printf Report Worlds

@@ -1,0 +1,1 @@
+lib/experiments/abl_ce_offload.ml: Float Nkcore Printf Report Worlds

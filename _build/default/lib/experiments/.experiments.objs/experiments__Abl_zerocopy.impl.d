@@ -1,0 +1,1 @@
+lib/experiments/abl_zerocopy.ml: List Nk_costs Nkcore Printf Report Table6_overhead_tput Worlds

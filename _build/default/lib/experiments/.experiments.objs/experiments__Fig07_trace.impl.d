@@ -1,0 +1,1 @@
+lib/experiments/fig07_trace.ml: Array Float Int List Nktrace Nkutil Printf Report String

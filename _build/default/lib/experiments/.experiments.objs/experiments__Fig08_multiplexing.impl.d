@@ -1,0 +1,1 @@
+lib/experiments/fig08_multiplexing.ml: Addr List Nkapps Nkcore Nktrace Nsm Printf Report Sim Tcpstack Testbed Vm

@@ -1,0 +1,1 @@
+lib/experiments/fig09_fairshare.ml: Addr Int List Nkapps Nkcore Nkutil Nsm Printf Report Segment Sim Tcpstack Testbed Vm

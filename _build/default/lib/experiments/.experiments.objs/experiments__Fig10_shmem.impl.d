@@ -1,0 +1,1 @@
+lib/experiments/fig10_shmem.ml: Addr Nkapps Nkcore Nsm Printf Report Sim Tcpstack Testbed Vm

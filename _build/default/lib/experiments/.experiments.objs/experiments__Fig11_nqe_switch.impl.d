@@ -1,0 +1,1 @@
+lib/experiments/fig11_nqe_switch.ml: Array Bytes Hashtbl List Nkcore Nkutil Nqe Printf Report Unix

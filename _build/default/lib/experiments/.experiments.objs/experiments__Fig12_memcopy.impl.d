@@ -1,0 +1,1 @@
+lib/experiments/fig12_memcopy.ml: Bytes Float Format Hugepages Int List Nkcore Nkutil Nqe Printf Report String Tcpstack Unix

@@ -1,0 +1,1 @@
+lib/experiments/fig13_16_streams.ml: Format List Nkutil Report Worlds

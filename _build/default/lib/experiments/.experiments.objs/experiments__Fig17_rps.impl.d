@@ -1,0 +1,1 @@
+lib/experiments/fig17_rps.ml: Format List Nkutil Printf Report Worlds

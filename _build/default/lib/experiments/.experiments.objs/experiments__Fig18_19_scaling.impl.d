@@ -1,0 +1,1 @@
+lib/experiments/fig18_19_scaling.ml: List Report Worlds

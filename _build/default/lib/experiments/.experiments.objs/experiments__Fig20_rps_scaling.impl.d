@@ -1,0 +1,1 @@
+lib/experiments/fig20_rps_scaling.ml: List Report Worlds

@@ -1,0 +1,1 @@
+lib/experiments/fig21_isolation.ml: Addr Coreengine Float Host List Nkapps Nkcore Nkutil Nsm Printf Report Sim Tcpstack Testbed Vm

@@ -1,0 +1,1 @@
+lib/experiments/table2_packing.ml: Nktrace Printf Report Worlds

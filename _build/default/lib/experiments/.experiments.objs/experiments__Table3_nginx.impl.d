@@ -1,0 +1,1 @@
+lib/experiments/table3_nginx.ml: List Nkapps Printf Report Worlds

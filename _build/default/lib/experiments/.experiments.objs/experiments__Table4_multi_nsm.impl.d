@@ -1,0 +1,1 @@
+lib/experiments/table4_multi_nsm.ml: Addr List Nkapps Nkcore Report Sim Tcpstack Testbed Vm Worlds

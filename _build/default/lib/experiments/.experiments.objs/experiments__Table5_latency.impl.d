@@ -1,0 +1,1 @@
+lib/experiments/table5_latency.ml: Nkutil Printf Report Worlds

@@ -1,0 +1,1 @@
+lib/experiments/table6_overhead_tput.ml: Addr List Nkapps Nkcore Nsm Printf Report Sim Tcpstack Testbed Vm Worlds

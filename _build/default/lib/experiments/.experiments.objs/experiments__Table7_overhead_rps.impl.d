@@ -1,0 +1,1 @@
+lib/experiments/table7_overhead_rps.ml: Addr List Nkapps Nkcore Nsm Printf Report Sim Testbed Vm Worlds

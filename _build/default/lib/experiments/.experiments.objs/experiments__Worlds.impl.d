@@ -1,0 +1,1 @@
+lib/experiments/worlds.ml: Addr Host List Nkapps Nkcore Nkutil Nsm Printf Sim Tcpstack Testbed Vm

@@ -1,0 +1,1 @@
+lib/experiments/worlds.mli: Addr Host Nk_costs Nkapps Nkcore Nkutil Nsm Tcpstack Testbed Vm

@@ -1,0 +1,47 @@
+(* Ablation: zerocopy into the NSM (the paper's stated future work, §7.8 and
+   §10 — "we are implementing zerocopy to the NSM").
+
+   Reruns the Table 6 protocol (paced bulk streams, VM+NSM cycles normalized
+   over Baseline) with the NSM-side hugepage copy replaced by a pin/translate
+   cost. The paper claims the extra-copy overhead "can be optimized away";
+   this quantifies how much of the 1.14-1.70x curve that recovers. *)
+
+open Nkcore
+
+let levels = [ 20.0; 60.0; 100.0 ]
+
+let run ?(quick = false) () =
+  let duration = if quick then 0.5 else 1.0 in
+  let rows =
+    List.map
+      (fun gbps ->
+        let baseline_cycles, _ =
+          Table6_overhead_tput.cycles_at (Worlds.baseline ~vcpus:4 ()) ~gbps ~duration
+        in
+        let copy_cycles, _ =
+          Table6_overhead_tput.cycles_at
+            (Worlds.netkernel ~vcpus:4 ~nsm_cores:4 ())
+            ~gbps ~duration
+        in
+        let zc_cycles, _ =
+          Table6_overhead_tput.cycles_at
+            (Worlds.netkernel ~vcpus:4 ~nsm_cores:4 ~costs:(Nk_costs.zerocopy Nk_costs.default) ())
+            ~gbps ~duration
+        in
+        [
+          Printf.sprintf "%.0fG" gbps;
+          Printf.sprintf "%.2f" (copy_cycles /. baseline_cycles);
+          Printf.sprintf "%.2f" (zc_cycles /. baseline_cycles);
+        ])
+      levels
+  in
+  Report.make ~id:"abl-zerocopy"
+    ~title:"Ablation: NSM zerocopy vs the extra hugepage copy (normalized CPU)"
+    ~headers:[ "throughput"; "NetKernel (copy)"; "NetKernel (zerocopy)" ]
+    ~notes:
+      [
+        "paper §7.8: the throughput overhead 'can be optimized away by implementing \
+         zerocopy between the hugepages and the NSM'";
+        "expect the rising copy-overhead curve to flatten toward ~1.0x";
+      ]
+    rows

@@ -1,0 +1,59 @@
+type t = {
+  id : string;
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~headers ?(notes = []) rows = { id; title; headers; rows; notes }
+
+let print fmt t =
+  let all = t.headers :: t.rows in
+  let ncols = List.fold_left (fun acc r -> Int.max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell)) row)
+    all;
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (3 * Int.max 0 (ncols - 1))
+  in
+  let line c = Format.fprintf fmt "%s@." (String.make (Int.max total_width 40) c) in
+  Format.fprintf fmt "@.";
+  line '=';
+  Format.fprintf fmt "[%s] %s@." t.id t.title;
+  line '=';
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Format.fprintf fmt " | ";
+        Format.fprintf fmt "%-*s" widths.(i) cell)
+      row;
+    Format.fprintf fmt "@."
+  in
+  print_row t.headers;
+  line '-';
+  List.iter print_row t.rows;
+  if t.notes <> [] then begin
+    Format.fprintf fmt "@.";
+    List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) t.notes
+  end
+
+let to_csv t =
+  let escape cell =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  (t.headers :: t.rows)
+  |> List.map (fun row -> String.concat "," (List.map escape row))
+  |> String.concat "\n"
+
+let cell_f ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+
+let cell_gbps v = Printf.sprintf "%.1f" v
+
+let cell_krps v = Printf.sprintf "%.1fK" (v /. 1e3)
+
+let cell_pct v = Printf.sprintf "%.0f%%" (v *. 100.0)

@@ -1,0 +1,31 @@
+(** Experiment result tables, printed in the paper's layout.
+
+    Every table/figure reproduction returns one of these; the bench driver
+    prints them all, and EXPERIMENTS.md records paper-vs-measured. *)
+
+type t = {
+  id : string;  (** e.g. "fig18" or "table4" *)
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+      (** paper reference points, substitutions, scale-down factors *)
+}
+
+val make :
+  id:string -> title:string -> headers:string list -> ?notes:string list ->
+  string list list -> t
+
+val print : Format.formatter -> t -> unit
+(** Render with aligned columns, the id/title banner and notes. *)
+
+val to_csv : t -> string
+
+val cell_f : ?decimals:int -> float -> string
+
+val cell_gbps : float -> string
+
+val cell_krps : float -> string
+(** Thousands of requests per second with one decimal. *)
+
+val cell_pct : float -> string

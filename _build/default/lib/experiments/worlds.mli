@@ -1,0 +1,77 @@
+(** Shared experiment scaffolding: the paper's testbed configurations and
+    the measurement drivers used across figures. *)
+
+open Nkcore
+
+type world = {
+  tb : Testbed.t;
+  server_host : Host.t;
+  client_host : Host.t;
+  server_vm : Vm.t;
+  client_vm : Vm.t;
+  nsms : Nsm.t list;
+}
+
+val server_ip : Addr.ip
+
+val client_ip : Addr.ip
+
+val baseline :
+  ?vcpus:int -> ?server_config:Tcpstack.Stack.config -> ?seed:int ->
+  ?costs:Nk_costs.t -> unit -> world
+(** Status quo: the VM runs its own kernel stack; the remote client machine
+    is an ideal-profile 16-core load generator. *)
+
+val netkernel :
+  ?vcpus:int ->
+  ?nsm_cores:int ->
+  ?nsm_kind:[ `Kernel | `Mtcp ] ->
+  ?n_nsms:int ->
+  ?cc_factory:Tcpstack.Cc.factory ->
+  ?seed:int ->
+  ?costs:Nk_costs.t ->
+  unit ->
+  world
+(** NetKernel: VM with GuestLib + NSM(s) on the server host, CoreEngine on
+    its dedicated core. *)
+
+(** {1 Measurement drivers} *)
+
+val measure_send_throughput :
+  world -> ?streams:int -> ?msg_size:int -> ?duration:float -> unit -> float
+(** VM sends bulk streams to a remote sink; returns goodput in Gb/s. *)
+
+val measure_recv_throughput :
+  world -> ?streams:int -> ?msg_size:int -> ?duration:float -> unit -> float
+(** Remote machine sends to a sink in the VM. *)
+
+type rps_result = {
+  rps : float;
+  errors : int;
+  latency : Nkutil.Histogram.t;
+  vm_cycles : float;  (** VM cores' busy cycles during the measured run *)
+  nsm_cycles : float;  (** NSM cores' (0 for baseline) *)
+  ce_cycles : float;
+}
+
+val measure_rps :
+  world ->
+  ?concurrency:int ->
+  ?total:int ->
+  ?msg_size:int ->
+  ?app_cycles:float ->
+  ?backlog:int ->
+  ?proto:Nkapps.Proto.t ->
+  unit ->
+  rps_result
+(** Non-keepalive epoll server in the VM under closed-loop load. *)
+
+val run_server :
+  world -> Nkapps.Epoll_server.config -> Nkapps.Epoll_server.t
+(** Start an epoll server in the server VM (raises on setup failure). *)
+
+val start_loadgen :
+  world -> ?delay:float -> ?on_done:(unit -> unit) -> Nkapps.Loadgen.config ->
+  Nkapps.Loadgen.t option ref
+(** Start a load generator on the client machine after [delay] (default
+    1 ms, letting listeners come up). *)

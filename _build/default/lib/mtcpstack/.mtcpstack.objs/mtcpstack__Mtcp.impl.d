@@ -1,0 +1,1 @@
+lib/mtcpstack/mtcp.ml: Addr Array List Nkutil Printf Segment Sim Tcpstack Vswitch

@@ -1,0 +1,1 @@
+lib/mtcpstack/mtcp.mli: Addr Nkutil Sim Tcpstack Vswitch

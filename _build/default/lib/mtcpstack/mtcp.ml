@@ -1,0 +1,99 @@
+module T = Tcpstack
+module Cpu = Sim.Cpu
+
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  vswitch : Vswitch.t;
+  shards : T.Stack.t array;
+  mutable ips : Addr.ip list;
+  mutable next_port : int;
+}
+
+let shards t = t.shards
+
+let n_shards t = Array.length t.shards
+
+let stats t = Array.to_list (Array.map T.Stack.stats t.shards)
+
+let shard_for t flow = t.shards.(Addr.Flow.rss_hash flow mod Array.length t.shards)
+
+(* RSS dispatch: what the NIC hardware does for mTCP's per-core queues. *)
+let dispatch t (seg : Segment.t) = T.Stack.input (shard_for t seg.Segment.flow) seg
+
+let create ~engine ~name ~cores ~vswitch ~registry ~rng ?(profile = Sim.Cost_profile.mtcp)
+    ?cc_factory ?tcb ?(charge_user_copy = true) () =
+  let n = Cpu.Set.n cores in
+  let cc_factory =
+    match cc_factory with
+    | Some f -> f
+    | None -> T.Cc_cubic.factory ~mss:Segment.mss
+  in
+  let base = T.Stack.default_config profile in
+  let cfg =
+    {
+      base with
+      T.Stack.cc_factory;
+      rx_mode = T.Stack.Polling;
+      charge_syscalls = false;
+      charge_user_copy;
+      contention_cores = Some n;
+      register_vswitch = false;
+      tcb = (match tcb with Some c -> c | None -> base.T.Stack.tcb);
+    }
+  in
+  let mk i =
+    T.Stack.create ~engine
+      ~name:(Printf.sprintf "%s.shard%d" name i)
+      ~cores:(Cpu.Set.of_array [| Cpu.Set.core cores i |])
+      ~vswitch ~registry ~rng:(Nkutil.Rng.split rng) cfg
+  in
+  { engine; name; vswitch; shards = Array.init n mk; ips = []; next_port = 32768 }
+
+let add_ip t ip =
+  if not (List.mem ip t.ips) then begin
+    t.ips <- ip :: t.ips;
+    Array.iter (fun shard -> T.Stack.add_ip shard ip) t.shards;
+    Vswitch.register_ip t.vswitch ip (dispatch t)
+  end
+
+(* mTCP-style connect: walk the ephemeral port space until we find a port
+   whose RSS hash maps the reply traffic onto an available shard slot. *)
+let connect t ~dst ~k =
+  match t.ips with
+  | [] -> k (Error T.Types.Einval)
+  | default_ip :: _ ->
+      let rec attempt tries =
+        if tries > 28000 then k (Error T.Types.Eaddrinuse)
+        else begin
+          let port = t.next_port in
+          t.next_port <- (if t.next_port >= 60999 then 32768 else t.next_port + 1);
+          let src = Addr.make default_ip port in
+          let flow = Addr.Flow.make ~src ~dst in
+          let shard = shard_for t flow in
+          let s = T.Stack.socket shard in
+          match T.Stack.bind shard s src with
+          | Error _ -> attempt (tries + 1)
+          | Ok () ->
+              T.Stack.connect shard s dst ~k:(fun r ->
+                  match r with
+                  | Ok () -> k (Ok (T.Stack_ops.conn_of_sock shard s))
+                  | Error T.Types.Eaddrinuse -> attempt (tries + 1)
+                  | Error e -> k (Error e))
+        end
+      in
+      attempt 0
+
+let ops t =
+  let single = T.Stack_ops.of_stack t.shards.(0) in
+  {
+    single with
+    T.Stack_ops.name = t.name;
+    add_ip = add_ip t;
+    new_listener =
+      (fun ~addr ~backlog ~on_accept ->
+        T.Stack_ops.listener_on_group (Array.to_list t.shards) ~addr ~backlog ~on_accept);
+    connect = (fun ~dst ~k -> connect t ~dst ~k);
+  }
+
+let api t = T.Ops_socket.make (ops t)

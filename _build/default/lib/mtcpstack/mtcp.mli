@@ -1,0 +1,56 @@
+(** mTCP-style userspace stack: per-core sharding with batched polling.
+
+    mTCP (Jeong et al., NSDI 2014) gets its performance from three design
+    points, all modelled here with the calibrated {!Sim.Cost_profile.mtcp}
+    profile:
+
+    - {b kernel bypass}: socket operations are library calls, no syscall or
+      interrupt costs (the profile's [syscall] and [interrupt] are 0);
+    - {b batched event-driven polling}: each core runs a poll loop that
+      drains NIC queues in batches;
+    - {b per-core sharding}: one independent stack instance per core with
+      RSS steering, no shared state between cores. Outgoing connections
+      pick their source port so that the RSS hash lands on the issuing
+      shard, exactly like mTCP's per-core port selection.
+
+    The facade exposes the whole shard group through one {!Stack_ops.t}, so
+    NetKernel's ServiceLib drives mTCP exactly as it drives the kernel
+    stack — the paper's "deploying mTCP without API change" (§6.3). *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  name:string ->
+  cores:Sim.Cpu.Set.t ->
+  vswitch:Vswitch.t ->
+  registry:Tcpstack.Conn_registry.t ->
+  rng:Nkutil.Rng.t ->
+  ?profile:Sim.Cost_profile.t ->
+  ?cc_factory:Tcpstack.Cc.factory ->
+  ?tcb:Tcpstack.Tcb.config ->
+  ?charge_user_copy:bool ->
+  unit ->
+  t
+(** One shard per core in [cores]. [profile] defaults to
+    {!Sim.Cost_profile.mtcp}. *)
+
+val add_ip : t -> Addr.ip -> unit
+(** Own [ip]: registers the facade's RSS dispatch with the vswitch and the
+    ownership with every shard. *)
+
+val ops : t -> Tcpstack.Stack_ops.t
+(** The backend interface used by ServiceLib. [new_listener] listens on
+    every shard (shared ⟨ip, port⟩, RSS-spread accepts, as with
+    [SO_REUSEPORT]); [connect] picks the shard the reply RSS hash maps
+    to. *)
+
+val api : t -> Tcpstack.Socket_api.t
+(** Direct application API over the shard group (an mTCP application linked
+    with the library, for baselines outside NetKernel). *)
+
+val shards : t -> Tcpstack.Stack.t array
+
+val n_shards : t -> int
+
+val stats : t -> Tcpstack.Stack.stats list

@@ -1,0 +1,1 @@
+lib/nkapps/epoll_server.ml: Addr Http List Nkutil Proto Queue Reactor Sim String Tcpstack

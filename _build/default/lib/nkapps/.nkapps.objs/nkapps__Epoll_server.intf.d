@@ -1,0 +1,1 @@
+lib/nkapps/epoll_server.mli: Addr Nkutil Proto Sim Tcpstack

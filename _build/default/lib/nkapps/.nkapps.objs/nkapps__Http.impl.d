@@ -1,0 +1,1 @@
+lib/nkapps/http.ml: Buffer Int List Printf String Tcpstack

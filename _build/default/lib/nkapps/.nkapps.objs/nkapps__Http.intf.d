@@ -1,0 +1,1 @@
+lib/nkapps/http.mli: Tcpstack

@@ -1,0 +1,1 @@
+lib/nkapps/kvstore.ml: Buffer Hashtbl List Printf Queue Reactor String Tcpstack

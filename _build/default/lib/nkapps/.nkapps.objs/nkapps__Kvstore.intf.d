@@ -1,0 +1,1 @@
+lib/nkapps/kvstore.mli: Addr Sim Tcpstack

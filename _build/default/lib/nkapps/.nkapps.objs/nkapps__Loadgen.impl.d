@@ -1,0 +1,1 @@
+lib/nkapps/loadgen.ml: Addr Float Http Nkutil Proto Reactor Sim String Tcpstack

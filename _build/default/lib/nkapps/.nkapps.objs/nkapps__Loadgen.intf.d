@@ -1,0 +1,1 @@
+lib/nkapps/loadgen.mli: Addr Nkutil Proto Sim Tcpstack

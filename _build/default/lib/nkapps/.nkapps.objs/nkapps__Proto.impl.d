@@ -1,0 +1,1 @@
+lib/nkapps/proto.ml: Http Tcpstack

@@ -1,0 +1,1 @@
+lib/nkapps/reactor.ml: Hashtbl List Tcpstack

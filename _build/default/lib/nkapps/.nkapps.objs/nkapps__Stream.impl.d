@@ -1,0 +1,1 @@
+lib/nkapps/stream.ml: Float Nkutil Reactor Sim Tcpstack

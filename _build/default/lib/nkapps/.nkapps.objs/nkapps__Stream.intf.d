@@ -1,0 +1,1 @@
+lib/nkapps/stream.mli: Addr Nkutil Sim Tcpstack

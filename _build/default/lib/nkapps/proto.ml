@@ -1,0 +1,16 @@
+(* Wire protocols shared by the server and the load generator. *)
+
+type t =
+  | Fixed of { request : int; response : int; keepalive : bool }
+      (** length-framed: the client sends exactly [request] bytes, the
+          server answers with exactly [response] bytes (the paper's epoll
+          servers, §7.3–§7.7) *)
+  | Http of { path : string; response : int; keepalive : bool }
+      (** HTTP/1.1 GET with a [response]-byte body (nginx + ab, §6.3) *)
+
+let keepalive = function Fixed f -> f.keepalive | Http h -> h.keepalive
+
+let request_payload = function
+  | Fixed f -> Tcpstack.Types.Zeros f.request
+  | Http h ->
+      Tcpstack.Types.Data (Http.request ~path:h.path ~keepalive:h.keepalive ())

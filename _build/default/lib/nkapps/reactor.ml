@@ -1,0 +1,49 @@
+(* Central event loop over one Socket_api epoll instance: applications
+   register per-socket callbacks; the reactor dispatches level-triggered
+   events to them. Interest masks keep always-writable sockets from
+   spinning the loop. *)
+
+module Types = Tcpstack.Types
+module Socket_api = Tcpstack.Socket_api
+
+type t = {
+  api : Socket_api.t;
+  ep : Socket_api.epoll;
+  handlers : (Socket_api.sock, Types.events -> unit) Hashtbl.t;
+  mutable running : bool;
+  mutable stopped : bool;
+}
+
+let create (api : Socket_api.t) =
+  { api; ep = api.Socket_api.epoll_create (); handlers = Hashtbl.create 64; running = false;
+    stopped = false }
+
+let watch t fd ~readable ~writable handler =
+  Hashtbl.replace t.handlers fd handler;
+  t.api.Socket_api.epoll_add t.ep fd ~mask:{ Types.readable; writable; hup = true }
+
+let rewatch t fd ~readable ~writable =
+  t.api.Socket_api.epoll_add t.ep fd ~mask:{ Types.readable; writable; hup = true }
+
+let unwatch t fd =
+  Hashtbl.remove t.handlers fd;
+  t.api.Socket_api.epoll_del t.ep fd
+
+let rec loop t =
+  if not t.stopped then
+    t.api.Socket_api.epoll_wait t.ep ~timeout:(-1.0) ~k:(fun events ->
+        List.iter
+          (fun (fd, ev) ->
+            match Hashtbl.find_opt t.handlers fd with
+            | None -> ()
+            | Some h -> h ev)
+          events;
+        loop t)
+
+let run t =
+  if not t.running then begin
+    t.running <- true;
+    loop t
+  end
+
+let stop t = t.stopped <- true

@@ -1,0 +1,185 @@
+module Types = Tcpstack.Types
+module Socket_api = Tcpstack.Socket_api
+module Engine = Sim.Engine
+
+(* ---- sink ------------------------------------------------------------- *)
+
+type sink_stats = {
+  mutable conns : int;
+  mutable bytes : int;
+  mutable first_byte : float;
+  mutable last_byte : float;
+}
+
+type sink = {
+  s_engine : Engine.t;
+  s_api : Socket_api.t;
+  s_reactor : Reactor.t;
+  s_stats : sink_stats;
+  s_ts : Nkutil.Timeseries.t;
+}
+
+let sink_stats s = s.s_stats
+
+let sink_timeseries s = s.s_ts
+
+let sink_throughput_gbps s =
+  let span = s.s_stats.last_byte -. s.s_stats.first_byte in
+  Nkutil.Units.gbps_of_bytes ~bytes:s.s_stats.bytes ~seconds:span
+
+let rec sink_drain s fd =
+  s.s_api.Socket_api.recv fd ~max:(1 lsl 20) ~mode:`Discard ~k:(fun r ->
+      match r with
+      | Ok payload when Types.payload_len payload = 0 ->
+          Reactor.unwatch s.s_reactor fd;
+          s.s_api.Socket_api.close fd
+      | Ok payload ->
+          let n = Types.payload_len payload in
+          let now = Engine.now s.s_engine in
+          if s.s_stats.bytes = 0 then s.s_stats.first_byte <- now;
+          s.s_stats.bytes <- s.s_stats.bytes + n;
+          s.s_stats.last_byte <- now;
+          Nkutil.Timeseries.add s.s_ts ~time:now (float_of_int n);
+          sink_drain s fd
+      | Error Types.Eagain -> ()
+      | Error _ ->
+          Reactor.unwatch s.s_reactor fd;
+          s.s_api.Socket_api.close fd)
+
+let sink ~engine ~api ~addr =
+  match api.Socket_api.socket () with
+  | Error e -> Error e
+  | Ok ls -> (
+      match api.Socket_api.bind ls addr with
+      | Error e -> Error e
+      | Ok () -> (
+          match api.Socket_api.listen ls ~backlog:1024 with
+          | Error e -> Error e
+          | Ok () ->
+              let s =
+                {
+                  s_engine = engine;
+                  s_api = api;
+                  s_reactor = Reactor.create api;
+                  s_stats = { conns = 0; bytes = 0; first_byte = 0.0; last_byte = 0.0 };
+                  s_ts = Nkutil.Timeseries.create ~bin_width:0.1 ();
+                }
+              in
+              let rec accept_loop () =
+                api.Socket_api.accept ls ~k:(fun r ->
+                    match r with
+                    | Error _ -> ()
+                    | Ok (fd, _) ->
+                        s.s_stats.conns <- s.s_stats.conns + 1;
+                        Reactor.watch s.s_reactor fd ~readable:true ~writable:false
+                          (fun ev ->
+                            if ev.Types.readable then sink_drain s fd
+                            else if ev.Types.hup then begin
+                              Reactor.unwatch s.s_reactor fd;
+                              s.s_api.Socket_api.close fd
+                            end);
+                        sink_drain s fd;
+                        accept_loop ())
+              in
+              accept_loop ();
+              Reactor.run s.s_reactor;
+              Ok s))
+
+(* ---- senders ------------------------------------------------------------ *)
+
+type sender_stats = { mutable sent : int; mutable active_streams : int; mutable failed : int }
+
+type sender = {
+  c_engine : Engine.t;
+  c_api : Socket_api.t;
+  c_reactor : Reactor.t;
+  c_stats : sender_stats;
+  c_stop : float;
+  c_pace : Nkutil.Token_bucket.t option;
+}
+
+let sender_stats c = c.c_stats
+
+let rec pump c fd ~msg_size =
+  if Engine.now c.c_engine >= c.c_stop then begin
+    Reactor.unwatch c.c_reactor fd;
+    c.c_api.Socket_api.close fd;
+    c.c_stats.active_streams <- c.c_stats.active_streams - 1
+  end
+  else begin
+    match c.c_pace with
+    | Some bucket
+      when not
+             (Nkutil.Token_bucket.try_take bucket ~now:(Engine.now c.c_engine)
+                (float_of_int msg_size)) ->
+        let wait =
+          Nkutil.Token_bucket.time_until bucket ~now:(Engine.now c.c_engine)
+            (float_of_int msg_size)
+        in
+        ignore
+          (Engine.schedule c.c_engine ~delay:(Float.max wait 1e-6) (fun () ->
+               pump c fd ~msg_size))
+    | Some _ | None -> pump_now c fd ~msg_size
+  end
+
+and pump_now c fd ~msg_size =
+    c.c_api.Socket_api.send fd (Types.Zeros msg_size) ~k:(fun r ->
+        match r with
+        | Ok n ->
+            c.c_stats.sent <- c.c_stats.sent + n;
+            pump c fd ~msg_size
+        | Error Types.Eagain ->
+            Reactor.rewatch c.c_reactor fd ~readable:false ~writable:true
+        | Error _ ->
+            Reactor.unwatch c.c_reactor fd;
+            c.c_stats.failed <- c.c_stats.failed + 1;
+            c.c_stats.active_streams <- c.c_stats.active_streams - 1)
+
+let open_stream c ~dst ~msg_size =
+  match c.c_api.Socket_api.socket () with
+  | Error _ -> c.c_stats.failed <- c.c_stats.failed + 1
+  | Ok fd ->
+      c.c_api.Socket_api.connect fd dst ~k:(fun r ->
+          match r with
+          | Error _ -> c.c_stats.failed <- c.c_stats.failed + 1
+          | Ok () ->
+              c.c_stats.active_streams <- c.c_stats.active_streams + 1;
+              Reactor.watch c.c_reactor fd ~readable:false ~writable:false (fun ev ->
+                  if ev.Types.writable then begin
+                    Reactor.rewatch c.c_reactor fd ~readable:false ~writable:false;
+                    pump c fd ~msg_size
+                  end
+                  else if ev.Types.hup then begin
+                    Reactor.unwatch c.c_reactor fd;
+                    c.c_stats.failed <- c.c_stats.failed + 1
+                  end);
+              pump c fd ~msg_size)
+
+let senders ~engine ~api ~dst ~streams ~msg_size ?start ?stop ?pace_gbps () =
+  let c =
+    {
+      c_engine = engine;
+      c_api = api;
+      c_reactor = Reactor.create api;
+      c_stats = { sent = 0; active_streams = 0; failed = 0 };
+      c_stop = (match stop with Some s -> s | None -> infinity);
+      c_pace =
+        (match pace_gbps with
+        | None -> None
+        | Some g ->
+            let rate = g *. 1e9 /. 8.0 in
+            Some
+              (Nkutil.Token_bucket.create ~rate ~burst:(rate /. 500.0)
+                 ~now:(Engine.now engine)));
+    }
+  in
+  Reactor.run c.c_reactor;
+  let launch () =
+    for _ = 1 to streams do
+      open_stream c ~dst ~msg_size
+    done
+  in
+  (match start with
+  | None -> launch ()
+  | Some at -> ignore (Engine.schedule_at engine ~at launch));
+  c

@@ -1,0 +1,1 @@
+lib/nktrace/agpack.ml: Array Float List Nkutil Traffic

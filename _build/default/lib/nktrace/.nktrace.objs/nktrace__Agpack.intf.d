@@ -1,0 +1,1 @@
+lib/nktrace/agpack.mli: Traffic

@@ -1,0 +1,1 @@
+lib/nktrace/trace_io.ml: Array Buffer Float Fun Hashtbl Int List Nkutil Printf Result String Traffic

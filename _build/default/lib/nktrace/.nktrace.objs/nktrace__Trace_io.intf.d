@@ -1,0 +1,1 @@
+lib/nktrace/trace_io.mli: Traffic

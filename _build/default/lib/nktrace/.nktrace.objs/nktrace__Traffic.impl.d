@@ -1,0 +1,1 @@
+lib/nktrace/traffic.ml: Array Float List Nkutil

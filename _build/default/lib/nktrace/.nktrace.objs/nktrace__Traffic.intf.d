@@ -1,0 +1,1 @@
+lib/nktrace/traffic.mli: Nkutil

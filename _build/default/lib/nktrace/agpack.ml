@@ -1,0 +1,31 @@
+type result = {
+  baseline_ags : int;
+  netkernel_ags : int;
+  nsm_worst_utilization : float;
+  nsm_p97_utilization : float;
+  core_saving_fraction : float;
+}
+
+let pack ~traces ~machine_cores ~baseline_cores_per_ag ~nsm_cores ~ce_cores
+    ~nsm_capacity_rps_per_core =
+  if traces = [] then invalid_arg "Agpack.pack: no traces";
+  let baseline_ags = machine_cores / baseline_cores_per_ag in
+  let netkernel_ags = machine_cores - nsm_cores - ce_cores in
+  let pool =
+    (* Cycle the fleet if it is smaller than the packing target. *)
+    let arr = Array.of_list traces in
+    List.init netkernel_ags (fun i -> arr.(i mod Array.length arr))
+  in
+  let agg = Traffic.aggregate pool in
+  let capacity = float_of_int nsm_cores *. nsm_capacity_rps_per_core in
+  let utils = Array.map (fun r -> r /. capacity) agg in
+  let worst = Array.fold_left Float.max 0.0 utils in
+  let p97 = Nkutil.Stats.percentile utils 97.0 in
+  {
+    baseline_ags;
+    netkernel_ags;
+    nsm_worst_utilization = worst;
+    nsm_p97_utilization = p97;
+    core_saving_fraction =
+      1.0 -. (float_of_int baseline_ags /. float_of_int netkernel_ags);
+  }

@@ -1,0 +1,31 @@
+(** Consolidation arithmetic for Table 2.
+
+    Given a fleet of AG traces and machine/NSM capacities, compute how many
+    AGs fit on one machine under the Baseline provisioning (dedicated cores
+    per AG, sized for peak) versus NetKernel (one core of application logic
+    per AG plus a shared NSM sized for the aggregate), and the NSM's
+    worst-case utilization — the paper's "well under 60% for ~97% of the
+    AGs" check. *)
+
+type result = {
+  baseline_ags : int;  (** AGs per machine today *)
+  netkernel_ags : int;  (** AGs per machine with a shared NSM *)
+  nsm_worst_utilization : float;  (** peak aggregate demand / NSM capacity *)
+  nsm_p97_utilization : float;
+      (** utilization covering 97% of per-minute aggregate demand *)
+  core_saving_fraction : float;
+      (** cores saved for the same AG population, = 1 - baseline/netkernel *)
+}
+
+val pack :
+  traces:Traffic.t list ->
+  machine_cores:int ->
+  baseline_cores_per_ag:int ->
+  nsm_cores:int ->
+  ce_cores:int ->
+  nsm_capacity_rps_per_core:float ->
+  result
+(** Baseline packs [machine_cores / baseline_cores_per_ag] AGs. NetKernel
+    reserves [nsm_cores + ce_cores] and gives each AG one core; the NSM
+    utilization is evaluated by replaying the aggregate of the first
+    [netkernel_ags] traces against [nsm_cores * nsm_capacity_rps_per_core]. *)

@@ -1,0 +1,71 @@
+let to_csv traces =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "ag_id,minute,rps\n";
+  List.iter
+    (fun (t : Traffic.t) ->
+      Array.iteri
+        (fun minute rate ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%d,%.3f\n" t.Traffic.ag_id minute rate))
+        t.Traffic.rates)
+    traces;
+  Buffer.contents buf
+
+let of_csv text =
+  let lines = String.split_on_char '\n' text in
+  (* ag_id -> (minute, rate) list, accumulated *)
+  let table : (int, (int * float) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let parse_error = ref None in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line <> "" && lineno > 0 && !parse_error = None then
+        match String.split_on_char ',' line with
+        | [ ag; minute; rps ] -> (
+            match (int_of_string_opt ag, int_of_string_opt minute, float_of_string_opt rps)
+            with
+            | Some ag, Some minute, Some rps when minute >= 0 && rps >= 0.0 ->
+                let cell =
+                  match Hashtbl.find_opt table ag with
+                  | Some l -> l
+                  | None ->
+                      let l = ref [] in
+                      Hashtbl.replace table ag l;
+                      l
+                in
+                cell := (minute, rps) :: !cell
+            | _ ->
+                parse_error :=
+                  Some (Printf.sprintf "line %d: bad fields %S" (lineno + 1) line))
+        | _ -> parse_error := Some (Printf.sprintf "line %d: expected 3 columns" (lineno + 1)))
+    lines;
+  match !parse_error with
+  | Some e -> Error e
+  | None ->
+      let traces =
+        Hashtbl.fold
+          (fun ag_id cell acc ->
+            let minutes = List.fold_left (fun m (i, _) -> Int.max m i) 0 !cell in
+            let rates = Array.make (minutes + 1) 0.0 in
+            List.iter (fun (i, r) -> rates.(i) <- r) !cell;
+            let peak = Array.fold_left Float.max 0.0 rates in
+            let mean = Nkutil.Stats.mean rates in
+            { Traffic.ag_id; rates; peak; mean } :: acc)
+          table []
+      in
+      Ok (List.sort (fun a b -> compare a.Traffic.ag_id b.Traffic.ag_id) traces)
+
+let save ~path traces =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_csv traces))
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          let n = in_channel_length ic in
+          Ok (really_input_string ic n))
+      |> Result.map of_csv
+      |> Result.join

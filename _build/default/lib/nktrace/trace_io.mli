@@ -1,0 +1,19 @@
+(** CSV import/export for AG traces.
+
+    Lets operators feed real (anonymized) per-minute gateway rates into the
+    multiplexing and packing experiments in place of the synthetic
+    generator, and lets the generator's output be inspected and plotted.
+
+    Format: a header line [ag_id,minute,rps] followed by one row per AG per
+    minute. Rows may arrive in any order; minutes missing from the input
+    read as rate 0. *)
+
+val to_csv : Traffic.t list -> string
+
+val of_csv : string -> (Traffic.t list, string) result
+(** Parses the format written by [to_csv]; [Error] describes the first
+    malformed line. *)
+
+val save : path:string -> Traffic.t list -> unit
+
+val load : path:string -> (Traffic.t list, string) result

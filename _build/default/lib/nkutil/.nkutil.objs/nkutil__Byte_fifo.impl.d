@@ -1,0 +1,1 @@
+lib/nkutil/byte_fifo.ml: Bytes Int Queue String

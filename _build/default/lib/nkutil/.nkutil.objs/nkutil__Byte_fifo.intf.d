@@ -1,0 +1,1 @@
+lib/nkutil/byte_fifo.mli:

@@ -1,0 +1,1 @@
+lib/nkutil/heap.ml: Array Obj

@@ -1,0 +1,1 @@
+lib/nkutil/histogram.ml: Array Float Int

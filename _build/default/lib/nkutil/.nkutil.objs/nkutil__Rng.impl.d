@@ -1,0 +1,1 @@
+lib/nkutil/rng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/nkutil/rng.mli:

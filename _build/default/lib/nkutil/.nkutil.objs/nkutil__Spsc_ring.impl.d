@@ -1,0 +1,1 @@
+lib/nkutil/spsc_ring.ml: Array Atomic List

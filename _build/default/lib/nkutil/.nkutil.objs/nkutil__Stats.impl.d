@@ -1,0 +1,1 @@
+lib/nkutil/stats.ml: Array Float Int

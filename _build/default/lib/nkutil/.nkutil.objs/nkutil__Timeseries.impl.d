@@ -1,0 +1,1 @@
+lib/nkutil/timeseries.ml: Array Int

@@ -1,0 +1,1 @@
+lib/nkutil/token_bucket.mli:

@@ -1,0 +1,72 @@
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ?(capacity = 256) ~leq () =
+  { leq; data = Array.make (max capacity 1) (Obj.magic 0); size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) t.data.(0) in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if not (t.leq t.data.(parent) t.data.(i)) then begin
+      let tmp = t.data.(parent) in
+      t.data.(parent) <- t.data.(i);
+      t.data.(i) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && not (t.leq t.data.(i) t.data.(l)) then l else i in
+  let smallest =
+    if r < t.size && not (t.leq t.data.(smallest) t.data.(r)) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = t.data.(smallest) in
+    t.data.(smallest) <- t.data.(i);
+    t.data.(i) <- tmp;
+    sift_down t smallest
+  end
+
+let add t x =
+  if t.size = 0 && Array.length t.data > 0 then t.data.(0) <- x;
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let min_elt t = if t.size = 0 then None else Some t.data.(0)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let min = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- Obj.magic 0;
+    (* release for GC *)
+    if t.size > 0 then sift_down t 0;
+    Some min
+  end
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.data.(i) <- Obj.magic 0
+  done;
+  t.size <- 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.size - 1) []

@@ -1,0 +1,29 @@
+(** Binary min-heap with a user-supplied total order.
+
+    Used as the priority queue of the discrete-event engine: millions of
+    [add]/[pop_min] operations per simulated second, so the implementation is
+    an array-backed sift-up/sift-down heap with amortized O(log n) per
+    operation and no allocation beyond array growth. *)
+
+type 'a t
+
+val create : ?capacity:int -> leq:('a -> 'a -> bool) -> unit -> 'a t
+(** [create ~leq ()] is an empty heap ordered by [leq] (less-or-equal).
+    [capacity] pre-sizes the backing array (default 256). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val min_elt : 'a t -> 'a option
+(** [min_elt t] is the smallest element without removing it. *)
+
+val pop_min : 'a t -> 'a option
+(** [pop_min t] removes and returns the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** [to_list t] is all elements in unspecified order (for debugging/tests). *)

@@ -1,0 +1,1 @@
+lib/sim/cost_profile.mli:

@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Array Engine Float Printf

@@ -1,0 +1,1 @@
+lib/sim/pressure.mli: Engine

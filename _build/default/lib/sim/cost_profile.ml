@@ -1,0 +1,107 @@
+type t = {
+  name : string;
+  syscall : float;
+  sockop : float;
+  accept_op : float;
+  epoll_wake : float;
+  per_byte_user_copy : float;
+  per_byte_tx : float;
+  per_byte_rx : float;
+  per_chunk_tx : float;
+  per_chunk_rx : float;
+  per_ack_rx : float;
+  interrupt : float;
+  poll_iter : float;
+  handshake : float;
+  teardown : float;
+  tx_contention : float;
+  rx_contention : float;
+  rps_contention : float;
+  rx_batch : int;
+  accept_backlog : int;
+  default_rwnd : int;
+  max_rwnd : int;
+}
+
+let linux_kernel =
+  {
+    name = "linux-kernel";
+    syscall = 900.0;
+    sockop = 1500.0;
+    accept_op = 1500.0;
+    epoll_wake = 1500.0;
+    per_byte_user_copy = 0.05;
+    per_byte_tx = 0.159;
+    per_byte_rx = 1.0;
+    per_chunk_tx = 900.0;
+    per_chunk_rx = 3500.0;
+    per_ack_rx = 450.0;
+    interrupt = 2000.0;
+    poll_iter = 0.0;
+    handshake = 9_500.0;
+    teardown = 6_500.0;
+    tx_contention = 0.15;
+    rx_contention = 0.028;
+    rps_contention = 0.055;
+    rx_batch = 16;
+    accept_backlog = 1024;
+    default_rwnd = 512 * 1024;
+    max_rwnd = 6 * 1024 * 1024;
+  }
+
+let mtcp =
+  {
+    name = "mtcp";
+    syscall = 0.0;
+    (* mTCP socket ops are library calls in the NSM, not syscalls *)
+    sockop = 500.0;
+    accept_op = 400.0;
+    epoll_wake = 300.0;
+    per_byte_user_copy = 0.05;
+    per_byte_tx = 0.05;
+    per_byte_rx = 0.25;
+    per_chunk_tx = 500.0;
+    per_chunk_rx = 800.0;
+    per_ack_rx = 200.0;
+    interrupt = 0.0;
+    poll_iter = 200.0;
+    handshake = 4_500.0;
+    teardown = 3_500.0;
+    tx_contention = 0.1;
+    rx_contention = 0.028;
+    rps_contention = 0.048;
+    rx_batch = 32;
+    accept_backlog = 4096;
+    default_rwnd = 512 * 1024;
+    max_rwnd = 6 * 1024 * 1024;
+  }
+
+let ideal =
+  {
+    name = "ideal";
+    syscall = 10.0;
+    sockop = 10.0;
+    accept_op = 10.0;
+    epoll_wake = 10.0;
+    per_byte_user_copy = 0.001;
+    per_byte_tx = 0.001;
+    per_byte_rx = 0.001;
+    per_chunk_tx = 10.0;
+    per_chunk_rx = 10.0;
+    per_ack_rx = 5.0;
+    interrupt = 10.0;
+    poll_iter = 0.0;
+    handshake = 50.0;
+    teardown = 50.0;
+    tx_contention = 0.0;
+    rx_contention = 0.0;
+    rps_contention = 0.0;
+    rx_batch = 64;
+    accept_backlog = 1 lsl 20;
+    (* a plain receiver box: its advertised window is what bounds a single
+       sender stream, as in the paper's testbed *)
+    default_rwnd = 256 * 1024;
+    max_rwnd = 256 * 1024;
+  }
+
+let contention_mult ~factor ~cores = 1.0 +. (factor *. float_of_int (Int.max 0 (cores - 1)))

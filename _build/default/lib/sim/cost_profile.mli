@@ -1,0 +1,61 @@
+(** CPU cycle-cost profiles for network stacks.
+
+    All figures in the paper's evaluation are CPU-bound: a core runs out of
+    cycles before the 100G NIC runs out of bits. These profiles encode how
+    many cycles each stack operation costs; the anchors are the paper's own
+    single-core measurements (see DESIGN.md §5):
+
+    - Linux kernel stack: 55 Gb/s send and 13.6 Gb/s interrupt-driven receive
+      per core with 16 KB messages (Figs 13–16), ~70 K non-keepalive requests
+      per second per core (Fig 17).
+    - mTCP: ~190 K requests per second per core (Fig 20), thanks to batched
+      polling and no syscall/interrupt costs.
+
+    Scalability anchors give the per-extra-core contention factors:
+    kernel send reaches line rate at 3 cores (Fig 18), receive scales to
+    91 Gb/s at 8 cores (Fig 19), short connections reach 5.7x at 8 cores
+    (Fig 20). *)
+
+type t = {
+  name : string;
+  syscall : float;  (** user/kernel crossing for one socket API call *)
+  sockop : float;  (** control-plane socket op (bind/listen/setsockopt) *)
+  accept_op : float;  (** accept processing beyond the syscall *)
+  epoll_wake : float;  (** waking an event waiter and delivering events *)
+  per_byte_user_copy : float;  (** user buffer <-> stack buffer, cycles/byte *)
+  per_byte_tx : float;  (** TX stack processing, cycles/byte *)
+  per_byte_rx : float;  (** RX stack processing, cycles/byte *)
+  per_chunk_tx : float;  (** per GSO chunk handed to the NIC *)
+  per_chunk_rx : float;  (** per chunk delivered by the NIC *)
+  per_ack_rx : float;  (** processing a pure ACK on the sender *)
+  interrupt : float;  (** RX interrupt entry; 0 for polling stacks *)
+  poll_iter : float;  (** one polling-loop iteration (polling stacks) *)
+  handshake : float;  (** total connection-establishment processing *)
+  teardown : float;  (** total connection-teardown processing *)
+  tx_contention : float;  (** service-cost growth per extra core, bulk TX *)
+  rx_contention : float;  (** same for bulk RX *)
+  rps_contention : float;  (** same for short-connection churn *)
+  rx_batch : int;  (** segments coalesced per interrupt/poll batch *)
+  accept_backlog : int;  (** listen backlog before SYNs are dropped *)
+  default_rwnd : int;
+      (** initial per-connection receive buffer; bounds the advertised
+          window *)
+  max_rwnd : int;
+      (** receive-buffer autotuning ceiling (Linux tcp_rmem max); equal to
+          [default_rwnd] when the stack does not autotune *)
+}
+
+val linux_kernel : t
+(** Calibrated Linux 4.9 kernel-stack profile. *)
+
+val mtcp : t
+(** Calibrated mTCP (userspace, DPDK polling) profile. *)
+
+val ideal : t
+(** Near-free stack for load generators and sinks on the "client machine":
+    the measured system must be the bottleneck, exactly as the paper gives
+    the traffic-generation side enough cores to never limit results. *)
+
+val contention_mult : factor:float -> cores:int -> float
+(** [contention_mult ~factor ~cores] is the service-cost multiplier
+    [1 + factor * (cores - 1)] modelling shared-structure contention. *)

@@ -1,0 +1,69 @@
+type event = {
+  time : float;
+  seq : int;
+  f : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  heap : event Nkutil.Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+let create () =
+  { heap = Nkutil.Heap.create ~capacity:1024 ~leq (); clock = 0.0; next_seq = 0; executed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~at f =
+  let at = Float.max at t.clock in
+  let ev = { time = at; seq = t.next_seq; f; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Nkutil.Heap.add t.heap ev;
+  ev
+
+let schedule t ~delay f = schedule_at t ~at:(t.clock +. Float.max 0.0 delay) f
+
+let cancel ev = ev.cancelled <- true
+
+let is_pending ev = not ev.cancelled
+
+let step t =
+  match Nkutil.Heap.pop_min t.heap with
+  | None -> false
+  | Some ev ->
+      if not ev.cancelled then begin
+        t.clock <- ev.time;
+        t.executed <- t.executed + 1;
+        ev.f ()
+      end;
+      true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+        match Nkutil.Heap.min_elt t.heap with
+        | None -> false
+        | Some ev -> ev.time <= limit)
+  in
+  while continue () && step t do
+    ()
+  done;
+  match until with
+  | Some limit when t.clock < limit ->
+      (* Advance the clock to the horizon even if the queue drained early. *)
+      if Nkutil.Heap.is_empty t.heap then t.clock <- limit
+      else t.clock <- Float.max t.clock limit
+  | _ -> ()
+
+let events_executed t = t.executed
+
+let pending t = Nkutil.Heap.length t.heap

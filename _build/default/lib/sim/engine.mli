@@ -1,0 +1,47 @@
+(** Discrete-event simulation engine.
+
+    Single-threaded event loop with a virtual clock. All simulated
+    components (vCPUs, NICs, links, TCP timers, CoreEngine polling) schedule
+    closures at absolute virtual times; [run] executes them in
+    (time, insertion-order) sequence, so runs are fully deterministic.
+
+    This is the substitute for the paper's QEMU/KVM testbed: wall-clock
+    behaviour of the real system maps to virtual-time behaviour here. *)
+
+type t
+
+type handle
+(** Cancellation handle for a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays are
+    clamped to 0 (the event still runs after currently-queued events at the
+    same time). *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> handle
+(** [schedule_at t ~at f] runs [f] at absolute time [at] (clamped to now). *)
+
+val cancel : handle -> unit
+(** [cancel h] prevents the event from running; cancelling a fired or
+    already-cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val run : ?until:float -> t -> unit
+(** [run t] processes events until the queue is empty, or until virtual time
+    would exceed [until] when given (the clock then stops at [until]). *)
+
+val step : t -> bool
+(** [step t] executes the single next event; [false] if none. *)
+
+val events_executed : t -> int
+(** Count of events executed so far (for performance reporting). *)
+
+val pending : t -> int
+(** Number of events currently queued (including cancelled ones not yet
+    discarded). *)

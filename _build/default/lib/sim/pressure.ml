@@ -1,0 +1,27 @@
+type t = {
+  engine : Engine.t;
+  tau : float;
+  mutable rate : float; (* bits per second *)
+  mutable last : float;
+}
+
+let create engine ?(tau = 0.01) () = { engine; tau; rate = 0.0; last = Engine.now engine }
+
+let decay t =
+  let now = Engine.now t.engine in
+  if now > t.last then begin
+    t.rate <- t.rate *. exp (-.(now -. t.last) /. t.tau);
+    t.last <- now
+  end
+
+let observe t ~bits =
+  decay t;
+  t.rate <- t.rate +. (bits /. t.tau)
+
+let rate_bps t =
+  decay t;
+  t.rate
+
+let hugepage_copy_cost t ~base ~contention =
+  let frac = rate_bps t /. 100e9 in
+  base +. (contention *. frac *. frac)

@@ -1,0 +1,24 @@
+(** Exponentially-weighted rate estimator for memory/NIC pressure.
+
+    NetKernel's extra hugepage copy competes for memory bandwidth with the
+    stack's own copies; the paper measures the consequence as a CPU overhead
+    that grows from 1.14x at 20 Gb/s to 1.70x at 100 Gb/s (Table 6). We model
+    it by making the hugepage copy's per-byte cost a function of the host's
+    recent wire throughput, which this estimator tracks. *)
+
+type t
+
+val create : Engine.t -> ?tau:float -> unit -> t
+(** [create engine ()] is an estimator with time constant [tau] seconds
+    (default 0.01). *)
+
+val observe : t -> bits:float -> unit
+(** [observe t ~bits] credits [bits] at the current engine time. *)
+
+val rate_bps : t -> float
+(** Current decayed estimate in bits/s. *)
+
+val hugepage_copy_cost : t -> base:float -> contention:float -> float
+(** [hugepage_copy_cost t ~base ~contention] is the per-byte cycle cost
+    [base + contention * (rate / 100G)^2] — quadratic in load, matching the
+    Table 6 calibration. *)

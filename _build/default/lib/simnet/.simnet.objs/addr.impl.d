@@ -1,0 +1,1 @@
+lib/simnet/addr.ml: Format Int

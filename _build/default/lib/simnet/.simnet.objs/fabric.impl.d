@@ -1,0 +1,1 @@
+lib/simnet/fabric.ml: Addr Hashtbl Link List Nic Option Segment Sim

@@ -1,0 +1,1 @@
+lib/simnet/fabric.mli: Addr Link Nic Sim

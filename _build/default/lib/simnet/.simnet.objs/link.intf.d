@@ -1,0 +1,1 @@
+lib/simnet/link.mli: Nkutil Segment Sim

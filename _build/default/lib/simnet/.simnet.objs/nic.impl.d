@@ -1,0 +1,1 @@
+lib/simnet/nic.ml: Link Segment Sim

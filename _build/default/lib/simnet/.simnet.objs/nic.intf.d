@@ -1,0 +1,1 @@
+lib/simnet/nic.mli: Link Segment Sim

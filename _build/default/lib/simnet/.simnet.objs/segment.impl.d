@@ -1,0 +1,1 @@
+lib/simnet/segment.ml: Addr Format

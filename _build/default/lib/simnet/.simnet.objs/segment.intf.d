@@ -1,0 +1,1 @@
+lib/simnet/segment.mli: Addr Format

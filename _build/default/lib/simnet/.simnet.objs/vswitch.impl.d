@@ -1,0 +1,1 @@
+lib/simnet/vswitch.ml: Addr Hashtbl Nic Segment Sim

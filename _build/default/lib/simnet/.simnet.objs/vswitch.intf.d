@@ -1,0 +1,1 @@
+lib/simnet/vswitch.mli: Addr Nic Segment Sim

@@ -1,0 +1,43 @@
+type port = { nic : Nic.t; downlink : Link.t }
+
+type t = {
+  engine : Sim.Engine.t;
+  rate : float;
+  delay : float;
+  buffer : int option;
+  ecn : int option;
+  mutable ports : port list;
+  routes : (Addr.ip, port) Hashtbl.t;
+  mutable unrouted : int;
+}
+
+let create engine ~rate_bps ~delay ?buffer_bytes ?ecn_threshold_bytes () =
+  { engine; rate = rate_bps; delay; buffer = buffer_bytes; ecn = ecn_threshold_bytes;
+    ports = []; routes = Hashtbl.create 16; unrouted = 0 }
+
+let forward t (seg : Segment.t) =
+  match Hashtbl.find_opt t.routes seg.Segment.flow.dst.ip with
+  | Some port -> ignore (Link.send port.downlink seg)
+  | None -> t.unrouted <- t.unrouted + 1
+
+let attach t nic =
+  let mk name =
+    Link.create t.engine ~rate_bps:t.rate ~delay:(t.delay /. 2.0)
+      ?buffer_bytes:t.buffer ?ecn_threshold_bytes:t.ecn ~name ()
+  in
+  let uplink = mk (Nic.name nic ^ ".up") in
+  let downlink = mk (Nic.name nic ^ ".down") in
+  Link.set_receiver uplink (forward t);
+  Link.set_receiver downlink (Nic.receive nic);
+  Nic.set_egress nic uplink;
+  t.ports <- { nic; downlink } :: t.ports
+
+let add_route t ip nic =
+  match List.find_opt (fun p -> p.nic == nic) t.ports with
+  | Some port -> Hashtbl.replace t.routes ip port
+  | None -> invalid_arg "Fabric.add_route: NIC not attached"
+
+let port_to t nic =
+  List.find_opt (fun p -> p.nic == nic) t.ports |> Option.map (fun p -> p.downlink)
+
+let unrouted t = t.unrouted

@@ -1,0 +1,114 @@
+type t = {
+  engine : Sim.Engine.t;
+  rate : float;
+  delay : float;
+  buffer : int;
+  ecn_threshold : int option;
+  mark_rng : Nkutil.Rng.t;
+  name : string;
+  mutable receiver : (Segment.t -> unit) option;
+  mutable busy_until : float;
+  mutable queued : int;
+  mutable bytes_sent : int;
+  mutable segments_sent : int;
+  mutable drops : int;
+  mutable marks : int;
+  mutable transmit_hook : (Segment.t -> unit) option;
+  mutable loss : (Nkutil.Rng.t * float) option;
+}
+
+let create engine ~rate_bps ~delay ?(buffer_bytes = 16 * 1024 * 1024) ?ecn_threshold_bytes
+    ?(name = "link") () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be > 0";
+  { engine; rate = rate_bps; delay; buffer = buffer_bytes;
+    ecn_threshold = ecn_threshold_bytes; mark_rng = Nkutil.Rng.create ~seed:0x51ED;
+    name; receiver = None; busy_until = 0.0; queued = 0;
+    bytes_sent = 0; segments_sent = 0; drops = 0; marks = 0; transmit_hook = None;
+    loss = None }
+
+let set_random_loss t ~rng ~rate = t.loss <- Some (rng, rate)
+
+let set_receiver t f = t.receiver <- Some f
+
+let on_transmit t f = t.transmit_hook <- Some f
+
+let send t seg =
+  let receiver =
+    match t.receiver with
+    | Some f -> f
+    | None -> invalid_arg (t.name ^ ": no receiver attached")
+  in
+  let lossy_drop =
+    match t.loss with
+    | Some (rng, rate) -> Nkutil.Rng.float rng < rate
+    | None -> false
+  in
+  (* A GSO segment is many wire packets: when the buffer cannot hold all of
+     them, the fitting prefix is still enqueued and only the tail packets
+     drop — which is what lets the receiver emit duplicate ACKs and the
+     sender fast-retransmit instead of stalling into an RTO. *)
+  let seg =
+    if lossy_drop then seg
+    else begin
+      let space = t.buffer - t.queued in
+      let full = Segment.wire_bytes seg in
+      if full <= space || seg.Segment.len = 0 then seg
+      else begin
+        let per_packet = Segment.header_bytes in
+        let fit_packets = space / (per_packet + Int.min seg.Segment.len Segment.mss) in
+        let fit_payload = Int.min seg.Segment.len (fit_packets * Segment.mss) in
+        if fit_payload <= 0 then seg
+        else
+          Segment.make ~flow:seg.Segment.flow ~seq:seg.Segment.seq ~ack:seg.Segment.ack
+            ~syn:seg.Segment.syn ~ack_flag:seg.Segment.ack_flag ~fin:false
+            ~rst:seg.Segment.rst ~window:seg.Segment.window ~len:fit_payload
+            ~ts:seg.Segment.ts ~ts_echo:seg.Segment.ts_echo ~ece:seg.Segment.ece ()
+      end
+    end
+  in
+  let wire = Segment.wire_bytes seg in
+  if lossy_drop || t.queued + wire > t.buffer then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    (* RED-style probabilistic marking: ramp from 0 at the threshold to
+       certain marking at twice the threshold, so no single flow captures
+       the unmarked band. *)
+    (match t.ecn_threshold with
+    | Some threshold when t.queued > threshold ->
+        let p =
+          Float.min 1.0
+            (float_of_int (t.queued - threshold) /. float_of_int (Int.max 1 threshold))
+        in
+        if Nkutil.Rng.float t.mark_rng < p then begin
+          seg.Segment.ce <- true;
+          t.marks <- t.marks + 1
+        end
+    | Some _ | None -> ());
+    t.queued <- t.queued + wire;
+    let now = Sim.Engine.now t.engine in
+    let start = Float.max now t.busy_until in
+    let tx_done = start +. (float_of_int wire *. 8.0 /. t.rate) in
+    t.busy_until <- tx_done;
+    ignore
+      (Sim.Engine.schedule_at t.engine ~at:tx_done (fun () ->
+           t.queued <- t.queued - wire;
+           t.bytes_sent <- t.bytes_sent + wire;
+           t.segments_sent <- t.segments_sent + 1;
+           match t.transmit_hook with None -> () | Some f -> f seg));
+    ignore (Sim.Engine.schedule_at t.engine ~at:(tx_done +. t.delay) (fun () -> receiver seg));
+    true
+  end
+
+let rate_bps t = t.rate
+
+let queued_bytes t = t.queued
+
+let bytes_sent t = t.bytes_sent
+
+let segments_sent t = t.segments_sent
+
+let drops t = t.drops
+
+let ecn_marks t = t.marks

@@ -1,0 +1,50 @@
+module Endpoint_table = Hashtbl.Make (struct
+  type t = Addr.t
+
+  let equal = Addr.equal
+  let hash = Addr.hash
+end)
+
+type t = {
+  engine : Sim.Engine.t;
+  local_delay : float;
+  nic : Nic.t;
+  by_ip : (Addr.ip, Segment.t -> unit) Hashtbl.t;
+  by_endpoint : (Segment.t -> unit) Endpoint_table.t;
+  mutable unclaimed : int;
+}
+
+let input t (seg : Segment.t) =
+  let dst = seg.Segment.flow.dst in
+  match Endpoint_table.find_opt t.by_endpoint dst with
+  | Some f -> f seg
+  | None -> (
+      match Hashtbl.find_opt t.by_ip dst.ip with
+      | Some f -> f seg
+      | None -> t.unclaimed <- t.unclaimed + 1)
+
+let create engine ?(local_delay = 5e-6) ~nic () =
+  let t =
+    { engine; local_delay; nic; by_ip = Hashtbl.create 16;
+      by_endpoint = Endpoint_table.create 16; unclaimed = 0 }
+  in
+  Nic.set_rx_handler nic (input t);
+  t
+
+let register_ip t ip f = Hashtbl.replace t.by_ip ip f
+
+let unregister_ip t ip = Hashtbl.remove t.by_ip ip
+
+let register_endpoint t addr f = Endpoint_table.replace t.by_endpoint addr f
+
+let unregister_endpoint t addr = Endpoint_table.remove t.by_endpoint addr
+
+let owns_ip t ip = Hashtbl.mem t.by_ip ip
+
+let output t (seg : Segment.t) =
+  if owns_ip t seg.Segment.flow.dst.ip
+     || Endpoint_table.mem t.by_endpoint seg.Segment.flow.dst
+  then ignore (Sim.Engine.schedule t.engine ~delay:t.local_delay (fun () -> input t seg))
+  else ignore (Nic.transmit t.nic seg)
+
+let unclaimed t = t.unclaimed

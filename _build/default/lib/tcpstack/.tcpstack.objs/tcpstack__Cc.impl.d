@@ -1,0 +1,1 @@
+lib/tcpstack/cc.ml:

@@ -1,0 +1,1 @@
+lib/tcpstack/cc_bbr.ml: Cc Float Int

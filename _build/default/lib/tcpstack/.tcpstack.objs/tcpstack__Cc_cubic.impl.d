@@ -1,0 +1,1 @@
+lib/tcpstack/cc_cubic.ml: Cc Float Int

@@ -1,0 +1,1 @@
+lib/tcpstack/conn_registry.ml: Addr Hashtbl Nkutil

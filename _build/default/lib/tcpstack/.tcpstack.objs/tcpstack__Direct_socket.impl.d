@@ -1,0 +1,1 @@
+lib/tcpstack/direct_socket.ml: Addr Epoll_core Hashtbl List Option Sim Socket_api Stack Types

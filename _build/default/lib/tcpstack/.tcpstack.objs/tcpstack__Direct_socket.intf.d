@@ -1,0 +1,1 @@
+lib/tcpstack/direct_socket.mli: Socket_api Stack

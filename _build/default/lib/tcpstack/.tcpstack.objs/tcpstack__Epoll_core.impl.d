@@ -1,0 +1,1 @@
+lib/tcpstack/epoll_core.ml: Hashtbl Sim Types

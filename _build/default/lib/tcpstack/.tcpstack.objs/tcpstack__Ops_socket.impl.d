@@ -1,0 +1,1 @@
+lib/tcpstack/ops_socket.ml: Addr Epoll_core Hashtbl List Queue Socket_api Stack_ops Types

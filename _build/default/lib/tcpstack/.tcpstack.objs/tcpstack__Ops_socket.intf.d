@@ -1,0 +1,1 @@
+lib/tcpstack/ops_socket.mli: Socket_api Stack_ops

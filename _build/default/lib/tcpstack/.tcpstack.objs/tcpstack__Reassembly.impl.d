@@ -1,0 +1,1 @@
+lib/tcpstack/reassembly.ml: Int List Tcp_seq

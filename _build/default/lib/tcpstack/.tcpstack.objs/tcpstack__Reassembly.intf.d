@@ -1,0 +1,1 @@
+lib/tcpstack/reassembly.mli:

@@ -1,0 +1,1 @@
+lib/tcpstack/rtt_estimator.ml: Float

@@ -1,0 +1,1 @@
+lib/tcpstack/socket_api.ml: Addr Types

@@ -1,0 +1,1 @@
+lib/tcpstack/stack.ml: Addr Array Cc Cc_cubic Conn_registry Hashtbl Int List Nkutil Option Queue Segment Sim Tcb Tcp_seq Types Vswitch

@@ -1,0 +1,1 @@
+lib/tcpstack/stack.mli: Addr Cc Conn_registry Nkutil Segment Sim Tcb Types Vswitch

@@ -1,0 +1,1 @@
+lib/tcpstack/stack_ops.ml: Addr List Sim Stack Types

@@ -1,0 +1,1 @@
+lib/tcpstack/stack_ops.mli: Addr Sim Stack Types

@@ -1,0 +1,1 @@
+lib/tcpstack/tcb.ml: Addr Bytes Cc Conn_registry Float Format Int Nkutil Printf Queue Reassembly Rtt_estimator Segment Sim Sys Tcp_seq Types

@@ -1,0 +1,1 @@
+lib/tcpstack/tcb.mli: Addr Cc Conn_registry Segment Sim Types

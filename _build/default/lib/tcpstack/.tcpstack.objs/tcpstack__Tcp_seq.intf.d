@@ -1,0 +1,1 @@
+lib/tcpstack/tcp_seq.mli:

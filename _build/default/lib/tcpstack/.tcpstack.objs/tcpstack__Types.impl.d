@@ -1,0 +1,1 @@
+lib/tcpstack/types.ml: Format String

@@ -1,0 +1,15 @@
+type t = {
+  name : string;
+  cwnd : unit -> int;
+  on_ack : acked:int -> rtt:float -> now:float -> unit;
+  on_loss : now:float -> unit;
+  on_timeout : now:float -> unit;
+  on_ecn_ack : acked:int -> now:float -> unit;
+  release : unit -> unit;
+}
+
+type factory = unit -> t
+
+let max_cwnd = 16 * 1024 * 1024
+
+let initial_window ~mss = 10 * mss

@@ -1,0 +1,28 @@
+(** Congestion-control interface.
+
+    A controller is a record of closures over private state, giving each
+    connection an independent instance while allowing implementations such
+    as the VM-level controller ({!Cc_vm}) to share state across flows —
+    exactly the flexibility the paper exercises by swapping NSMs. All window
+    quantities are in bytes. *)
+
+type t = {
+  name : string;
+  cwnd : unit -> int;  (** current congestion window (bytes) *)
+  on_ack : acked:int -> rtt:float -> now:float -> unit;
+      (** new data acknowledged; [rtt] < 0 when no sample is available *)
+  on_loss : now:float -> unit;  (** fast-retransmit loss signal *)
+  on_timeout : now:float -> unit;  (** RTO expiry *)
+  on_ecn_ack : acked:int -> now:float -> unit;
+      (** acknowledgement carrying an ECN echo *)
+  release : unit -> unit;  (** the flow is closing; drop shared-state refs *)
+}
+
+type factory = unit -> t
+(** One controller per connection. *)
+
+val max_cwnd : int
+(** Global cap on any congestion window (16 MB). *)
+
+val initial_window : mss:int -> int
+(** IW10 (RFC 6928): 10 MSS. *)

@@ -1,0 +1,109 @@
+type phase = Startup | Drain | Probe
+
+type state = {
+  mss : int;
+  mutable cwnd : int;
+  mutable phase : phase;
+  mutable btl_bw : float; (* bytes/s, windowed max *)
+  mutable bw_stamp : float; (* when btl_bw was last raised *)
+  mutable rt_prop : float; (* seconds, windowed min *)
+  mutable rt_stamp : float;
+  mutable delivered : float; (* bytes acked in the current sample window *)
+  mutable window_start : float;
+  mutable full_bw : float; (* startup plateau detection *)
+  mutable full_bw_rounds : int;
+  mutable probe_phase_start : float;
+  mutable probe_high : bool;
+}
+
+let bw_window = 2.0 (* forget stale bandwidth samples after this long *)
+
+let rtprop_window = 10.0
+
+let probe_period = 0.05 (* alternate 1.25x / 0.75x probing at this cadence *)
+
+let create ~mss () =
+  let s =
+    {
+      mss;
+      cwnd = Cc.initial_window ~mss;
+      phase = Startup;
+      btl_bw = 0.0;
+      bw_stamp = 0.0;
+      rt_prop = infinity;
+      rt_stamp = 0.0;
+      delivered = 0.0;
+      window_start = 0.0;
+      full_bw = 0.0;
+      full_bw_rounds = 0;
+      probe_phase_start = 0.0;
+      probe_high = true;
+    }
+  in
+  let bdp () =
+    if s.btl_bw <= 0.0 || s.rt_prop = infinity then float_of_int (Cc.initial_window ~mss)
+    else s.btl_bw *. s.rt_prop
+  in
+  let set_cwnd gain =
+    let target = gain *. bdp () in
+    s.cwnd <- Int.max (4 * s.mss) (Int.min Cc.max_cwnd (int_of_float target))
+  in
+  let on_ack ~acked ~rtt ~now =
+    if rtt > 0.0 && (rtt <= s.rt_prop || now -. s.rt_stamp > rtprop_window) then begin
+      s.rt_prop <- rtt;
+      s.rt_stamp <- now
+    end;
+    s.delivered <- s.delivered +. float_of_int acked;
+    let span = now -. s.window_start in
+    if span >= Float.max 0.001 s.rt_prop then begin
+      (* one delivery-rate sample per round trip *)
+      let rate = s.delivered /. span in
+      if rate > s.btl_bw || now -. s.bw_stamp > bw_window then begin
+        s.btl_bw <- rate;
+        s.bw_stamp <- now
+      end;
+      s.delivered <- 0.0;
+      s.window_start <- now;
+      match s.phase with
+      | Startup ->
+          (* exponential growth until bandwidth stops improving *)
+          s.cwnd <- Int.min Cc.max_cwnd (s.cwnd * 2);
+          if s.btl_bw < s.full_bw *. 1.25 then begin
+            s.full_bw_rounds <- s.full_bw_rounds + 1;
+            if s.full_bw_rounds >= 3 then begin
+              s.phase <- Drain;
+              set_cwnd 1.0
+            end
+          end
+          else begin
+            s.full_bw <- s.btl_bw;
+            s.full_bw_rounds <- 0
+          end
+      | Drain ->
+          s.phase <- Probe;
+          s.probe_phase_start <- now;
+          set_cwnd 1.0
+      | Probe ->
+          if now -. s.probe_phase_start > probe_period then begin
+            s.probe_high <- not s.probe_high;
+            s.probe_phase_start <- now
+          end;
+          set_cwnd (if s.probe_high then 1.25 else 0.9)
+    end
+  in
+  {
+    Cc.name = "bbr";
+    cwnd = (fun () -> s.cwnd);
+    on_ack;
+    (* BBR is not loss-driven: retain the model on fast retransmit, only a
+       timeout resets towards a conservative window. *)
+    on_loss = (fun ~now:_ -> ());
+    on_timeout =
+      (fun ~now:_ ->
+        s.btl_bw <- s.btl_bw /. 2.0;
+        set_cwnd 1.0);
+    on_ecn_ack = (fun ~acked:_ ~now:_ -> () (* BBRv1 ignores ECN *));
+    release = (fun () -> ());
+  }
+
+let factory ~mss () = create ~mss ()

@@ -1,0 +1,16 @@
+(** Simplified BBR congestion control (Cardwell et al., CACM 2017).
+
+    Model-based rather than loss-based: estimates the bottleneck bandwidth
+    (windowed max of delivery rate) and the round-trip propagation delay
+    (windowed min RTT), and caps the window near their product. The paper
+    cites BBR among the stacks an operator could roll out as an NSM without
+    tenant involvement (§1); wire it with
+    [Nsm.create_kernel ~cc_factory:(Cc_bbr.factory ~mss Segment.mss)].
+
+    Simplifications versus full BBR: gain cycling is reduced to a periodic
+    1.25×/0.75× probe pair, there is no explicit pacing (the simulator's
+    ACK clocking paces), and ProbeRTT shrinks to a brief window floor. *)
+
+val create : mss:int -> unit -> Cc.t
+
+val factory : mss:int -> Cc.factory

@@ -1,0 +1,7 @@
+(** CUBIC congestion control (RFC 8312) — the Linux default and the paper's
+    Baseline transport. Cubic window growth around the last loss point, with
+    the TCP-friendly (Reno-equivalent) lower bound. *)
+
+val create : mss:int -> unit -> Cc.t
+
+val factory : mss:int -> Cc.factory

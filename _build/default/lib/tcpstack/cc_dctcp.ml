@@ -1,0 +1,73 @@
+let g = 1.0 /. 16.0 (* alpha gain, per the DCTCP paper *)
+
+type state = {
+  mss : int;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable alpha : float;
+  mutable acked_window : int; (* bytes acked in the current observation window *)
+  mutable marked_window : int; (* of which carried ECN echoes *)
+  mutable window_reduced : bool; (* at most one reduction per window *)
+}
+
+let create ~mss () =
+  let s =
+    { mss; cwnd = Cc.initial_window ~mss; ssthresh = Cc.max_cwnd; alpha = 1.0;
+      acked_window = 0; marked_window = 0; window_reduced = false }
+  in
+  let end_window () =
+    if s.acked_window > 0 then begin
+      let f = float_of_int s.marked_window /. float_of_int s.acked_window in
+      s.alpha <- ((1.0 -. g) *. s.alpha) +. (g *. f);
+      if s.marked_window > 0 && not s.window_reduced then begin
+        let reduced = float_of_int s.cwnd *. (1.0 -. (s.alpha /. 2.0)) in
+        s.cwnd <- Int.max (int_of_float reduced) (2 * s.mss);
+        s.ssthresh <- s.cwnd
+      end;
+      s.acked_window <- 0;
+      s.marked_window <- 0;
+      s.window_reduced <- false
+    end
+  in
+  let grow acked =
+    if s.cwnd < s.ssthresh then
+      s.cwnd <- Int.min Cc.max_cwnd (s.cwnd + Int.min acked (2 * s.mss))
+    else begin
+      let incr = Int.max 1 (s.mss * acked / Int.max s.cwnd 1) in
+      s.cwnd <- Int.min Cc.max_cwnd (s.cwnd + incr)
+    end
+  in
+  let account acked ~marked =
+    s.acked_window <- s.acked_window + acked;
+    if marked then s.marked_window <- s.marked_window + acked;
+    if s.acked_window >= s.cwnd then end_window ()
+  in
+  let on_ack ~acked ~rtt:_ ~now:_ =
+    account acked ~marked:false;
+    grow acked
+  in
+  let on_ecn_ack ~acked ~now:_ =
+    (* DCTCP keeps growing on marked ACKs; the per-window alpha-scaled
+       reduction in [end_window] is the only brake. *)
+    account acked ~marked:true;
+    grow acked
+  in
+  let on_loss ~now:_ =
+    s.ssthresh <- Int.max (s.cwnd / 2) (2 * s.mss);
+    s.cwnd <- s.ssthresh
+  in
+  let on_timeout ~now:_ =
+    s.ssthresh <- Int.max (s.cwnd / 2) (2 * s.mss);
+    s.cwnd <- s.mss
+  in
+  {
+    Cc.name = "dctcp";
+    cwnd = (fun () -> s.cwnd);
+    on_ack;
+    on_loss;
+    on_timeout;
+    on_ecn_ack;
+    release = (fun () -> ());
+  }
+
+let factory ~mss () = create ~mss ()

@@ -1,0 +1,10 @@
+(** DCTCP congestion control (Alizadeh et al., SIGCOMM 2010).
+
+    Scales the window reduction with the fraction of ECN-marked bytes per
+    window, estimated with the g=1/16 EWMA. One of the stacks an operator
+    can deploy as an NSM — the paper motivates NetKernel partly by how hard
+    deploying DCTCP in a public cloud is today (§1). *)
+
+val create : mss:int -> unit -> Cc.t
+
+val factory : mss:int -> Cc.factory

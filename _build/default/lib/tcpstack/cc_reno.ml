@@ -1,0 +1,45 @@
+type state = {
+  mss : int;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable last_ecn : float;
+}
+
+let create ~mss () =
+  let s = { mss; cwnd = Cc.initial_window ~mss; ssthresh = Cc.max_cwnd; last_ecn = -1.0 } in
+  let on_ack ~acked ~rtt:_ ~now:_ =
+    if s.cwnd < s.ssthresh then
+      (* ABC (RFC 3465, L=2): at most 2*SMSS per ACK, whatever it covers *)
+      s.cwnd <- Int.min Cc.max_cwnd (s.cwnd + Int.min acked (2 * s.mss))
+    else begin
+      (* Congestion avoidance: one MSS per window's worth of ACKs. *)
+      let incr = Int.max 1 (s.mss * acked / Int.max s.cwnd 1) in
+      s.cwnd <- Int.min Cc.max_cwnd (s.cwnd + incr)
+    end
+  in
+  let on_loss ~now:_ =
+    s.ssthresh <- Int.max (s.cwnd / 2) (2 * s.mss);
+    s.cwnd <- s.ssthresh
+  in
+  let on_timeout ~now:_ =
+    s.ssthresh <- Int.max (s.cwnd / 2) (2 * s.mss);
+    s.cwnd <- s.mss
+  in
+  {
+    Cc.name = "reno";
+    cwnd = (fun () -> s.cwnd);
+    on_ack;
+    on_loss;
+    on_timeout;
+    on_ecn_ack =
+      (fun ~acked:_ ~now ->
+        (* Classic ECN (RFC 3168): at most one reduction per round trip;
+           approximate the RTT with a small fixed guard interval. *)
+        if now -. s.last_ecn > 0.002 then begin
+          s.last_ecn <- now;
+          on_loss ~now
+        end);
+    release = (fun () -> ());
+  }
+
+let factory ~mss () = create ~mss ()

@@ -1,0 +1,6 @@
+(** TCP NewReno congestion control: slow start, AIMD congestion avoidance,
+    halving on fast retransmit, window collapse on timeout (RFC 5681). *)
+
+val create : mss:int -> unit -> Cc.t
+
+val factory : mss:int -> Cc.factory

@@ -1,0 +1,80 @@
+type group = {
+  mss : int;
+  mutable cwnd : int; (* shared window, bytes *)
+  mutable ssthresh : int;
+  mutable n : int; (* active flows *)
+  mutable last_ecn : float;
+  (* DCTCP-style proportional ECN response over the shared window: a flat
+     halving per mark would penalize the VM with more packets in flight
+     (more mark events), breaking exactly the per-VM fairness this
+     controller exists to provide. *)
+  mutable acked_window : int;
+  mutable marked_window : int;
+  mutable alpha : float;
+}
+
+let create_group ~mss () =
+  { mss; cwnd = Cc.initial_window ~mss; ssthresh = Cc.max_cwnd; n = 0; last_ecn = -1.0;
+    acked_window = 0; marked_window = 0; alpha = 1.0 }
+
+let shared_cwnd g = g.cwnd
+
+let active_flows g = g.n
+
+let factory g () =
+  g.n <- g.n + 1;
+  let released = ref false in
+  let share () = Int.max g.mss (g.cwnd / Int.max 1 g.n) in
+  let grow acked =
+    if g.cwnd < g.ssthresh then
+      g.cwnd <- Int.min Cc.max_cwnd (g.cwnd + Int.min acked (2 * g.mss))
+    else begin
+      let incr = Int.max 1 (g.mss * acked / Int.max g.cwnd 1) in
+      g.cwnd <- Int.min Cc.max_cwnd (g.cwnd + incr)
+    end
+  in
+  let floor () = Int.max (2 * g.mss) (g.mss * Int.max 1 g.n) in
+  let reduce () =
+    g.ssthresh <- Int.max (g.cwnd / 2) (floor ());
+    g.cwnd <- g.ssthresh
+  in
+  let account acked ~marked =
+    g.acked_window <- g.acked_window + acked;
+    if marked then g.marked_window <- g.marked_window + acked;
+    if g.acked_window >= g.cwnd then begin
+      let f = float_of_int g.marked_window /. float_of_int (Int.max 1 g.acked_window) in
+      g.alpha <- (0.9375 *. g.alpha) +. (0.0625 *. f);
+      if g.marked_window > 0 then begin
+        let reduced = float_of_int g.cwnd *. (1.0 -. (g.alpha /. 2.0)) in
+        g.cwnd <- Int.max (int_of_float reduced) (floor ());
+        g.ssthresh <- g.cwnd
+      end;
+      g.acked_window <- 0;
+      g.marked_window <- 0
+    end
+  in
+  let on_ack ~acked ~rtt:_ ~now:_ =
+    account acked ~marked:false;
+    grow acked
+  in
+  let release () =
+    if not !released then begin
+      released := true;
+      g.n <- Int.max 0 (g.n - 1)
+    end
+  in
+  {
+    Cc.name = "vm-shared";
+    cwnd = share;
+    on_ack;
+    on_loss = (fun ~now:_ -> reduce ());
+    on_timeout =
+      (fun ~now:_ ->
+        g.ssthresh <- Int.max (g.cwnd / 2) (floor ());
+        g.cwnd <- Int.max (floor ()) (g.cwnd / 2));
+    on_ecn_ack =
+      (fun ~acked ~now:_ ->
+        account acked ~marked:true;
+        grow acked);
+    release;
+  }

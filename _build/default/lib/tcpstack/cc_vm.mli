@@ -1,0 +1,19 @@
+(** VM-level congestion control (paper §6.2, Seawall-style).
+
+    All flows of one VM share a single congestion window: each flow's ACKs
+    advance the shared window, and each active flow may keep at most 1/n of
+    it in flight. A misbehaving VM therefore gains nothing by opening more
+    flows — bandwidth is shared per-VM, not per-flow (Fig 9). *)
+
+type group
+
+val create_group : mss:int -> unit -> group
+(** One group per VM; create the group in the NSM and use [factory] as the
+    NSM stack's congestion-control factory. *)
+
+val factory : group -> Cc.factory
+
+val shared_cwnd : group -> int
+(** The current shared window in bytes. *)
+
+val active_flows : group -> int

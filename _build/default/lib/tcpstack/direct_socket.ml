@@ -1,0 +1,148 @@
+type state = {
+  stack : Stack.t;
+  socks : (Socket_api.sock, Stack.sock) Hashtbl.t;
+  epolls : (Socket_api.epoll, Socket_api.sock Epoll_core.t) Hashtbl.t;
+  memberships : (Socket_api.sock, Socket_api.epoll list ref) Hashtbl.t;
+  mutable next_fd : int;
+  mutable next_ep : int;
+}
+
+let on_sock_event st fd (_ev : Types.events) =
+  match Hashtbl.find_opt st.memberships fd with
+  | None -> ()
+  | Some eps ->
+      List.iter
+        (fun epid ->
+          match Hashtbl.find_opt st.epolls epid with
+          | None -> ()
+          | Some ep -> Epoll_core.notify ep fd)
+        !eps
+
+let register_fd st s =
+  let fd = st.next_fd in
+  st.next_fd <- st.next_fd + 1;
+  Hashtbl.replace st.socks fd s;
+  Stack.set_event_handler st.stack s (fun ev -> on_sock_event st fd ev);
+  fd
+
+let make stack =
+  let st =
+    { stack; socks = Hashtbl.create 64; epolls = Hashtbl.create 8;
+      memberships = Hashtbl.create 64; next_fd = 3; next_ep = 1 }
+  in
+  let engine = Stack.engine stack in
+  let find fd = Hashtbl.find_opt st.socks fd in
+  let events_of fd =
+    match find fd with None -> Types.no_events | Some s -> Stack.sock_events stack s
+  in
+  let core_of fd =
+    match find fd with
+    | Some s -> Stack.sock_core stack s
+    | None -> Sim.Cpu.Set.core (Stack.cores stack) 0
+  in
+  let wake_cycles = (Stack.config stack).Stack.profile.Sim.Cost_profile.epoll_wake in
+  let socket () = Ok (register_fd st (Stack.socket stack)) in
+  let bind fd addr =
+    match find fd with None -> Error Types.Einval | Some s -> Stack.bind stack s addr
+  in
+  let listen fd ~backlog =
+    match find fd with None -> Error Types.Einval | Some s -> Stack.listen stack s ~backlog
+  in
+  let accept fd ~k =
+    match find fd with
+    | None -> k (Error Types.Einval)
+    | Some s ->
+        Stack.accept stack s ~k:(fun r ->
+            match r with
+            | Error e -> k (Error e)
+            | Ok cs ->
+                let cfd = register_fd st cs in
+                let peer =
+                  match Stack.peer_addr stack cs with
+                  | Some a -> a
+                  | None -> Addr.make 0 0
+                in
+                k (Ok (cfd, peer)))
+  in
+  let connect fd addr ~k =
+    match find fd with None -> k (Error Types.Einval) | Some s -> Stack.connect stack s addr ~k
+  in
+  let send fd payload ~k =
+    match find fd with None -> k (Error Types.Einval) | Some s -> Stack.send stack s payload ~k
+  in
+  let recv fd ~max ~mode ~k =
+    match find fd with
+    | None -> k (Error Types.Einval)
+    | Some s -> Stack.recv stack s ~max ~mode ~k
+  in
+  let close fd =
+    match find fd with
+    | None -> ()
+    | Some s ->
+        Stack.close stack s;
+        Hashtbl.remove st.socks fd;
+        (match Hashtbl.find_opt st.memberships fd with
+        | None -> ()
+        | Some eps ->
+            List.iter
+              (fun epid ->
+                match Hashtbl.find_opt st.epolls epid with
+                | None -> ()
+                | Some ep -> Epoll_core.del ep fd)
+              !eps;
+            Hashtbl.remove st.memberships fd)
+  in
+  let epoll_create () =
+    let epid = st.next_ep in
+    st.next_ep <- st.next_ep + 1;
+    Hashtbl.replace st.epolls epid
+      (Epoll_core.create ~engine ~events_of ~core_of ~wake_cycles ());
+    epid
+  in
+  let epoll_add epid fd ~mask =
+    match Hashtbl.find_opt st.epolls epid with
+    | None -> ()
+    | Some ep ->
+        Epoll_core.add ep fd ~mask;
+        let eps =
+          match Hashtbl.find_opt st.memberships fd with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace st.memberships fd l;
+              l
+        in
+        if not (List.mem epid !eps) then eps := epid :: !eps
+  in
+  let epoll_del epid fd =
+    match Hashtbl.find_opt st.epolls epid with
+    | None -> ()
+    | Some ep ->
+        Epoll_core.del ep fd;
+        (match Hashtbl.find_opt st.memberships fd with
+        | None -> ()
+        | Some eps -> eps := List.filter (fun e -> e <> epid) !eps)
+  in
+  let epoll_wait epid ~timeout ~k =
+    match Hashtbl.find_opt st.epolls epid with
+    | None -> k []
+    | Some ep -> Epoll_core.wait ep ~timeout ~k
+  in
+  let local_addr fd = Option.bind (find fd) (Stack.local_addr stack) in
+  let peer_addr fd = Option.bind (find fd) (Stack.peer_addr stack) in
+  {
+    Socket_api.socket;
+    bind;
+    listen;
+    accept;
+    connect;
+    send;
+    recv;
+    close;
+    epoll_create;
+    epoll_add;
+    epoll_del;
+    epoll_wait;
+    local_addr;
+    peer_addr;
+  }

@@ -1,0 +1,10 @@
+(** Baseline socket layer: {!Socket_api.t} directly over an in-VM {!Stack}.
+
+    This is "the status quo where an application uses the kernel TCP stack in
+    its VM" (paper §7.1). It also provides the epoll emulation (readiness
+    tracking, waiter wake-up with its CPU cost) reused by applications under
+    both Baseline and NetKernel. *)
+
+val make : Stack.t -> Socket_api.t
+(** Build a socket API over [stack]. Handles are private to the returned
+    record. *)

@@ -1,0 +1,37 @@
+(** Reusable epoll emulation.
+
+    Level-triggered readiness over an arbitrary descriptor type, with the
+    waiter wake-up charged to the CPU core of the socket that became ready.
+    Used by {!Direct_socket} (Baseline) and by NetKernel's GuestLib — the
+    same I/O event notification semantics the paper preserves for
+    applications (§4.2). *)
+
+type 'fd t
+
+val create :
+  engine:Sim.Engine.t ->
+  events_of:('fd -> Types.events) ->
+  core_of:('fd -> Sim.Cpu.t) ->
+  wake_cycles:float ->
+  unit ->
+  'fd t
+(** [events_of] must return the descriptor's current readiness snapshot;
+    [core_of] the core charged [wake_cycles] when a waiter is woken. *)
+
+val add : 'fd t -> 'fd -> mask:Types.events -> unit
+(** Register interest in the event kinds set in [mask] (hup is always
+    reported); re-adding updates the mask (epoll_mod). If the descriptor is
+    already ready under the mask, a pending waiter is woken immediately. *)
+
+val del : 'fd t -> 'fd -> unit
+
+val mem : 'fd t -> 'fd -> bool
+
+val notify : 'fd t -> 'fd -> unit
+(** Tell the instance that [fd]'s readiness may have changed (it re-reads
+    [events_of]). Cheap no-op for non-members. *)
+
+val wait : 'fd t -> timeout:float -> k:(('fd * Types.events) list -> unit) -> unit
+(** Deliver the ready set once non-empty, or an empty list after [timeout]
+    seconds (negative timeout = wait indefinitely). One waiter at a time;
+    a second concurrent waiter replaces the first (which is dropped). *)

@@ -1,0 +1,7 @@
+(** {!Socket_api.t} over any {!Stack_ops.t} backend.
+
+    Gives applications the plain BSD-socket view of a composite backend —
+    in particular it is how an "mTCP application" links directly against the
+    sharded mTCP library outside NetKernel. *)
+
+val make : Stack_ops.t -> Socket_api.t

@@ -1,0 +1,34 @@
+type t = {
+  min_rto : float;
+  max_rto : float;
+  initial_rto : float;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable has_sample : bool;
+}
+
+let create ?(min_rto = 0.2) ?(max_rto = 30.0) ?(initial_rto = 1.0) () =
+  { min_rto; max_rto; initial_rto; srtt = 0.0; rttvar = 0.0; has_sample = false }
+
+let sample t rtt =
+  if rtt >= 0.0 then
+    if not t.has_sample then begin
+      t.srtt <- rtt;
+      t.rttvar <- rtt /. 2.0;
+      t.has_sample <- true
+    end
+    else begin
+      (* RFC 6298: alpha = 1/8, beta = 1/4. *)
+      t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. rtt));
+      t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt)
+    end
+
+let srtt t = t.srtt
+
+let rttvar t = t.rttvar
+
+let rto t =
+  if not t.has_sample then t.initial_rto
+  else Float.min t.max_rto (Float.max t.min_rto (t.srtt +. (4.0 *. t.rttvar)))
+
+let has_sample t = t.has_sample

@@ -1,0 +1,20 @@
+(** Jacobson/Karels RTT estimation and RTO computation (RFC 6298). *)
+
+type t
+
+val create : ?min_rto:float -> ?max_rto:float -> ?initial_rto:float -> unit -> t
+(** Defaults: [min_rto] 0.2 s (Linux), [max_rto] 30 s, [initial_rto] 1 s. *)
+
+val sample : t -> float -> unit
+(** [sample t rtt] feeds one round-trip measurement (seconds). Negative
+    samples are ignored. *)
+
+val srtt : t -> float
+(** Smoothed RTT; 0 before the first sample. *)
+
+val rttvar : t -> float
+
+val rto : t -> float
+(** Current retransmission timeout, clamped to [\[min_rto, max_rto\]]. *)
+
+val has_sample : t -> bool

@@ -1,0 +1,22 @@
+type sock = int
+
+type epoll = int
+
+type t = {
+  socket : unit -> (sock, Types.err) result;
+  bind : sock -> Addr.t -> (unit, Types.err) result;
+  listen : sock -> backlog:int -> (unit, Types.err) result;
+  accept : sock -> k:((sock * Addr.t, Types.err) result -> unit) -> unit;
+  connect : sock -> Addr.t -> k:((unit, Types.err) result -> unit) -> unit;
+  send : sock -> Types.payload -> k:((int, Types.err) result -> unit) -> unit;
+  recv :
+    sock -> max:int -> mode:Types.recv_mode ->
+    k:((Types.payload, Types.err) result -> unit) -> unit;
+  close : sock -> unit;
+  epoll_create : unit -> epoll;
+  epoll_add : epoll -> sock -> mask:Types.events -> unit;
+  epoll_del : epoll -> sock -> unit;
+  epoll_wait : epoll -> timeout:float -> k:((sock * Types.events) list -> unit) -> unit;
+  local_addr : sock -> Addr.t option;
+  peer_addr : sock -> Addr.t option;
+}

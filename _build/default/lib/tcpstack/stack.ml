@@ -1,0 +1,706 @@
+module Cpu = Sim.Cpu
+module Engine = Sim.Engine
+module Profile = Sim.Cost_profile
+
+type rx_mode = Interrupt | Polling
+
+type config = {
+  profile : Profile.t;
+  tcb : Tcb.config;
+  cc_factory : Cc.factory;
+  rx_mode : rx_mode;
+  rx_ring_capacity : int;
+  interrupt_delay : float;
+  poll_idle_delay : float;
+  charge_syscalls : bool;
+  charge_user_copy : bool;
+  contention_cores : int option;
+  register_vswitch : bool;
+  ephemeral_range : int * int;
+      (* several stacks may originate connections from a shared IP (multiple
+         NSMs serving one VM); disjoint ranges keep their ports from
+         colliding *)
+}
+
+let default_config profile =
+  {
+    profile;
+    tcb =
+      {
+        Tcb.default_config with
+        Tcb.rwnd_limit = profile.Profile.default_rwnd;
+        rwnd_max = profile.Profile.max_rwnd;
+        sndbuf_limit = 2 * profile.Profile.max_rwnd;
+      };
+    cc_factory = Cc_cubic.factory ~mss:Segment.mss;
+    rx_mode = Interrupt;
+    rx_ring_capacity = 4096;
+    interrupt_delay = 5e-6;
+    poll_idle_delay = 20e-6;
+    charge_syscalls = true;
+    charge_user_copy = true;
+    contention_cores = None;
+    register_vswitch = true;
+    ephemeral_range = (32768, 60999);
+  }
+
+type stats = {
+  mutable segs_rx : int;
+  mutable segs_tx : int;
+  mutable payload_rx : int;
+  mutable payload_tx : int;
+  mutable rx_ring_drops : int;
+  mutable syn_drops : int;
+  mutable rst_tx : int;
+  mutable conns_established : int;
+  mutable conns_failed : int;
+}
+
+type listener = {
+  l_addr : Addr.t;
+  l_backlog : int;
+  accept_q : sock Queue.t;
+  accept_waiters : ((sock, Types.err) result -> unit) Queue.t;
+  mutable syn_count : int;
+  mutable l_endpoint_registered : bool;
+}
+
+and conn = {
+  tcb : Tcb.t;
+  registry_key : Addr.Flow.t * int; (* client->server flow, client ISN *)
+  mutable established : bool;
+  mutable error : Types.err option;
+  mutable c_endpoint_registered : bool;
+}
+
+and sock_kind = Fresh | Listener of listener | Conn of conn | Sclosed
+
+and sock = {
+  sid : int;
+  mutable kind : sock_kind;
+  mutable core : Cpu.t;
+  mutable qidx : int; (* RX queue / core index this flow is steered to *)
+  mutable local : Addr.t option;
+  mutable peer : Addr.t option;
+  mutable handler : (Types.events -> unit) option;
+}
+
+module Flow_table = Hashtbl.Make (struct
+  type t = Addr.Flow.t
+
+  let equal = Addr.Flow.equal
+  let hash = Addr.Flow.hash
+end)
+
+module Endpoint_table = Hashtbl.Make (struct
+  type t = Addr.t
+
+  let equal = Addr.equal
+  let hash = Addr.hash
+end)
+
+type rx_queue = {
+  ring : Segment.t Nkutil.Spsc_ring.t;
+  mutable scheduled : bool;
+  mutable batch_left : int; (* segments until the next interrupt charge *)
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  cores : Cpu.Set.t;
+  vswitch : Vswitch.t;
+  registry : Conn_registry.t;
+  rng : Nkutil.Rng.t;
+  cfg : config;
+  mutable ips : Addr.ip list;
+  conns : sock Flow_table.t; (* keyed by local->remote flow *)
+  listeners : sock Endpoint_table.t;
+  rx : rx_queue array;
+  stats : stats;
+  mutable next_sid : int;
+  mutable next_port : int;
+  mutable next_src_ip : int; (* round-robin index into [ips] for connects *)
+  mutable next_queue : int; (* RFS-style round-robin flow steering *)
+}
+
+let name t = t.name
+let engine t = t.engine
+let cores t = t.cores
+let config t = t.cfg
+let stats t = t.stats
+
+let owns_ip t ip = List.mem ip t.ips
+
+let default_ip t =
+  match List.rev t.ips with
+  | ip :: _ -> ip
+  | [] -> invalid_arg (t.name ^ ": stack owns no IP")
+
+(* ---- cost helpers ------------------------------------------------------ *)
+
+let ncores t = Cpu.Set.n t.cores
+
+let contention_cores t = Option.value t.cfg.contention_cores ~default:(ncores t)
+
+let tx_mult t = Profile.contention_mult ~factor:t.cfg.profile.tx_contention ~cores:(contention_cores t)
+
+let rx_mult t = Profile.contention_mult ~factor:t.cfg.profile.rx_contention ~cores:(contention_cores t)
+
+let rps_mult t =
+  Profile.contention_mult ~factor:t.cfg.profile.rps_contention ~cores:(contention_cores t)
+
+let syscall_cycles t = if t.cfg.charge_syscalls then t.cfg.profile.syscall else 0.0
+
+let user_copy_cycles t n =
+  if t.cfg.charge_user_copy then float_of_int n *. t.cfg.profile.per_byte_user_copy else 0.0
+
+(* ---- event notification ------------------------------------------------ *)
+
+let sock_events _t s =
+  match s.kind with
+  | Fresh -> Types.no_events
+  | Sclosed -> { Types.readable = false; writable = false; hup = true }
+  | Listener l ->
+      { Types.readable = not (Queue.is_empty l.accept_q); writable = false; hup = false }
+  | Conn c ->
+      let hup = c.error <> None || Tcb.state c.tcb = Tcb.Closed in
+      {
+        Types.readable = Tcb.readable_bytes c.tcb > 0 || Tcb.eof_pending c.tcb || hup;
+        writable = Tcb.writable c.tcb;
+        hup;
+      }
+
+let notify t s = match s.handler with None -> () | Some h -> h (sock_events t s)
+
+let set_event_handler _t s h = s.handler <- Some h
+
+(* ---- segment emission -------------------------------------------------- *)
+
+let emit_cycles t (seg : Segment.t) =
+  let p = t.cfg.profile in
+  if seg.Segment.len = 0 then p.per_chunk_tx *. 0.4 *. tx_mult t
+  else (p.per_chunk_tx +. (float_of_int seg.Segment.len *. p.per_byte_tx)) *. tx_mult t
+
+let emit t s (seg : Segment.t) =
+  t.stats.segs_tx <- t.stats.segs_tx + 1;
+  t.stats.payload_tx <- t.stats.payload_tx + seg.Segment.len;
+  Cpu.exec s.core ~cycles:(emit_cycles t seg) (fun () -> Vswitch.output t.vswitch seg)
+
+let send_rst t (seg : Segment.t) =
+  if not seg.Segment.rst then begin
+    t.stats.rst_tx <- t.stats.rst_tx + 1;
+    let reply =
+      Segment.make
+        ~flow:(Addr.Flow.reverse seg.Segment.flow)
+        ~seq:seg.Segment.ack
+        ~ack:(Tcp_seq.add seg.Segment.seq (seg.Segment.len + if seg.Segment.syn then 1 else 0))
+        ~rst:true ~ack_flag:true ()
+    in
+    Vswitch.output t.vswitch reply
+  end
+
+(* ---- sock and tcb plumbing --------------------------------------------- *)
+
+let fresh_sock t ~qidx =
+  let s =
+    { sid = t.next_sid; kind = Fresh; core = Cpu.Set.core t.cores qidx; qidx; local = None;
+      peer = None; handler = None }
+  in
+  t.next_sid <- t.next_sid + 1;
+  s
+
+(* Flows are spread round-robin over cores and their RX steered to the same
+   core (Linux RFS / aRFS behaviour), which is what lets 8 flows use 8 vCPUs
+   evenly (paper Figs 18–20). *)
+let next_queue t =
+  let q = t.next_queue mod ncores t in
+  t.next_queue <- t.next_queue + 1;
+  q
+
+let unregister_endpoints t s =
+  (match s.kind with
+  | Conn c when c.c_endpoint_registered -> (
+      match s.local with
+      | Some a -> Vswitch.unregister_endpoint t.vswitch a
+      | None -> ())
+  | Conn _ | Fresh | Sclosed -> ()
+  | Listener l when l.l_endpoint_registered -> Vswitch.unregister_endpoint t.vswitch l.l_addr
+  | Listener _ -> ());
+  ()
+
+(* Build the TCB action record for a connection socket. [role] distinguishes
+   the active opener (fires the connect continuation) from a passive one
+   (feeds the listener's accept queue). *)
+let make_actions t s ~flow ~role =
+  let get_conn () = match s.kind with Conn c -> Some c | Fresh | Listener _ | Sclosed -> None in
+  let on_established () =
+    (match get_conn () with
+    | Some c when not c.established ->
+        c.established <- true;
+        t.stats.conns_established <- t.stats.conns_established + 1
+    | Some _ | None -> ());
+    (match role with
+    | `Active k -> k (Ok ())
+    | `Passive lsock -> (
+        match lsock.kind with
+        | Listener l ->
+            l.syn_count <- Int.max 0 (l.syn_count - 1);
+            if Queue.is_empty l.accept_waiters then begin
+              Queue.add s l.accept_q;
+              notify t lsock
+            end
+            else begin
+              let k = Queue.pop l.accept_waiters in
+              let p = t.cfg.profile in
+              Cpu.exec s.core
+                ~cycles:(syscall_cycles t +. (p.accept_op *. rps_mult t))
+                (fun () -> k (Ok s))
+            end
+        | Fresh | Conn _ | Sclosed -> ()));
+    notify t s
+  in
+  let on_error err =
+    (match get_conn () with
+    | Some c ->
+        if c.error = None then c.error <- Some err;
+        if not c.established then begin
+          t.stats.conns_failed <- t.stats.conns_failed + 1;
+          match role with
+          | `Active k -> k (Error err)
+          | `Passive lsock -> (
+              match lsock.kind with
+              | Listener l -> l.syn_count <- Int.max 0 (l.syn_count - 1)
+              | Fresh | Conn _ | Sclosed -> ())
+        end
+    | None -> ());
+    notify t s
+  in
+  let on_destroy () =
+    Flow_table.remove t.conns flow;
+    (match get_conn () with
+    | Some c ->
+        let rflow, isn = c.registry_key in
+        Conn_registry.remove t.registry ~flow:rflow ~isn
+    | None -> ());
+    unregister_endpoints t s;
+    notify t s
+  in
+  {
+    Tcb.now = (fun () -> Engine.now t.engine);
+    emit = (fun seg -> emit t s seg);
+    set_timer = (fun ~delay f -> Engine.schedule t.engine ~delay f);
+    cancel_timer = Engine.cancel;
+    on_established;
+    on_readable = (fun () -> notify t s);
+    on_writable = (fun () -> notify t s);
+    on_error;
+    on_destroy;
+  }
+
+(* ---- SYN handling ------------------------------------------------------ *)
+
+let handle_syn t (seg : Segment.t) =
+  let dst = seg.Segment.flow.dst in
+  match Endpoint_table.find_opt t.listeners dst with
+  | None -> send_rst t seg
+  | Some lsock -> (
+      match lsock.kind with
+      | Listener l ->
+          let backlog = Int.min l.l_backlog t.cfg.profile.accept_backlog in
+          if l.syn_count + Queue.length l.accept_q >= backlog then
+            t.stats.syn_drops <- t.stats.syn_drops + 1
+          else begin
+            match
+              Conn_registry.lookup t.registry ~flow:seg.Segment.flow ~isn:seg.Segment.seq
+            with
+            | None ->
+                (* No content channel: the SYN does not come from one of our
+                   simulated stacks. Drop it. *)
+                t.stats.syn_drops <- t.stats.syn_drops + 1
+            | Some channel ->
+                let flow = Addr.Flow.reverse seg.Segment.flow in
+                let s = fresh_sock t ~qidx:(next_queue t) in
+                s.local <- Some flow.src;
+                s.peer <- Some flow.dst;
+                l.syn_count <- l.syn_count + 1;
+                let act = make_actions t s ~flow ~role:(`Passive lsock) in
+                let isn = Nkutil.Rng.int t.rng Tcp_seq.modulus in
+                let tcb =
+                  Tcb.create_passive ~flow ~cfg:t.cfg.tcb ~act ~cc:(t.cfg.cc_factory ())
+                    ~isn ~remote_isn:seg.Segment.seq ~remote_ts:seg.Segment.ts ~channel
+                in
+                s.kind <-
+                  Conn
+                    {
+                      tcb;
+                      registry_key = (seg.Segment.flow, seg.Segment.seq);
+                      established = false;
+                      error = None;
+                      c_endpoint_registered = false;
+                    };
+                Flow_table.replace t.conns flow s
+          end
+      | Fresh | Conn _ | Sclosed -> send_rst t seg)
+
+(* ---- RX path ------------------------------------------------------------ *)
+
+let seg_rx_cycles t (seg : Segment.t) =
+  let p = t.cfg.profile in
+  if seg.Segment.syn && not seg.Segment.ack_flag then p.handshake *. rps_mult t
+  else if seg.Segment.len = 0 then
+    (* Pure ACKs, window updates, FINs: header-only processing. *)
+    p.per_ack_rx *. tx_mult t
+  else (p.per_chunk_rx +. (float_of_int seg.Segment.len *. p.per_byte_rx)) *. rx_mult t
+
+let deliver t (seg : Segment.t) =
+  t.stats.payload_rx <- t.stats.payload_rx + seg.Segment.len;
+  let flow = Addr.Flow.reverse seg.Segment.flow in
+  match Flow_table.find_opt t.conns flow with
+  | Some s -> (
+      match s.kind with
+      | Conn c ->
+          if seg.Segment.syn && (not seg.Segment.ack_flag) && Tcb.state c.tcb = Tcb.Time_wait
+          then begin
+            (* A fresh incarnation over a TIME_WAIT flow: replace it. *)
+            Tcb.destroy_quiet c.tcb;
+            handle_syn t seg
+          end
+          else Tcb.input c.tcb seg
+      | Fresh | Listener _ | Sclosed -> send_rst t seg)
+  | None ->
+      if seg.Segment.rst then ()
+      else if seg.Segment.syn && not seg.Segment.ack_flag then handle_syn t seg
+      else send_rst t seg
+
+(* Process segments one at a time so ACKs leave as soon as each segment is
+   handled (a per-batch barrier would stall the sender's ACK clock); the
+   interrupt entry cost is charged once per [rx_batch] segments, modelling
+   coalescing. *)
+let rec drain_interrupt t qi =
+  let q = t.rx.(qi) in
+  let core = Cpu.Set.core t.cores qi in
+  match Nkutil.Spsc_ring.pop q.ring with
+  | None -> q.scheduled <- false
+  | Some seg ->
+      let interrupt_share =
+        if q.batch_left <= 0 then begin
+          q.batch_left <- t.cfg.profile.rx_batch;
+          t.cfg.profile.interrupt
+        end
+        else 0.0
+      in
+      q.batch_left <- q.batch_left - 1;
+      Cpu.exec core
+        ~cycles:(interrupt_share +. seg_rx_cycles t seg)
+        (fun () ->
+          deliver t seg;
+          drain_interrupt t qi)
+
+let rec poll_loop t qi =
+  let q = t.rx.(qi) in
+  let core = Cpu.Set.core t.cores qi in
+  let batch = Nkutil.Spsc_ring.pop_batch q.ring ~max:t.cfg.profile.rx_batch in
+  match batch with
+  | [] ->
+      ignore
+        (Engine.schedule t.engine ~delay:t.cfg.poll_idle_delay (fun () ->
+             Cpu.exec core ~cycles:t.cfg.profile.poll_iter (fun () -> poll_loop t qi)))
+  | segs ->
+      let cycles =
+        List.fold_left
+          (fun acc seg -> acc +. seg_rx_cycles t seg)
+          t.cfg.profile.poll_iter segs
+      in
+      Cpu.exec core ~cycles (fun () ->
+          List.iter (deliver t) segs;
+          poll_loop t qi)
+
+let input t (seg : Segment.t) =
+  t.stats.segs_rx <- t.stats.segs_rx + 1;
+  let qi =
+    match Flow_table.find_opt t.conns (Addr.Flow.reverse seg.Segment.flow) with
+    | Some s -> s.qidx
+    | None -> Addr.Flow.rss_hash seg.Segment.flow mod ncores t
+  in
+  let q = t.rx.(qi) in
+  if not (Nkutil.Spsc_ring.push q.ring seg) then
+    t.stats.rx_ring_drops <- t.stats.rx_ring_drops + 1
+  else
+    match t.cfg.rx_mode with
+    | Polling -> () (* the per-core poll loop picks it up *)
+    | Interrupt ->
+        if not q.scheduled then begin
+          q.scheduled <- true;
+          ignore
+            (Engine.schedule t.engine ~delay:t.cfg.interrupt_delay (fun () ->
+                 drain_interrupt t qi))
+        end
+
+(* ---- construction ------------------------------------------------------- *)
+
+let create ~engine ~name ~cores ~vswitch ~registry ~rng cfg =
+  let n = Cpu.Set.n cores in
+  let rx =
+    Array.init n (fun _ ->
+        { ring = Nkutil.Spsc_ring.create ~capacity:cfg.rx_ring_capacity; scheduled = false;
+          batch_left = 0 })
+  in
+  let t =
+    {
+      engine;
+      name;
+      cores;
+      vswitch;
+      registry;
+      rng;
+      cfg;
+      ips = [];
+      conns = Flow_table.create 256;
+      listeners = Endpoint_table.create 16;
+      rx;
+      stats =
+        {
+          segs_rx = 0;
+          segs_tx = 0;
+          payload_rx = 0;
+          payload_tx = 0;
+          rx_ring_drops = 0;
+          syn_drops = 0;
+          rst_tx = 0;
+          conns_established = 0;
+          conns_failed = 0;
+        };
+      next_sid = 1;
+      next_port = fst cfg.ephemeral_range;
+      next_src_ip = 0;
+      next_queue = 0;
+    }
+  in
+  (match cfg.rx_mode with
+  | Interrupt -> ()
+  | Polling -> Array.iteri (fun qi _ -> poll_loop t qi) rx);
+  t
+
+let add_ip t ip =
+  if not (owns_ip t ip) then begin
+    t.ips <- ip :: t.ips;
+    if t.cfg.register_vswitch then Vswitch.register_ip t.vswitch ip (input t)
+  end
+
+(* ---- socket operations --------------------------------------------------- *)
+
+let socket t = fresh_sock t ~qidx:0
+
+let local_addr _t s = s.local
+
+let peer_addr _t s = s.peer
+
+let sock_error _t s =
+  match s.kind with
+  | Conn c -> c.error
+  | Sclosed -> Some Types.Eclosed
+  | Fresh | Listener _ -> None
+
+let sock_core _t s = s.core
+
+let bind t s addr =
+  match s.kind with
+  | Fresh ->
+      if Endpoint_table.mem t.listeners addr then Error Types.Eaddrinuse
+      else begin
+        s.local <- Some addr;
+        Ok ()
+      end
+  | Listener _ | Conn _ | Sclosed -> Error Types.Einval
+
+let listen t s ~backlog =
+  match (s.kind, s.local) with
+  | Fresh, Some addr ->
+      if Endpoint_table.mem t.listeners addr then Error Types.Eaddrinuse
+      else begin
+        Cpu.charge s.core ~cycles:(syscall_cycles t +. t.cfg.profile.sockop);
+        (* Register the exact endpoint even for owned IPs: several stacks
+           (e.g. multiple NSMs serving one VM) may share an IP, and the
+           vswitch endpoint table must disambiguate per port. *)
+        let external_ip = t.cfg.register_vswitch in
+        let l =
+          {
+            l_addr = addr;
+            l_backlog = backlog;
+            accept_q = Queue.create ();
+            accept_waiters = Queue.create ();
+            syn_count = 0;
+            l_endpoint_registered = external_ip;
+          }
+        in
+        s.kind <- Listener l;
+        Endpoint_table.replace t.listeners addr s;
+        if external_ip then Vswitch.register_endpoint t.vswitch addr (input t);
+        Ok ()
+      end
+  | Fresh, None -> Error Types.Einval
+  | (Listener _ | Conn _ | Sclosed), _ -> Error Types.Einval
+
+let accept t s ~k =
+  match s.kind with
+  | Listener l ->
+      if Queue.is_empty l.accept_q then Queue.add k l.accept_waiters
+      else begin
+        let cs = Queue.pop l.accept_q in
+        let p = t.cfg.profile in
+        Cpu.exec cs.core
+          ~cycles:(syscall_cycles t +. (p.accept_op *. rps_mult t))
+          (fun () -> k (Ok cs))
+      end
+  | Fresh | Conn _ | Sclosed -> k (Error Types.Einval)
+
+let alloc_flow t ~src_ip ~dst =
+  (* Find a free ephemeral port for (src_ip -> dst). *)
+  let lo, hi = t.cfg.ephemeral_range in
+  let rec loop attempts =
+    if attempts > hi - lo + 1 then None
+    else begin
+      let port = t.next_port in
+      t.next_port <- (if t.next_port >= hi then lo else t.next_port + 1);
+      let flow = Addr.Flow.make ~src:(Addr.make src_ip port) ~dst in
+      if Flow_table.mem t.conns flow then loop (attempts + 1) else Some flow
+    end
+  in
+  loop 0
+
+let pick_src_ip t s =
+  match s.local with
+  | Some a -> a.Addr.ip
+  | None ->
+      (* Rotate over owned IPs so heavy client workloads don't exhaust one
+         IP's ephemeral ports. *)
+      let ips = Array.of_list t.ips in
+      if Array.length ips = 0 then invalid_arg (t.name ^ ": no IP to connect from");
+      let ip = ips.(t.next_src_ip mod Array.length ips) in
+      t.next_src_ip <- t.next_src_ip + 1;
+      ip
+
+let connect t s dst ~k =
+  match s.kind with
+  | Fresh -> (
+      let preset =
+        (* A socket bound to an explicit ⟨ip, port⟩ connects from exactly
+           there (mTCP-style per-core port selection relies on this). *)
+        match s.local with
+        | Some a when a.Addr.port <> 0 ->
+            let flow = Addr.Flow.make ~src:a ~dst in
+            if Flow_table.mem t.conns flow then None else Some flow
+        | Some _ | None ->
+            let src_ip = pick_src_ip t s in
+            alloc_flow t ~src_ip ~dst
+      in
+      match preset with
+      | None -> k (Error Types.Eaddrinuse)
+      | Some flow ->
+          s.local <- Some flow.src;
+          s.peer <- Some dst;
+          s.qidx <- next_queue t;
+          s.core <- Cpu.Set.core t.cores s.qidx;
+          let p = t.cfg.profile in
+          let cycles = syscall_cycles t +. (p.handshake *. rps_mult t /. 2.0) in
+          Cpu.exec s.core ~cycles (fun () ->
+              let fired = ref false in
+              let k_once r =
+                if not !fired then begin
+                  fired := true;
+                  k r
+                end
+              in
+              let act = make_actions t s ~flow ~role:(`Active k_once) in
+              let isn = Nkutil.Rng.int t.rng Tcp_seq.modulus in
+              let channel = Conn_registry.register t.registry ~flow ~isn in
+              let external_ip = t.cfg.register_vswitch in
+              if external_ip then Vswitch.register_endpoint t.vswitch flow.src (input t);
+              let tcb =
+                Tcb.create_active ~flow ~cfg:t.cfg.tcb ~act ~cc:(t.cfg.cc_factory ()) ~isn
+                  ~channel
+              in
+              s.kind <-
+                Conn
+                  {
+                    tcb;
+                    registry_key = (flow, isn);
+                    established = false;
+                    error = None;
+                    c_endpoint_registered = external_ip;
+                  };
+              Flow_table.replace t.conns flow s))
+  | Listener _ | Conn _ | Sclosed -> k (Error Types.Einval)
+
+let conn_of s =
+  match s.kind with Conn c -> Some c | Fresh | Listener _ | Sclosed -> None
+
+let send t s payload ~k =
+  match conn_of s with
+  | None -> k (Error (match s.kind with Sclosed -> Types.Eclosed | _ -> Types.Enotconn))
+  | Some c -> (
+      match c.error with
+      | Some e -> k (Error e)
+      | None ->
+          let want = Types.payload_len payload in
+          let room = Tcb.sndbuf_available c.tcb in
+          let accept = Int.min want room in
+          if accept = 0 && want > 0 then begin
+            Cpu.charge s.core ~cycles:(syscall_cycles t);
+            if Tcb.writable c.tcb || Tcb.state c.tcb = Tcb.Established then
+              k (Error Types.Eagain)
+            else k (Error Types.Eclosed)
+          end
+          else begin
+            let cycles = syscall_cycles t +. user_copy_cycles t accept in
+            Cpu.exec s.core ~cycles (fun () ->
+                let n = Tcb.write c.tcb payload in
+                if n > 0 then k (Ok n)
+                else if Tcb.state c.tcb = Tcb.Established || Tcb.state c.tcb = Tcb.Close_wait
+                then k (Error Types.Eagain)
+                else k (Error Types.Eclosed))
+          end)
+
+let recv t s ~max ~mode ~k =
+  match conn_of s with
+  | None -> k (Error (match s.kind with Sclosed -> Types.Eclosed | _ -> Types.Enotconn))
+  | Some c ->
+      let avail = Tcb.readable_bytes c.tcb in
+      if avail = 0 && not (Tcb.eof_pending c.tcb) then begin
+        Cpu.charge s.core ~cycles:(syscall_cycles t);
+        match c.error with Some e -> k (Error e) | None -> k (Error Types.Eagain)
+      end
+      else begin
+        let n = Int.min max avail in
+        let cycles = syscall_cycles t +. user_copy_cycles t n in
+        Cpu.exec s.core ~cycles (fun () ->
+            match Tcb.read c.tcb ~max ~mode with
+            | Some payload -> k (Ok payload)
+            | None -> k (Error Types.Eagain))
+      end
+
+let close t s =
+  match s.kind with
+  | Fresh -> s.kind <- Sclosed
+  | Sclosed -> ()
+  | Listener l ->
+      Endpoint_table.remove t.listeners l.l_addr;
+      if l.l_endpoint_registered then Vswitch.unregister_endpoint t.vswitch l.l_addr;
+      Queue.iter (fun cs -> match conn_of cs with Some c -> Tcb.abort c.tcb | None -> ())
+        l.accept_q;
+      Queue.iter (fun k -> k (Error Types.Eclosed)) l.accept_waiters;
+      Queue.clear l.accept_q;
+      Queue.clear l.accept_waiters;
+      s.kind <- Sclosed
+  | Conn c ->
+      let p = t.cfg.profile in
+      Cpu.exec s.core
+        ~cycles:(syscall_cycles t +. (p.teardown *. rps_mult t))
+        (fun () -> Tcb.close c.tcb)
+
+let abort _t s =
+  match s.kind with
+  | Conn c -> Tcb.abort c.tcb
+  | Fresh | Sclosed -> s.kind <- Sclosed
+  | Listener _ -> ()

@@ -1,0 +1,134 @@
+(** A network-stack instance bound to a host's vswitch and a set of cores.
+
+    One [Stack.t] models what runs inside a VM (Baseline), inside a
+    kernel-stack NSM, or — with the polling profile and per-core sharding of
+    {!Mtcpstack} — an mTCP process. It owns IPs, demultiplexes incoming
+    segments to connections with RSS pinning to cores, runs listeners with a
+    finite accept backlog (overflow drops SYNs, which is where the paper's
+    Table 5 latency tail comes from), and charges every operation's CPU cost
+    to the right core using its {!Sim.Cost_profile}.
+
+    The socket operations are callback-style and non-blocking in spirit:
+    [send]/[recv] return [Eagain] rather than waiting, and readiness is
+    delivered through per-socket event handlers consumed by
+    {!Direct_socket}'s epoll emulation or by the NetKernel ServiceLib. *)
+
+type t
+
+type sock
+
+type rx_mode = Interrupt | Polling
+
+type config = {
+  profile : Sim.Cost_profile.t;
+  tcb : Tcb.config;
+  cc_factory : Cc.factory;
+  rx_mode : rx_mode;
+  rx_ring_capacity : int;  (** per-core NIC RX descriptor ring *)
+  interrupt_delay : float;  (** IRQ dispatch latency *)
+  poll_idle_delay : float;  (** polling-loop sleep when the ring is empty *)
+  charge_syscalls : bool;  (** false when driven in-kernel by ServiceLib *)
+  charge_user_copy : bool;  (** false when payload already sits in hugepages *)
+  contention_cores : int option;
+      (** effective core count for contention multipliers; defaults to the
+          stack's own core count — the mTCP facade overrides it with the
+          total shard count *)
+  register_vswitch : bool;
+      (** self-register IPs/endpoints with the vswitch (default); the mTCP
+          facade turns this off and routes RSS itself *)
+  ephemeral_range : int * int;
+      (** source-port range for outgoing connections (default 32768–60999);
+          stacks sharing a source IP must use disjoint ranges *)
+}
+
+val default_config : Sim.Cost_profile.t -> config
+(** Interrupt-mode config with library defaults and a Reno-free CUBIC
+    factory ([Cc_cubic]). *)
+
+val create :
+  engine:Sim.Engine.t ->
+  name:string ->
+  cores:Sim.Cpu.Set.t ->
+  vswitch:Vswitch.t ->
+  registry:Conn_registry.t ->
+  rng:Nkutil.Rng.t ->
+  config ->
+  t
+
+val name : t -> string
+
+val engine : t -> Sim.Engine.t
+
+val cores : t -> Sim.Cpu.Set.t
+
+val config : t -> config
+
+val add_ip : t -> Addr.ip -> unit
+(** Own [ip]: the host vswitch routes its segments to this stack. *)
+
+val owns_ip : t -> Addr.ip -> bool
+
+val default_ip : t -> Addr.ip
+(** The first IP added (raises if none). *)
+
+(** {1 Socket operations} *)
+
+val socket : t -> sock
+
+val bind : t -> sock -> Addr.t -> (unit, Types.err) result
+
+val listen : t -> sock -> backlog:int -> (unit, Types.err) result
+(** The effective backlog is capped by the profile's [accept_backlog]. *)
+
+val accept : t -> sock -> k:((sock, Types.err) result -> unit) -> unit
+(** Blocks (queues the continuation) until a connection is established. *)
+
+val connect : t -> sock -> Addr.t -> k:((unit, Types.err) result -> unit) -> unit
+
+val send : t -> sock -> Types.payload -> k:((int, Types.err) result -> unit) -> unit
+(** Accepts at most the available send-buffer space; [Eagain] when full. *)
+
+val recv :
+  t -> sock -> max:int -> mode:Types.recv_mode ->
+  k:((Types.payload, Types.err) result -> unit) -> unit
+(** [Eagain] when no data; a zero-length payload signals EOF. *)
+
+val close : t -> sock -> unit
+
+val abort : t -> sock -> unit
+
+val set_event_handler : t -> sock -> (Types.events -> unit) -> unit
+(** Invoked (from stack context) whenever the socket's readiness changes;
+    use [sock_events] for the current snapshot. *)
+
+val sock_events : t -> sock -> Types.events
+
+val local_addr : t -> sock -> Addr.t option
+
+val peer_addr : t -> sock -> Addr.t option
+
+val sock_error : t -> sock -> Types.err option
+
+val sock_core : t -> sock -> Sim.Cpu.t
+(** The core this socket's processing is pinned to. *)
+
+(** {1 Wire interface} *)
+
+val input : t -> Segment.t -> unit
+(** Entry point registered with the vswitch. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable segs_rx : int;
+  mutable segs_tx : int;
+  mutable payload_rx : int;
+  mutable payload_tx : int;
+  mutable rx_ring_drops : int;
+  mutable syn_drops : int;
+  mutable rst_tx : int;
+  mutable conns_established : int;
+  mutable conns_failed : int;
+}
+
+val stats : t -> stats

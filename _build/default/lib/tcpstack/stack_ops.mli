@@ -1,0 +1,64 @@
+(** Event-driven backend interface over a network stack.
+
+    NetKernel's ServiceLib "translates NQEs to network stack APIs" (paper
+    §5) and must work with different stacks — the kernel stack, mTCP, or a
+    shared-memory path. This record is that boundary: connection-oriented,
+    callback-based, with eager accept (the NSM accepts and announces new
+    connections immediately, per the paper's pipelining optimization §4.6).
+
+    [of_stack] adapts a single {!Stack}; {!Mtcpstack.Mtcp.ops} adapts the
+    sharded per-core mTCP facade. *)
+
+type conn
+(** Connection handle. *)
+
+type listener
+
+type t = {
+  name : string;
+  engine : Sim.Engine.t;
+  add_ip : Addr.ip -> unit;
+  new_listener :
+    addr:Addr.t -> backlog:int -> on_accept:(conn -> peer:Addr.t -> unit) ->
+    (listener, Types.err) result;
+  close_listener : listener -> unit;
+  connect : dst:Addr.t -> k:((conn, Types.err) result -> unit) -> unit;
+  send : conn -> Types.payload -> k:((int, Types.err) result -> unit) -> unit;
+  recv :
+    conn -> max:int -> mode:Types.recv_mode ->
+    k:((Types.payload, Types.err) result -> unit) -> unit;
+  close_conn : conn -> unit;
+  abort_conn : conn -> unit;
+  set_conn_handler : conn -> (Types.events -> unit) -> unit;
+  conn_events : conn -> Types.events;
+  conn_core : conn -> Sim.Cpu.t;
+  conn_peer : conn -> Addr.t option;
+  conn_local : conn -> Addr.t option;
+  conn_error : conn -> Types.err option;
+  default_core : Sim.Cpu.t;
+  epoll_wake_cycles : float;
+}
+
+val of_stack : Stack.t -> t
+(** Adapt a single stack instance (used by the kernel-stack NSM). *)
+
+(** {1 Building blocks for composite backends (the mTCP facade)} *)
+
+val conn_of_sock : Stack.t -> Stack.sock -> conn
+
+val listener_on :
+  Stack.t -> addr:Addr.t -> backlog:int ->
+  on_accept:(conn -> peer:Addr.t -> unit) -> (listener, Types.err) result
+(** Bind+listen on one stack and pump accepted connections into
+    [on_accept]. *)
+
+val listener_on_group :
+  Stack.t list -> addr:Addr.t -> backlog:int ->
+  on_accept:(conn -> peer:Addr.t -> unit) -> (listener, Types.err) result
+(** Listen on the same address on every shard (SO_REUSEPORT-style). *)
+
+val close_listener_handle : listener -> unit
+
+val conn_stack : conn -> Stack.t
+
+val conn_sock : conn -> Stack.sock

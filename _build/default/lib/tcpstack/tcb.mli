@@ -1,0 +1,139 @@
+(** TCP connection control block.
+
+    Full connection state machine (RFC 793 states minus LISTEN, which lives
+    in {!Stack}): three-way handshake with SYN retransmission and
+    exponential backoff, sliding-window data transfer with GSO-sized
+    segments, flow control against the peer's advertised window,
+    fast retransmit on three duplicate ACKs with NewReno-style recovery,
+    RTO retransmission with backoff, zero-window persist probing, delayed
+    FIN/teardown handshake, TIME_WAIT, and RST handling.
+
+    The TCB is transport-agnostic about its environment: the owning stack
+    injects an {!actions} record for time, segment emission, timers and
+    socket-event callbacks, which is also how CPU costs get charged (the
+    stack charges its cores in [emit] and before [input]). *)
+
+type state =
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+val state_to_string : state -> string
+
+type config = {
+  mss : int;
+  gso : int;  (** largest segment payload handed to the NIC at once *)
+  rwnd_limit : int;  (** receive buffer size (drives the advertised window) *)
+  sndbuf_limit : int;
+  min_rto : float;
+  max_rto : float;
+  time_wait : float;  (** 2*MSL residence before the TCB is destroyed *)
+  max_syn_retx : int;
+  max_data_retx : int;
+  nodelay : bool;
+      (** [false] (default) = Nagle's algorithm: sub-MSS chunks wait while
+          data is in flight, so small writes coalesce *)
+  rwnd_max : int;
+      (** autotuning ceiling for the receive buffer (tcp_moderate_rcvbuf);
+          set equal to [rwnd_limit] to disable autotuning *)
+}
+
+val default_config : config
+
+type actions = {
+  now : unit -> float;
+  emit : Segment.t -> unit;  (** hand a segment to the stack's TX path *)
+  set_timer : delay:float -> (unit -> unit) -> Sim.Engine.handle;
+  cancel_timer : Sim.Engine.handle -> unit;
+  on_established : unit -> unit;
+  on_readable : unit -> unit;  (** new data or EOF became readable *)
+  on_writable : unit -> unit;  (** send-buffer space was freed *)
+  on_error : Types.err -> unit;  (** connection failed (reset/timeout) *)
+  on_destroy : unit -> unit;  (** TCB left the demux; drop references *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+val create_active :
+  flow:Addr.Flow.t ->
+  cfg:config ->
+  act:actions ->
+  cc:Cc.t ->
+  isn:int ->
+  channel:Conn_registry.channel ->
+  t
+(** Client side: builds the TCB and sends the SYN. [flow] is local → remote;
+    the channel's [c2s] is this side's write stream. *)
+
+val create_passive :
+  flow:Addr.Flow.t ->
+  cfg:config ->
+  act:actions ->
+  cc:Cc.t ->
+  isn:int ->
+  remote_isn:int ->
+  remote_ts:float ->
+  channel:Conn_registry.channel ->
+  t
+(** Server side, in response to a SYN: [flow] is local → remote, and the
+    channel's [s2c] is this side's write stream. Sends the SYN-ACK. *)
+
+(** {1 Wire input} *)
+
+val input : t -> Segment.t -> unit
+
+(** {1 Application interface} *)
+
+val write : t -> Types.payload -> int
+(** [write t p] appends as much of [p] as the send buffer accepts and
+    starts transmission; returns the number of bytes accepted (0 when the
+    buffer is full or the connection cannot send). *)
+
+val read : t -> max:int -> mode:Types.recv_mode -> Types.payload option
+(** [read t ~max ~mode] takes up to [max] in-order bytes. [None] when
+    nothing is available yet; [Some (Data "")] / [Some (Zeros 0)] signals
+    EOF after the peer's FIN drained. *)
+
+val close : t -> unit
+(** Graceful close: queue a FIN after pending data. *)
+
+val abort : t -> unit
+(** Send RST and destroy immediately. *)
+
+val destroy_quiet : t -> unit
+(** Tear the TCB down without emitting anything (e.g. when a TIME_WAIT
+    incarnation is replaced by a fresh SYN, RFC 6191 style). *)
+
+(** {1 Observers} *)
+
+val state : t -> state
+
+val flow : t -> Addr.Flow.t
+
+val readable_bytes : t -> int
+
+val eof_pending : t -> bool
+(** The peer FIN arrived and all data before it has been read. *)
+
+val sndbuf_available : t -> int
+
+val writable : t -> bool
+
+val inflight : t -> int
+
+val cwnd : t -> int
+
+val retransmissions : t -> int
+
+val bytes_sent : t -> int
+
+val bytes_received : t -> int

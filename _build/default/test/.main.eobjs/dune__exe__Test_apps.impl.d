@@ -1,0 +1,1 @@
+test/test_apps.ml: Addr Alcotest Fabric List Mtcpstack Nic Nkapps Nkutil Option Sim Stack Tcpstack Types Vswitch World

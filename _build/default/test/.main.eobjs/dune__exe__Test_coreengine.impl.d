@@ -1,0 +1,1 @@
+test/test_coreengine.ml: Alcotest Coreengine Hugepages List Nk_costs Nk_device Nkcore Nkutil Nqe Queue_set Sim

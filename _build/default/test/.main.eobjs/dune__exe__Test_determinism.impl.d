@@ -1,0 +1,1 @@
+test/test_determinism.ml: Addr Alcotest Coreengine Fabric Host Link Nkapps Nkcore Nkutil Nsm Option Sim Tcpstack Testbed Vm

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Addr Alcotest Host List Nk_costs Nkapps Nkcore Nsm Option Sim Tcpstack Testbed Vm

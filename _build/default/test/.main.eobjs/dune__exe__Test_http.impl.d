@@ -1,0 +1,1 @@
+test/test_http.ml: Alcotest List Nkapps String Tcpstack

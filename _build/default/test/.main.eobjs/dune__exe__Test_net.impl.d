@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Array Fabric Float Link List Nic Nktrace Segment Sim Vswitch

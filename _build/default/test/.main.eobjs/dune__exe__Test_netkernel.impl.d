@@ -1,0 +1,1 @@
+test/test_netkernel.ml: Addr Alcotest Coreengine Host List Nkapps Nkcore Nsm Option Printf Sim Tcpstack Testbed Vm

@@ -1,0 +1,1 @@
+test/test_nk_faults.ml: Addr Alcotest Char Fabric Host Link Nkapps Nkcore Nkutil Nsm Option Sim String Tcpstack Testbed Vm

@@ -1,0 +1,1 @@
+test/test_nkutil.ml: Alcotest Array Buffer Char Float Gen Int List Nkutil QCheck QCheck_alcotest Queue String

@@ -1,0 +1,1 @@
+test/test_nqe.ml: Addr Alcotest Bytes Hugepages List Nkcore Nqe Option QCheck QCheck_alcotest Tcpstack

@@ -1,0 +1,1 @@
+test/test_stack_units.ml: Addr Alcotest List Segment Sim Socket_api Stack Tcpstack Types World

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Addr Alcotest Buffer Cc_dctcp Char Conn_registry Fabric Int Link Nic Nkutil Segment Sim Socket_api Stack String Tcb Tcpstack Types World

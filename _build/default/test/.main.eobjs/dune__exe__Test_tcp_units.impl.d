@@ -1,0 +1,1 @@
+test/test_tcp_units.ml: Alcotest Array Cc Cc_bbr Cc_cubic Cc_dctcp Cc_reno Cc_vm Float Int Nkutil QCheck QCheck_alcotest Reassembly Rtt_estimator Segment Tcp_seq Tcpstack

@@ -1,0 +1,1 @@
+test/world.ml: Addr Conn_registry Direct_socket Fabric Nic Nkutil Sim Socket_api Stack String Tcpstack Types Vswitch

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "netkernel"
+    [
+      ("nkutil", Test_nkutil.tests);
+      ("sim", Test_sim.tests);
+      ("net-elements", Test_net.tests);
+      ("tcp-units", Test_tcp_units.tests);
+      ("tcp-integration", Test_tcp.tests);
+      ("http", Test_http.tests);
+      ("apps", Test_apps.tests);
+      ("nqe-hugepages", Test_nqe.tests);
+      ("coreengine", Test_coreengine.tests);
+      ("stack-units", Test_stack_units.tests);
+      ("determinism", Test_determinism.tests);
+      ("netkernel-e2e", Test_netkernel.tests);
+      ("nk-faults", Test_nk_faults.tests);
+      ("extensions", Test_extensions.tests);
+    ]

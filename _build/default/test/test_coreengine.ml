@@ -1,0 +1,180 @@
+(* CoreEngine and NK-device unit tests: registration, switching, queue
+   selection, connection-table lifecycle, rate limiting at NQE level. *)
+
+open Nkcore
+module E = Sim.Engine
+module Ring = Nkutil.Spsc_ring
+
+let mk_world () =
+  let engine = E.create () in
+  let core = Sim.Cpu.create engine ~name:"ce" () in
+  let ce = Coreengine.create ~engine ~core ~costs:Nk_costs.default () in
+  (engine, ce)
+
+let mk_device ~id ~role ~qsets =
+  Nk_device.create ~id ~role ~qsets
+    ~hugepages:(Hugepages.create ~page_size:4096 ~pages:4 ())
+    ()
+
+let encode op ~vm_id ~qset ~sock ?(size = 0) () =
+  Nqe.encode (Nqe.make ~op ~vm_id ~qset ~sock ~size ())
+
+let vm_to_nsm_switching () =
+  let engine, ce = mk_world () in
+  let vm = mk_device ~id:1 ~role:Nk_device.Vm_side ~qsets:1 in
+  let nsm = mk_device ~id:1 ~role:Nk_device.Nsm_side ~qsets:2 in
+  Coreengine.register_vm ce vm;
+  Coreengine.register_nsm ce nsm;
+  Coreengine.attach ce ~vm_id:1 ~nsm_ids:[ 1 ];
+  let woken = ref [] in
+  Nk_device.set_kick_owner nsm (fun q -> woken := q :: !woken);
+  (* Control op goes to the NSM's job queue; data op to its send queue. *)
+  Nk_device.post vm ~qset:0 `Job (encode Nqe.Socket ~vm_id:1 ~qset:0 ~sock:7 ());
+  Nk_device.post vm ~qset:0 `Send (encode Nqe.Send ~vm_id:1 ~qset:0 ~sock:7 ~size:100 ());
+  E.run engine;
+  Alcotest.(check int) "one table entry" 1 (Coreengine.conn_table_size ce);
+  Alcotest.(check int) "two switched" 2 (Coreengine.stats ce).Coreengine.switched;
+  (* Both NQEs of socket 7 must land in the same queue set. *)
+  let qsets_with_job =
+    List.filter
+      (fun i -> Ring.length (Nk_device.qset nsm i).Queue_set.job > 0)
+      [ 0; 1 ]
+  in
+  let qsets_with_send =
+    List.filter
+      (fun i -> Ring.length (Nk_device.qset nsm i).Queue_set.send > 0)
+      [ 0; 1 ]
+  in
+  Alcotest.(check int) "job landed once" 1 (List.length qsets_with_job);
+  Alcotest.(check bool) "same queue set for the connection" true
+    (qsets_with_job = qsets_with_send);
+  Alcotest.(check bool) "consumer woken" true (!woken <> [])
+
+let nsm_to_vm_completion () =
+  let engine, ce = mk_world () in
+  let vm = mk_device ~id:2 ~role:Nk_device.Vm_side ~qsets:2 in
+  let nsm = mk_device ~id:3 ~role:Nk_device.Nsm_side ~qsets:1 in
+  Coreengine.register_vm ce vm;
+  Coreengine.register_nsm ce nsm;
+  Coreengine.attach ce ~vm_id:2 ~nsm_ids:[ 3 ];
+  (* NSM announces an accepted connection (unassigned queue set) and then a
+     data event for it. *)
+  Nk_device.post nsm ~qset:0 `Receive
+    (Nqe.encode
+       (Nqe.make ~op:Nqe.Ev_accept ~vm_id:2 ~qset:Nqe.qset_unassigned ~sock:11
+          ~size:(Nqe.nsm_sock_bit lor 1) ()));
+  E.run engine;
+  Alcotest.(check int) "accept created a table entry" 1 (Coreengine.conn_table_size ce);
+  let receive_total =
+    Ring.length (Nk_device.qset vm 0).Queue_set.receive
+    + Ring.length (Nk_device.qset vm 1).Queue_set.receive
+  in
+  Alcotest.(check int) "delivered on a receive queue" 1 receive_total;
+  (* The delivered NQE's qset byte was completed by the CoreEngine. *)
+  let raw =
+    match
+      ( Ring.pop (Nk_device.qset vm 0).Queue_set.receive,
+        Ring.pop (Nk_device.qset vm 1).Queue_set.receive )
+    with
+    | Some r, None | None, Some r -> r
+    | _ -> Alcotest.fail "expected exactly one NQE"
+  in
+  match Nqe.decode raw with
+  | Ok d ->
+      if d.Nqe.qset >= 2 then Alcotest.failf "qset not completed: %d" d.Nqe.qset
+  | Error e -> Alcotest.fail e
+
+let close_clears_table () =
+  let engine, ce = mk_world () in
+  let vm = mk_device ~id:1 ~role:Nk_device.Vm_side ~qsets:1 in
+  let nsm = mk_device ~id:1 ~role:Nk_device.Nsm_side ~qsets:1 in
+  Coreengine.register_vm ce vm;
+  Coreengine.register_nsm ce nsm;
+  Coreengine.attach ce ~vm_id:1 ~nsm_ids:[ 1 ];
+  Nk_device.post vm ~qset:0 `Job (encode Nqe.Socket ~vm_id:1 ~qset:0 ~sock:9 ());
+  E.run engine;
+  Alcotest.(check int) "entry exists" 1 (Coreengine.conn_table_size ce);
+  Nk_device.post vm ~qset:0 `Job (encode Nqe.Close ~vm_id:1 ~qset:0 ~sock:9 ());
+  E.run engine;
+  Alcotest.(check int) "close removed the entry" 0 (Coreengine.conn_table_size ce)
+
+let round_robin_across_nsms () =
+  let engine, ce = mk_world () in
+  let vm = mk_device ~id:1 ~role:Nk_device.Vm_side ~qsets:1 in
+  let nsm1 = mk_device ~id:1 ~role:Nk_device.Nsm_side ~qsets:1 in
+  let nsm2 = mk_device ~id:2 ~role:Nk_device.Nsm_side ~qsets:1 in
+  Coreengine.register_vm ce vm;
+  Coreengine.register_nsm ce nsm1;
+  Coreengine.register_nsm ce nsm2;
+  Coreengine.attach ce ~vm_id:1 ~nsm_ids:[ 1; 2 ];
+  for sock = 1 to 4 do
+    Nk_device.post vm ~qset:0 `Job (encode Nqe.Socket ~vm_id:1 ~qset:0 ~sock ())
+  done;
+  E.run engine;
+  let jobs d = Ring.length (Nk_device.qset d 0).Queue_set.job in
+  Alcotest.(check int) "nsm1 got half" 2 (jobs nsm1);
+  Alcotest.(check int) "nsm2 got half" 2 (jobs nsm2)
+
+let rate_limit_defers_sends () =
+  let engine, ce = mk_world () in
+  let vm = mk_device ~id:1 ~role:Nk_device.Vm_side ~qsets:1 in
+  let nsm = mk_device ~id:1 ~role:Nk_device.Nsm_side ~qsets:1 in
+  Coreengine.register_vm ce vm;
+  Coreengine.register_nsm ce nsm;
+  Coreengine.attach ce ~vm_id:1 ~nsm_ids:[ 1 ];
+  (* 1000 B/s with a 1000 B burst: the first send passes, the second waits
+     ~1 s for tokens. *)
+  Coreengine.set_rate_limit ce ~vm_id:1 ~bytes_per_sec:1000.0 ~burst:1000.0 ();
+  Nk_device.post vm ~qset:0 `Send (encode Nqe.Send ~vm_id:1 ~qset:0 ~sock:5 ~size:1000 ());
+  Nk_device.post vm ~qset:0 `Send (encode Nqe.Send ~vm_id:1 ~qset:0 ~sock:5 ~size:1000 ());
+  E.run engine ~until:0.5;
+  Alcotest.(check int) "only first send through at 0.5s" 1
+    (Ring.length (Nk_device.qset nsm 0).Queue_set.send);
+  E.run engine ~until:2.0;
+  Alcotest.(check int) "second released once tokens accrue" 2
+    (Ring.length (Nk_device.qset nsm 0).Queue_set.send);
+  Alcotest.(check bool) "deferral counted" true
+    ((Coreengine.stats ce).Coreengine.rate_deferred >= 1)
+
+let control_not_rate_limited () =
+  let engine, ce = mk_world () in
+  let vm = mk_device ~id:1 ~role:Nk_device.Vm_side ~qsets:1 in
+  let nsm = mk_device ~id:1 ~role:Nk_device.Nsm_side ~qsets:1 in
+  Coreengine.register_vm ce vm;
+  Coreengine.register_nsm ce nsm;
+  Coreengine.attach ce ~vm_id:1 ~nsm_ids:[ 1 ];
+  Coreengine.set_rate_limit ce ~vm_id:1 ~bytes_per_sec:1.0 ~burst:1.0 ();
+  Nk_device.post vm ~qset:0 `Job (encode Nqe.Socket ~vm_id:1 ~qset:0 ~sock:5 ());
+  E.run engine ~until:0.01;
+  Alcotest.(check int) "control op passes a strangled bucket" 1
+    (Ring.length (Nk_device.qset nsm 0).Queue_set.job)
+
+let device_overflow_backpressure () =
+  let dev =
+    Nk_device.create ~id:1 ~role:Nk_device.Vm_side ~qsets:1 ~capacity:2
+      ~hugepages:(Hugepages.create ~page_size:4096 ~pages:1 ())
+      ()
+  in
+  for sock = 1 to 5 do
+    Nk_device.post dev ~qset:0 `Job (encode Nqe.Socket ~vm_id:1 ~qset:0 ~sock ())
+  done;
+  (* capacity 2, so three spill to the overflow; nothing is lost *)
+  Alcotest.(check int) "pending counts ring + overflow" 5
+    (Nk_device.outbound_pending dev ~qset:0);
+  let s = Nk_device.qset dev 0 in
+  ignore (Ring.pop s.Queue_set.job);
+  ignore (Ring.pop s.Queue_set.job);
+  Nk_device.flush_overflow dev;
+  Alcotest.(check int) "overflow refills the ring" 2 (Ring.length s.Queue_set.job);
+  Alcotest.(check int) "still nothing lost" 3 (Nk_device.outbound_pending dev ~qset:0)
+
+let tests =
+  [
+    Alcotest.test_case "vm->nsm switching + queue pinning" `Quick vm_to_nsm_switching;
+    Alcotest.test_case "nsm->vm accept completion" `Quick nsm_to_vm_completion;
+    Alcotest.test_case "close clears the table" `Quick close_clears_table;
+    Alcotest.test_case "round robin across NSMs" `Quick round_robin_across_nsms;
+    Alcotest.test_case "rate limit defers sends" `Quick rate_limit_defers_sends;
+    Alcotest.test_case "control ops bypass the bucket" `Quick control_not_rate_limited;
+    Alcotest.test_case "device overflow backpressure" `Quick device_overflow_backpressure;
+  ]

@@ -1,0 +1,136 @@
+(* Tests of the paper's extension features: on-the-fly NSM switching (§3),
+   zerocopy NSM and SmartNIC-offloaded CoreEngine (§7.8). *)
+
+open Nkcore
+module Types = Tcpstack.Types
+
+let ip_vm = 10
+let ip_client = 20
+
+let fixed64 = Nkapps.Proto.Fixed { request = 64; response = 64; keepalive = false }
+
+let conns nsm =
+  List.fold_left
+    (fun acc (s : Tcpstack.Stack.stats) -> acc + s.Tcpstack.Stack.conns_established)
+    0 (Nsm.stack_stats nsm)
+
+let run_loadgen tb client_api ~addr ~total ~delay =
+  let lg = ref None in
+  ignore
+    (Sim.Engine.schedule tb.Testbed.engine ~delay (fun () ->
+         lg :=
+           Some
+             (Nkapps.Loadgen.start ~engine:tb.Testbed.engine ~api:client_api
+                {
+                  Nkapps.Loadgen.server = addr;
+                  proto = fixed64;
+                  mode = Nkapps.Loadgen.Closed { concurrency = 16; total = Some total; duration = None };
+                  warmup = 0.0;
+                })));
+  lg
+
+let switch_nsm_on_the_fly () =
+  let tb = Testbed.create () in
+  let hosta = Testbed.add_host tb ~name:"hostA" in
+  let hostb = Testbed.add_host tb ~name:"hostB" in
+  let nsm1 = Nsm.create_kernel hosta ~name:"nsm1" ~vcpus:1 () in
+  let nsm2 = Nsm.create_kernel hosta ~name:"nsm2" ~vcpus:1 () in
+  let vm = Vm.create_nk hosta ~name:"vm" ~vcpus:1 ~ips:[ ip_vm ] ~nsms:[ nsm1 ] () in
+  let client =
+    Vm.create_baseline hostb ~name:"client" ~vcpus:8 ~ips:[ ip_client ]
+      ~profile:Sim.Cost_profile.ideal ()
+  in
+  (* Server on port 80 while attached to NSM1. *)
+  (match
+     Nkapps.Epoll_server.start ~engine:tb.Testbed.engine ~api:(Vm.api vm)
+       (Nkapps.Epoll_server.config ~proto:fixed64 (Addr.make ip_vm 80))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "server1: %s" (Types.err_to_string e));
+  let lg1 = run_loadgen tb (Vm.api client) ~addr:(Addr.make ip_vm 80) ~total:500 ~delay:1e-3 in
+  (* After the first batch, the operator live-migrates the VM to NSM2 and
+     the tenant opens a new listener. *)
+  ignore
+    (Sim.Engine.schedule tb.Testbed.engine ~delay:0.5 (fun () ->
+         Vm.attach_nsm vm nsm2;
+         match
+           Nkapps.Epoll_server.start ~engine:tb.Testbed.engine ~api:(Vm.api vm)
+             (Nkapps.Epoll_server.config ~proto:fixed64 (Addr.make ip_vm 81))
+         with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "server2: %s" (Types.err_to_string e)));
+  let lg2 = run_loadgen tb (Vm.api client) ~addr:(Addr.make ip_vm 81) ~total:500 ~delay:0.6 in
+  Testbed.run tb ~until:30.0;
+  Alcotest.(check int) "port 80 served" 500
+    (Nkapps.Loadgen.results (Option.get !lg1)).Nkapps.Loadgen.completed;
+  Alcotest.(check int) "port 81 served" 500
+    (Nkapps.Loadgen.results (Option.get !lg2)).Nkapps.Loadgen.completed;
+  if conns nsm1 < 500 then Alcotest.failf "nsm1 should carry batch 1 (%d)" (conns nsm1);
+  if conns nsm2 < 500 then Alcotest.failf "nsm2 should carry batch 2 (%d)" (conns nsm2)
+
+let nk_world ~costs =
+  let tb = Testbed.create ~costs () in
+  let hosta = Testbed.add_host tb ~name:"hostA" in
+  let hostb = Testbed.add_host tb ~name:"hostB" in
+  let nsm = Nsm.create_kernel hosta ~name:"nsm" ~vcpus:1 () in
+  let vm = Vm.create_nk hosta ~name:"vm" ~vcpus:1 ~ips:[ ip_vm ] ~nsms:[ nsm ] () in
+  let client =
+    Vm.create_baseline hostb ~name:"client" ~vcpus:8 ~ips:[ ip_client ]
+      ~profile:Sim.Cost_profile.ideal ()
+  in
+  (tb, hosta, vm, client)
+
+let rps_run tb vm client ~total =
+  (match
+     Nkapps.Epoll_server.start ~engine:tb.Testbed.engine ~api:(Vm.api vm)
+       (Nkapps.Epoll_server.config ~proto:fixed64 (Addr.make ip_vm 80))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "server: %s" (Types.err_to_string e));
+  let lg = run_loadgen tb (Vm.api client) ~addr:(Addr.make ip_vm 80) ~total ~delay:1e-3 in
+  Testbed.run tb ~until:30.0;
+  Nkapps.Loadgen.results (Option.get !lg)
+
+let zerocopy_reduces_nsm_cycles () =
+  let tput costs =
+    let tb, hosta, vm, client = nk_world ~costs in
+    ignore hosta;
+    let sink =
+      match
+        Nkapps.Stream.sink ~engine:tb.Testbed.engine ~api:(Vm.api client)
+          ~addr:(Addr.make ip_client 5001)
+      with
+      | Ok s -> s
+      | Error e -> Alcotest.failf "sink: %s" (Types.err_to_string e)
+    in
+    ignore
+      (Sim.Engine.schedule tb.Testbed.engine ~delay:1e-3 (fun () ->
+           ignore
+             (Nkapps.Stream.senders ~engine:tb.Testbed.engine ~api:(Vm.api vm)
+                ~dst:(Addr.make ip_client 5001) ~streams:8 ~msg_size:16384 ~stop:0.5 ())));
+    Testbed.run tb ~until:0.6;
+    Nkapps.Stream.sink_throughput_gbps sink
+  in
+  let base = tput Nk_costs.default in
+  let zc = tput (Nk_costs.zerocopy Nk_costs.default) in
+  if zc < base *. 1.02 then
+    Alcotest.failf "zerocopy should raise 1-core NSM send throughput: %.1f vs %.1f" zc base
+
+let ce_offload_saves_ce_cycles () =
+  let measure costs =
+    let tb, hosta, vm, client = nk_world ~costs in
+    let r = rps_run tb vm client ~total:2000 in
+    Alcotest.(check int) "served" 2000 r.Nkapps.Loadgen.completed;
+    Sim.Cpu.busy_cycles (Host.ce_core hosta)
+  in
+  let sw = measure Nk_costs.default in
+  let hw = measure (Nk_costs.ce_offloaded Nk_costs.default) in
+  if hw > sw /. 3.0 then
+    Alcotest.failf "offload should slash CE cycles: %.0f vs %.0f" hw sw
+
+let tests =
+  [
+    Alcotest.test_case "switch NSM on the fly" `Quick switch_nsm_on_the_fly;
+    Alcotest.test_case "zerocopy NSM raises throughput" `Quick zerocopy_reduces_nsm_cycles;
+    Alcotest.test_case "SmartNIC CE offload saves cycles" `Quick ce_offload_saves_ce_cycles;
+  ]

@@ -1,0 +1,92 @@
+(* HTTP codec unit tests. *)
+
+module P = Nkapps.Http.Parser
+module Types = Tcpstack.Types
+
+let feed_all p payloads = List.concat_map (P.feed p) payloads
+
+let simple_request () =
+  let p = P.create () in
+  let raw = Nkapps.Http.request ~path:"/index.html" () in
+  match feed_all p [ Types.Data raw ] with
+  | [ msg ] ->
+      Alcotest.(check string) "start line" "GET /index.html HTTP/1.1" msg.P.start_line;
+      Alcotest.(check int) "no body" 0 msg.P.content_length;
+      Alcotest.(check bool) "non-keepalive" false msg.P.keepalive;
+      Alcotest.(check (option string)) "host header" (Some "netkernel.test")
+        (Nkapps.Http.header msg "Host")
+  | other -> Alcotest.failf "expected 1 message, got %d" (List.length other)
+
+let split_across_chunks () =
+  let p = P.create () in
+  let raw = Nkapps.Http.request ~path:"/a" ~keepalive:true () in
+  let n = String.length raw in
+  let one = String.sub raw 0 (n / 2) and two = String.sub raw (n / 2) (n - (n / 2)) in
+  (match P.feed p (Types.Data one) with
+  | [] -> ()
+  | _ -> Alcotest.fail "half a request must not complete");
+  match P.feed p (Types.Data two) with
+  | [ msg ] -> Alcotest.(check bool) "keepalive" true msg.P.keepalive
+  | _ -> Alcotest.fail "second half completes the request"
+
+let response_with_synthetic_body () =
+  let p = P.create () in
+  let head = Nkapps.Http.response_header ~content_length:1000 () in
+  (match P.feed p (Types.Data head) with
+  | [] -> ()
+  | _ -> Alcotest.fail "headers alone must not complete");
+  (match P.feed p (Types.Zeros 400) with
+  | [] -> ()
+  | _ -> Alcotest.fail "partial body must not complete");
+  Alcotest.(check bool) "in body" true (P.in_body p);
+  Alcotest.(check int) "remaining" 600 (P.body_remaining p);
+  match P.feed p (Types.Zeros 600) with
+  | [ msg ] ->
+      Alcotest.(check int) "content length" 1000 msg.P.content_length;
+      Alcotest.(check string) "status line" "HTTP/1.1 200 OK" msg.P.start_line
+  | _ -> Alcotest.fail "body completion yields the message"
+
+let pipelined_messages () =
+  let p = P.create () in
+  let r1 = Nkapps.Http.request ~path:"/1" ~keepalive:true () in
+  let r2 = Nkapps.Http.request ~path:"/2" ~keepalive:true () in
+  match P.feed p (Types.Data (r1 ^ r2)) with
+  | [ a; b ] ->
+      Alcotest.(check string) "first" "GET /1 HTTP/1.1" a.P.start_line;
+      Alcotest.(check string) "second" "GET /2 HTTP/1.1" b.P.start_line
+  | other -> Alcotest.failf "expected 2 messages, got %d" (List.length other)
+
+let body_then_next_header () =
+  let p = P.create () in
+  let head = Nkapps.Http.response_header ~content_length:10 ~keepalive:true () in
+  let next = Nkapps.Http.response_header ~content_length:0 ~keepalive:false () in
+  (* body bytes arrive as real data glued to the next response *)
+  let msgs = feed_all p [ Types.Data (head ^ String.make 10 'b' ^ next) ] in
+  match msgs with
+  | [ a; b ] ->
+      Alcotest.(check int) "first body" 10 a.P.content_length;
+      Alcotest.(check bool) "second non-keepalive" false b.P.keepalive
+  | other -> Alcotest.failf "expected 2 messages, got %d" (List.length other)
+
+let malformed_raises () =
+  let p = P.create () in
+  match P.feed p (Types.Data "not http at all\r\nbroken line\r\n\r\n") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "malformed headers must raise"
+
+let zeros_in_headers_raise () =
+  let p = P.create () in
+  match P.feed p (Types.Zeros 64) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "synthetic bytes cannot form headers"
+
+let tests =
+  [
+    Alcotest.test_case "simple request" `Quick simple_request;
+    Alcotest.test_case "split across chunks" `Quick split_across_chunks;
+    Alcotest.test_case "response with synthetic body" `Quick response_with_synthetic_body;
+    Alcotest.test_case "pipelined messages" `Quick pipelined_messages;
+    Alcotest.test_case "body then next header" `Quick body_then_next_header;
+    Alcotest.test_case "malformed raises" `Quick malformed_raises;
+    Alcotest.test_case "zeros in headers raise" `Quick zeros_in_headers_raise;
+  ]

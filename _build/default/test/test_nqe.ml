@@ -1,0 +1,171 @@
+(* NQE codec and hugepage allocator unit + property tests. *)
+
+open Nkcore
+module Types = Tcpstack.Types
+
+let all_ops =
+  [
+    Nqe.Socket; Nqe.Bind; Nqe.Listen; Nqe.Connect; Nqe.Send; Nqe.Recv_done; Nqe.Close;
+    Nqe.Comp_socket; Nqe.Comp_bind; Nqe.Comp_listen; Nqe.Comp_connect; Nqe.Comp_send;
+    Nqe.Comp_close; Nqe.Ev_accept; Nqe.Ev_data; Nqe.Ev_eof; Nqe.Ev_err;
+  ]
+
+let roundtrip_all_ops () =
+  List.iter
+    (fun op ->
+      let nqe =
+        Nqe.make ~op ~vm_id:7 ~qset:3 ~sock:123456 ~op_data:0x1234_5678_9ABCL
+          ~data_ptr:987654 ~size:4096 ~synthetic:true ()
+      in
+      let buf = Nqe.encode nqe in
+      Alcotest.(check int) "32 bytes" Nqe.size_bytes (Bytes.length buf);
+      match Nqe.decode buf with
+      | Error e -> Alcotest.failf "decode failed for %s: %s" (Nqe.op_to_string op) e
+      | Ok d ->
+          Alcotest.(check bool) "op" true (d.Nqe.op = op);
+          Alcotest.(check int) "vm_id" 7 d.Nqe.vm_id;
+          Alcotest.(check int) "qset" 3 d.Nqe.qset;
+          Alcotest.(check int) "sock" 123456 d.Nqe.sock;
+          Alcotest.(check int64) "op_data" 0x1234_5678_9ABCL d.Nqe.op_data;
+          Alcotest.(check int) "data_ptr" 987654 d.Nqe.data_ptr;
+          Alcotest.(check int) "size" 4096 d.Nqe.size;
+          Alcotest.(check bool) "synthetic" true d.Nqe.synthetic)
+    all_ops
+
+let decode_garbage () =
+  (match Nqe.decode (Bytes.make 32 '\xEE') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage op byte must not decode");
+  match Nqe.decode (Bytes.create 10) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short buffer must not decode"
+
+let addr_packing () =
+  let a = Addr.make 192168001 65535 in
+  let packed = Nqe.pack_addr a in
+  let b = Nqe.unpack_addr packed in
+  Alcotest.(check bool) "addr roundtrip" true (Addr.equal a b)
+
+let err_codes () =
+  List.iter
+    (fun e ->
+      match Nqe.err_of_code (Nqe.err_code e) with
+      | Some e' when e = e' -> ()
+      | Some e' ->
+          Alcotest.failf "err roundtrip: %s became %s" (Types.err_to_string e)
+            (Types.err_to_string e')
+      | None -> Alcotest.failf "err %s decoded as success" (Types.err_to_string e))
+    [
+      Types.Econnrefused; Types.Econnreset; Types.Etimedout; Types.Eaddrinuse;
+      Types.Einval; Types.Enotconn; Types.Eclosed; Types.Eagain; Types.Enobufs;
+    ];
+  Alcotest.(check bool) "0 is success" true (Nqe.err_of_code Nqe.ok_code = None)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"nqe field roundtrip" ~count:500
+    QCheck.(
+      quad (int_bound 255) (int_bound 254) (int_bound ((1 lsl 30) - 1)) (int_bound 1_000_000))
+    (fun (vm_id, qset, sock, size) ->
+      let nqe = Nqe.make ~op:Nqe.Send ~vm_id ~qset ~sock ~data_ptr:(size * 3) ~size () in
+      match Nqe.decode (Nqe.encode nqe) with
+      | Error _ -> false
+      | Ok d ->
+          d.Nqe.vm_id = vm_id && d.Nqe.qset = qset && d.Nqe.sock = sock
+          && d.Nqe.size = size
+          && d.Nqe.data_ptr = size * 3)
+
+(* ---- hugepages ---------------------------------------------------------- *)
+
+let hp_alloc_free () =
+  let hp = Hugepages.create ~page_size:4096 ~pages:4 () in
+  Alcotest.(check int) "capacity" (4 * 4096) (Hugepages.capacity hp);
+  let e1 = Option.get (Hugepages.alloc hp 1000) in
+  let e2 = Option.get (Hugepages.alloc hp 2000) in
+  Alcotest.(check bool) "disjoint" true
+    (e1.Hugepages.offset + 1024 <= e2.Hugepages.offset
+    || e2.Hugepages.offset + 2048 <= e1.Hugepages.offset);
+  Hugepages.free hp e1;
+  Hugepages.free hp e2;
+  Alcotest.(check int) "all returned" 0 (Hugepages.bytes_in_use hp);
+  (* After full free we can allocate the whole region again. *)
+  match Hugepages.alloc hp (4 * 4096) with
+  | Some e -> Hugepages.free hp e
+  | None -> Alcotest.fail "coalescing failed: full-size alloc rejected"
+
+let hp_double_free () =
+  let hp = Hugepages.create ~page_size:4096 ~pages:1 () in
+  let e = Option.get (Hugepages.alloc hp 128) in
+  Hugepages.free hp e;
+  match Hugepages.free hp e with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double free not detected"
+
+let hp_exhaustion () =
+  let hp = Hugepages.create ~page_size:4096 ~pages:1 () in
+  let e = Option.get (Hugepages.alloc hp 4000) in
+  (match Hugepages.alloc hp 1024 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "allocation should fail when full");
+  Hugepages.free hp e
+
+let hp_payload_roundtrip () =
+  let hp = Hugepages.create ~page_size:4096 ~pages:2 () in
+  let e = Option.get (Hugepages.alloc hp 64) in
+  Hugepages.write_payload hp e (Types.Data "hello hugepages");
+  (match Hugepages.read_payload hp e ~pos:0 ~len:15 ~synthetic:false with
+  | Types.Data s -> Alcotest.(check string) "content" "hello hugepages" s
+  | Types.Zeros _ -> Alcotest.fail "expected data");
+  (match Hugepages.read_payload hp e ~pos:6 ~len:4 ~synthetic:false with
+  | Types.Data s -> Alcotest.(check string) "slice" "huge" s
+  | Types.Zeros _ -> Alcotest.fail "expected data");
+  match Hugepages.read_payload hp e ~pos:0 ~len:64 ~synthetic:true with
+  | Types.Zeros 64 -> Hugepages.free hp e
+  | Types.Zeros _ | Types.Data _ -> Alcotest.fail "synthetic read should be Zeros 64"
+
+let qcheck_allocator =
+  (* Random alloc/free interleavings: live extents never overlap, and
+     accounting is exact. *)
+  QCheck.Test.make ~name:"hugepage allocator invariants" ~count:100
+    QCheck.(list (int_range 1 5000))
+    (fun sizes ->
+      let hp = Hugepages.create ~page_size:65536 ~pages:4 () in
+      let live = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i size ->
+          if i mod 3 = 2 then (
+            match !live with
+            | e :: rest ->
+                Hugepages.free hp e;
+                live := rest
+            | [] -> ())
+          else
+            match Hugepages.alloc hp size with
+            | None -> ()
+            | Some e ->
+                List.iter
+                  (fun (other : Hugepages.extent) ->
+                    let disjoint =
+                      e.Hugepages.offset >= other.Hugepages.offset + other.Hugepages.len
+                      || other.Hugepages.offset >= e.Hugepages.offset + e.Hugepages.len
+                    in
+                    if not disjoint then ok := false)
+                  !live;
+                live := e :: !live)
+        sizes;
+      List.iter (Hugepages.free hp) !live;
+      !ok && Hugepages.bytes_in_use hp = 0)
+
+let tests =
+  [
+    Alcotest.test_case "roundtrip all ops" `Quick roundtrip_all_ops;
+    Alcotest.test_case "decode garbage" `Quick decode_garbage;
+    Alcotest.test_case "addr packing" `Quick addr_packing;
+    Alcotest.test_case "err codes" `Quick err_codes;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    Alcotest.test_case "hugepages alloc/free/coalesce" `Quick hp_alloc_free;
+    Alcotest.test_case "hugepages double free" `Quick hp_double_free;
+    Alcotest.test_case "hugepages exhaustion" `Quick hp_exhaustion;
+    Alcotest.test_case "hugepages payload roundtrip" `Quick hp_payload_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_allocator;
+  ]

@@ -1,0 +1,111 @@
+(* Engine, CPU model and pressure estimator tests. *)
+
+module E = Sim.Engine
+module Cpu = Sim.Cpu
+
+let engine_ordering () =
+  let e = E.create () in
+  let log = ref [] in
+  ignore (E.schedule e ~delay:0.3 (fun () -> log := "c" :: !log));
+  ignore (E.schedule e ~delay:0.1 (fun () -> log := "a" :: !log));
+  ignore (E.schedule e ~delay:0.2 (fun () -> log := "b" :: !log));
+  E.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let engine_same_time_fifo () =
+  let e = E.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (E.schedule e ~delay:0.1 (fun () -> log := i :: !log))
+  done;
+  E.run e;
+  Alcotest.(check (list int)) "insertion order at same time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let engine_cancel () =
+  let e = E.create () in
+  let fired = ref false in
+  let h = E.schedule e ~delay:0.1 (fun () -> fired := true) in
+  E.cancel h;
+  E.run e;
+  Alcotest.(check bool) "cancelled event must not run" false !fired
+
+let engine_until () =
+  let e = E.create () in
+  let fired = ref 0 in
+  ignore (E.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (E.schedule e ~delay:3.0 (fun () -> incr fired));
+  E.run e ~until:2.0;
+  Alcotest.(check int) "only events before horizon" 1 !fired;
+  if E.now e < 2.0 then Alcotest.fail "clock must reach the horizon"
+
+let engine_nested_schedule () =
+  let e = E.create () in
+  let depth = ref 0 in
+  let rec go n = if n > 0 then ignore (E.schedule e ~delay:0.01 (fun () -> incr depth; go (n - 1))) in
+  go 10;
+  E.run e;
+  Alcotest.(check int) "chain of nested events" 10 !depth
+
+let cpu_fifo_and_accounting () =
+  let e = E.create () in
+  let core = Cpu.create e ~freq_ghz:1.0 ~name:"c0" () in
+  let finish_times = ref [] in
+  (* 1 GHz -> 1e9 cycles/s; 1e6 cycles = 1 ms *)
+  Cpu.exec core ~cycles:1e6 (fun () -> finish_times := E.now e :: !finish_times);
+  Cpu.exec core ~cycles:2e6 (fun () -> finish_times := E.now e :: !finish_times);
+  E.run e;
+  (match List.rev !finish_times with
+  | [ t1; t2 ] ->
+      if Float.abs (t1 -. 0.001) > 1e-9 then Alcotest.failf "first at %f" t1;
+      if Float.abs (t2 -. 0.003) > 1e-9 then Alcotest.failf "second queued: %f" t2
+  | _ -> Alcotest.fail "expected two completions");
+  if Float.abs (Cpu.busy_cycles core -. 3e6) > 1.0 then Alcotest.fail "busy cycles";
+  if Float.abs (Cpu.busy_seconds core -. 0.003) > 1e-9 then Alcotest.fail "busy seconds"
+
+let cpu_set_pick_stable () =
+  let e = E.create () in
+  let set = Cpu.Set.create e ~name:"s" ~n:4 () in
+  let a = Cpu.Set.pick set ~hash:12345 in
+  let b = Cpu.Set.pick set ~hash:12345 in
+  if not (a == b) then Alcotest.fail "pick must be deterministic"
+
+let pressure_decays () =
+  let e = E.create () in
+  let p = Sim.Pressure.create e ~tau:0.01 () in
+  Sim.Pressure.observe p ~bits:1e6;
+  let r0 = Sim.Pressure.rate_bps p in
+  ignore (E.schedule e ~delay:0.05 (fun () -> ()));
+  E.run e;
+  let r1 = Sim.Pressure.rate_bps p in
+  if not (r0 > 0.0 && r1 < r0 /. 100.0) then
+    Alcotest.failf "pressure must decay: %f -> %f" r0 r1
+
+let pressure_copy_cost_grows () =
+  let e = E.create () in
+  let p = Sim.Pressure.create e () in
+  let idle = Sim.Pressure.hugepage_copy_cost p ~base:0.02 ~contention:0.2 in
+  (* Push the estimate to ~100 Gb/s. *)
+  Sim.Pressure.observe p ~bits:1e9;
+  let busy = Sim.Pressure.hugepage_copy_cost p ~base:0.02 ~contention:0.2 in
+  if busy <= idle then Alcotest.fail "cost must grow with pressure"
+
+let contention_mult () =
+  let m = Sim.Cost_profile.contention_mult ~factor:0.1 ~cores:4 in
+  if Float.abs (m -. 1.3) > 1e-9 then Alcotest.failf "mult %f" m;
+  let one = Sim.Cost_profile.contention_mult ~factor:0.5 ~cores:1 in
+  if Float.abs (one -. 1.0) > 1e-9 then Alcotest.fail "single core has no contention"
+
+let tests =
+  [
+    Alcotest.test_case "event ordering" `Quick engine_ordering;
+    Alcotest.test_case "same-time FIFO" `Quick engine_same_time_fifo;
+    Alcotest.test_case "cancellation" `Quick engine_cancel;
+    Alcotest.test_case "run until horizon" `Quick engine_until;
+    Alcotest.test_case "nested scheduling" `Quick engine_nested_schedule;
+    Alcotest.test_case "cpu FIFO + accounting" `Quick cpu_fifo_and_accounting;
+    Alcotest.test_case "cpu set pick stable" `Quick cpu_set_pick_stable;
+    Alcotest.test_case "pressure decays" `Quick pressure_decays;
+    Alcotest.test_case "pressure raises copy cost" `Quick pressure_copy_cost_grows;
+    Alcotest.test_case "contention multiplier" `Quick contention_mult;
+  ]
