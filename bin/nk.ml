@@ -86,8 +86,48 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"One-minute NetKernel demo (kv store through an NSM)")
     Term.(const run $ const ())
 
+(* A small representative NetKernel workload (kernel-stack NSM, epoll
+   server in the VM, closed-loop load) whose Nkmon handle the stats and
+   trace subcommands inspect afterwards. *)
+let observed_world ~trace =
+  let w = Experiments.Worlds.netkernel () in
+  let mon = w.Experiments.Worlds.tb.Nkcore.Testbed.mon in
+  if trace then Nkmon.Trace.set_enabled (Nkmon.trace mon) true;
+  ignore (Experiments.Worlds.measure_rps w ~concurrency:32 ~total:2_000 ());
+  mon
+
+let stats_cmd =
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  let run csv =
+    let mon = observed_world ~trace:false in
+    print_report ~csv (Experiments.Mon_report.table mon)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a small NetKernel workload and print every Nkmon metric \
+          (component/instance/metric) it produced")
+    Term.(const run $ csv)
+
+let trace_cmd =
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of JSON.") in
+  let run csv =
+    let mon = observed_world ~trace:true in
+    let tr = Nkmon.trace mon in
+    if csv then print_string (Nkmon.Trace.to_csv tr)
+    else print_string (Nkmon.Trace.to_json tr)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a small NetKernel workload with event tracing enabled and dump \
+          the virtual-time trace (JSON by default)")
+    Term.(const run $ csv)
+
 let () =
   let doc = "NetKernel reproduction: decoupled VM network stacks, simulated" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "nk" ~version:"1.0.0" ~doc) [ run_cmd; list_cmd; demo_cmd ]))
+       (Cmd.group
+          (Cmd.info "nk" ~version:"1.0.0" ~doc)
+          [ run_cmd; list_cmd; demo_cmd; stats_cmd; trace_cmd ]))

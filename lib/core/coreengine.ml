@@ -9,11 +9,20 @@ type deferred_entry =
   | To_vm of { src_nsm : int; src_qset : int; raw : bytes }
 
 type stats = {
-  mutable switched : int;
-  mutable rate_deferred : int;
-  mutable ring_deferred : int;
-  mutable dropped : int;
-  mutable sweeps : int;
+  switched : int;
+  rate_deferred : int;
+  ring_deferred : int;
+  dropped : int;
+  sweeps : int;
+}
+
+(* Live registry-backed counters; [stats] snapshots them. *)
+type counters = {
+  c_switched : Nkmon.Registry.counter;
+  c_rate_deferred : Nkmon.Registry.counter;
+  c_ring_deferred : Nkmon.Registry.counter;
+  c_dropped : Nkmon.Registry.counter;
+  c_sweeps : Nkmon.Registry.counter;
 }
 
 type t = {
@@ -32,29 +41,75 @@ type t = {
   deferred : (int, deferred_entry Queue.t) Hashtbl.t;
   mutable running : bool;
   mutable release_scheduled : bool;
-  stats : stats;
+  mon : Nkmon.t;
+  ctr : counters;
+  sweep_batch : Nkutil.Histogram.t;
 }
 
-let create ~engine ~core ~costs () =
-  {
-    engine;
-    ce_core = core;
-    costs;
-    vms = Hashtbl.create 16;
-    nsms = Hashtbl.create 16;
-    device_order = [];
-    assignment = Hashtbl.create 16;
-    conn_table = Hashtbl.create 1024;
-    buckets = Hashtbl.create 16;
-    deferred = Hashtbl.create 16;
-    running = false;
-    release_scheduled = false;
-    stats = { switched = 0; rate_deferred = 0; ring_deferred = 0; dropped = 0; sweeps = 0 };
-  }
+let create ~engine ~core ?(mon = Nkmon.null ()) ?(instance = "ce") costs =
+  let c name = Nkmon.counter mon ~component:"coreengine" ~instance ~name in
+  let t =
+    {
+      engine;
+      ce_core = core;
+      costs;
+      vms = Hashtbl.create 16;
+      nsms = Hashtbl.create 16;
+      device_order = [];
+      assignment = Hashtbl.create 16;
+      conn_table = Hashtbl.create 1024;
+      buckets = Hashtbl.create 16;
+      deferred = Hashtbl.create 16;
+      running = false;
+      release_scheduled = false;
+      mon;
+      ctr =
+        {
+          c_switched = c "switched";
+          c_rate_deferred = c "rate_deferred";
+          c_ring_deferred = c "ring_deferred";
+          c_dropped = c "dropped";
+          c_sweeps = c "sweeps";
+        };
+      sweep_batch =
+        Nkmon.histogram mon ~component:"coreengine" ~instance ~name:"sweep_batch";
+    }
+  in
+  Nkmon.sampler mon ~component:"coreengine" ~instance ~name:"conn_table_size" (fun () ->
+      float_of_int (Hashtbl.length t.conn_table));
+  t
 
 let core t = t.ce_core
 
-let stats t = t.stats
+let stats t =
+  let module R = Nkmon.Registry in
+  {
+    switched = R.counter_value t.ctr.c_switched;
+    rate_deferred = R.counter_value t.ctr.c_rate_deferred;
+    ring_deferred = R.counter_value t.ctr.c_ring_deferred;
+    dropped = R.counter_value t.ctr.c_dropped;
+    sweeps = R.counter_value t.ctr.c_sweeps;
+  }
+
+let drop t (nqe : Nqe.t option) reason =
+  Nkmon.Registry.incr t.ctr.c_dropped;
+  if Nkmon.tracing t.mon then
+    let vm_id, sock =
+      match nqe with Some n -> (n.Nqe.vm_id, n.Nqe.sock) | None -> (-1, -1)
+    in
+    Nkmon.event t.mon (Nkmon.Trace.Nqe_drop { vm_id; sock; reason })
+
+let switched t (nqe : Nqe.t) dst =
+  Nkmon.Registry.incr t.ctr.c_switched;
+  if Nkmon.tracing t.mon then
+    Nkmon.event t.mon
+      (Nkmon.Trace.Nqe_switch
+         {
+           vm_id = nqe.Nqe.vm_id;
+           sock = nqe.Nqe.sock;
+           op = Nqe.op_to_string nqe.Nqe.op;
+           dst;
+         })
 
 let conn_table_size t = Hashtbl.length t.conn_table
 
@@ -62,7 +117,7 @@ let attach t ~vm_id ~nsm_ids =
   if nsm_ids = [] then invalid_arg "Coreengine.attach: need at least one NSM";
   Hashtbl.replace t.assignment vm_id (Array.of_list nsm_ids, ref 0)
 
-let set_rate_limit t ~vm_id ~bytes_per_sec ?burst () =
+let set_rate_limit ?burst t ~vm_id ~bytes_per_sec =
   let burst = match burst with Some b -> b | None -> bytes_per_sec *. 0.05 in
   Hashtbl.replace t.buckets vm_id
     (Nkutil.Token_bucket.create ~rate:bytes_per_sec ~burst ~now:(Engine.now t.engine))
@@ -103,14 +158,14 @@ let route_vm_to_nsm t (nqe : Nqe.t) raw =
   | Some r -> (
       match Hashtbl.find_opt t.nsms r.nsm_id with
       | None ->
-          t.stats.dropped <- t.stats.dropped + 1;
+          drop t (Some nqe) "nsm_gone";
           true
       | Some dev ->
           let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
           if nqe.Nqe.op = Nqe.Close then
             Hashtbl.remove t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock);
           if push_inbound t dev ~qset:r.nsm_qset q raw then begin
-            t.stats.switched <- t.stats.switched + 1;
+            switched t nqe (Printf.sprintf "nsm%d" r.nsm_id);
             true
           end
           else false)
@@ -118,7 +173,7 @@ let route_vm_to_nsm t (nqe : Nqe.t) raw =
       (* First NQE of this socket: assign an NSM and a queue set. *)
       match Hashtbl.find_opt t.assignment nqe.Nqe.vm_id with
       | None ->
-          t.stats.dropped <- t.stats.dropped + 1;
+          drop t (Some nqe) "no_nsm_assignment";
           true
       | Some (nsms, rr) ->
           charge_table_miss t;
@@ -129,7 +184,7 @@ let route_vm_to_nsm t (nqe : Nqe.t) raw =
           Hashtbl.replace t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock) { nsm_id; nsm_qset };
           let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
           if push_inbound t dev ~qset:nsm_qset q raw then begin
-            t.stats.switched <- t.stats.switched + 1;
+            switched t nqe (Printf.sprintf "nsm%d" nsm_id);
             true
           end
           else false)
@@ -137,7 +192,7 @@ let route_vm_to_nsm t (nqe : Nqe.t) raw =
 let route_nsm_to_vm t ~src_nsm ~src_qset (nqe : Nqe.t) raw =
   match Hashtbl.find_opt t.vms nqe.Nqe.vm_id with
   | None ->
-      t.stats.dropped <- t.stats.dropped + 1;
+      drop t (Some nqe) "vm_gone";
       true
   | Some dev ->
       let n = Nk_device.n_qsets dev in
@@ -170,7 +225,7 @@ let route_nsm_to_vm t ~src_nsm ~src_qset (nqe : Nqe.t) raw =
         | _ -> `Completion
       in
       if push_inbound t dev ~qset q raw then begin
-        t.stats.switched <- t.stats.switched + 1;
+        switched t nqe (Printf.sprintf "vm%d" nqe.Nqe.vm_id);
         true
       end
       else false
@@ -206,7 +261,7 @@ and drain_deferred t =
             match Nqe.decode raw with
             | Error _ ->
                 ignore (Queue.pop q);
-                t.stats.dropped <- t.stats.dropped + 1;
+                drop t None "decode";
                 loop ()
             | Ok nqe -> (
                 match entry with
@@ -278,7 +333,7 @@ let sweep t =
 
 let dispatch t (src, raw) =
   match Nqe.decode raw with
-  | Error _ -> t.stats.dropped <- t.stats.dropped + 1
+  | Error _ -> drop t None "decode"
   | Ok nqe -> (
       match src with
       | `Nsm (dev, src_qset) ->
@@ -294,7 +349,9 @@ let dispatch t (src, raw) =
             has_deferred_to_vm
             || not (route_nsm_to_vm t ~src_nsm:(Nk_device.id dev) ~src_qset nqe raw)
           then begin
-            t.stats.ring_deferred <- t.stats.ring_deferred + 1;
+            Nkmon.Registry.incr t.ctr.c_ring_deferred;
+            if Nkmon.tracing t.mon then
+              Nkmon.event t.mon (Nkmon.Trace.Ring_defer { vm_id = nqe.Nqe.vm_id });
             Queue.add (To_vm { src_nsm = Nk_device.id dev; src_qset; raw }) dq;
             schedule_release t 5e-6
           end
@@ -314,12 +371,17 @@ let dispatch t (src, raw) =
             | _, _ -> false
           in
           if must_defer then begin
-            t.stats.rate_deferred <- t.stats.rate_deferred + 1;
+            Nkmon.Registry.incr t.ctr.c_rate_deferred;
+            if Nkmon.tracing t.mon then
+              Nkmon.event t.mon
+                (Nkmon.Trace.Rate_limit_defer { vm_id; bytes = nqe.Nqe.size });
             Queue.add (To_nsm raw) dq;
             schedule_release t 1e-5
           end
           else if not (route_vm_to_nsm t nqe raw) then begin
-            t.stats.ring_deferred <- t.stats.ring_deferred + 1;
+            Nkmon.Registry.incr t.ctr.c_ring_deferred;
+            if Nkmon.tracing t.mon then
+              Nkmon.event t.mon (Nkmon.Trace.Ring_defer { vm_id });
             Queue.add (To_nsm raw) dq;
             schedule_release t 5e-6
           end)
@@ -330,7 +392,8 @@ let rec process t =
       t.running <- false;
       Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_poll_iter
   | work ->
-      t.stats.sweeps <- t.stats.sweeps + 1;
+      Nkmon.Registry.incr t.ctr.c_sweeps;
+      Nkutil.Histogram.record t.sweep_batch (float_of_int (List.length work));
       let per_nqe, per_sweep =
         (* hardware-offloaded switching leaves only a residual descriptor
            cost on the CE core — no software queue sweeps either; table

@@ -14,7 +14,11 @@
 
 type t
 
-val create : engine:Sim.Engine.t -> core:Sim.Cpu.t -> costs:Nk_costs.t -> unit -> t
+val create :
+  engine:Sim.Engine.t -> core:Sim.Cpu.t -> ?mon:Nkmon.t -> ?instance:string -> Nk_costs.t -> t
+(** [mon] is the world's observability handle (metrics under
+    [coreengine/<instance>/...], switch/defer/drop trace events);
+    [instance] defaults to ["ce"]. *)
 
 val core : t -> Sim.Cpu.t
 
@@ -30,7 +34,7 @@ val attach : t -> vm_id:int -> nsm_ids:int list -> unit
     assigned round-robin at their first NQE (the paper's per-socket
     mapping). *)
 
-val set_rate_limit : t -> vm_id:int -> bytes_per_sec:float -> ?burst:float -> unit -> unit
+val set_rate_limit : ?burst:float -> t -> vm_id:int -> bytes_per_sec:float -> unit
 (** Token-bucket cap on the VM's egress payload bytes (Fig 21). [burst]
     defaults to 50 ms worth of tokens. *)
 
@@ -40,13 +44,14 @@ val kick : t -> unit
 (** Producer notification: outbound NQEs may be pending. *)
 
 type stats = {
-  mutable switched : int;
-  mutable rate_deferred : int;  (** NQEs that waited for tokens *)
-  mutable ring_deferred : int;  (** NQEs that waited for ring space *)
-  mutable dropped : int;  (** undecodable or unroutable NQEs *)
-  mutable sweeps : int;  (** polling iterations executed *)
+  switched : int;
+  rate_deferred : int;  (** NQEs that waited for tokens *)
+  ring_deferred : int;  (** NQEs that waited for ring space *)
+  dropped : int;  (** undecodable or unroutable NQEs *)
+  sweeps : int;  (** polling iterations executed *)
 }
 
 val stats : t -> stats
+(** Immutable snapshot of the registry-backed counters. *)
 
 val conn_table_size : t -> int

@@ -29,11 +29,20 @@ type gsock = {
 type qset_state = { mutable scheduled : bool; mutable last_active : float }
 
 type stats = {
-  mutable nqes_tx : int;
-  mutable nqes_rx : int;
-  mutable bytes_sent : int;
-  mutable bytes_received : int;
-  mutable send_eagain : int;
+  nqes_tx : int;
+  nqes_rx : int;
+  bytes_sent : int;
+  bytes_received : int;
+  send_eagain : int;
+}
+
+(* Live registry-backed counters; [stats] snapshots them. *)
+type counters = {
+  c_nqes_tx : Nkmon.Registry.counter;
+  c_nqes_rx : Nkmon.Registry.counter;
+  c_bytes_sent : Nkmon.Registry.counter;
+  c_bytes_received : Nkmon.Registry.counter;
+  c_send_eagain : Nkmon.Registry.counter;
 }
 
 type t = {
@@ -47,12 +56,21 @@ type t = {
   epolls : (Socket_api.epoll, Socket_api.sock Epoll_core.t) Hashtbl.t;
   memberships : (Socket_api.sock, Socket_api.epoll list ref) Hashtbl.t;
   qstates : qset_state array;
-  stats : stats;
+  mon : Nkmon.t;
+  ctr : counters;
   mutable next_gid : int;
   mutable next_ep : int;
 }
 
-let stats t = t.stats
+let stats t =
+  let module R = Nkmon.Registry in
+  {
+    nqes_tx = R.counter_value t.ctr.c_nqes_tx;
+    nqes_rx = R.counter_value t.ctr.c_nqes_rx;
+    bytes_sent = R.counter_value t.ctr.c_bytes_sent;
+    bytes_received = R.counter_value t.ctr.c_bytes_received;
+    send_eagain = R.counter_value t.ctr.c_send_eagain;
+  }
 
 let nk_debug = Sys.getenv_opt "NKDEBUG" <> None
 
@@ -97,7 +115,18 @@ let notify_epolls t gid =
 (* ---- NQE posting -------------------------------------------------------- *)
 
 let post t gs queue (nqe : Nqe.t) =
-  t.stats.nqes_tx <- t.stats.nqes_tx + 1;
+  Nkmon.Registry.incr t.ctr.c_nqes_tx;
+  if Nkmon.tracing t.mon then
+    Nkmon.event t.mon
+      (Nkmon.Trace.Nqe_enqueue
+         {
+           device = Nk_device.id t.device;
+           qset = gs.qset;
+           queue = (match queue with `Send -> Nkmon.Trace.Send | _ -> Nkmon.Trace.Job);
+           op = Nqe.op_to_string nqe.Nqe.op;
+           vm_id = t.vm_id;
+           sock = gs.gid;
+         });
   Nk_device.post t.device ~qset:gs.qset queue (Nqe.encode nqe)
 
 let post_op t gs op ?op_data ?data_ptr ?size ?synthetic () =
@@ -113,7 +142,18 @@ let free_send_extent t (nqe : Nqe.t) =
     { Hugepages.offset = nqe.Nqe.data_ptr; len = nqe.Nqe.size }
 
 let apply t (nqe : Nqe.t) =
-  t.stats.nqes_rx <- t.stats.nqes_rx + 1;
+  Nkmon.Registry.incr t.ctr.c_nqes_rx;
+  if Nkmon.tracing t.mon then
+    Nkmon.event t.mon
+      (Nkmon.Trace.Nqe_deliver
+         {
+           component = "guestlib";
+           instance = Printf.sprintf "vm%d" t.vm_id;
+           qset = nqe.Nqe.qset;
+           op = Nqe.op_to_string nqe.Nqe.op;
+           vm_id = t.vm_id;
+           sock = nqe.Nqe.sock;
+         });
   let err = Nqe.err_of_code nqe.Nqe.op_data in
   match nqe.Nqe.op with
   | Nqe.Comp_socket | Nqe.Comp_bind | Nqe.Comp_listen -> (
@@ -203,7 +243,7 @@ let apply t (nqe : Nqe.t) =
           dbg "[%.4f] glib: gid=%x ev_data %d avail=%d members=%b\n"
             (Engine.now t.engine) gs.gid nqe.Nqe.size gs.recv_avail
             (Hashtbl.mem t.memberships gs.gid);
-          t.stats.bytes_received <- t.stats.bytes_received + nqe.Nqe.size;
+          Nkmon.Registry.add t.ctr.c_bytes_received nqe.Nqe.size;
           notify_epolls t gs.gid)
   | Nqe.Ev_eof -> (
       match find t nqe.Nqe.sock with
@@ -359,14 +399,14 @@ let api t =
             let room = t.costs.Nk_costs.guest_sendbuf - gs.sendbuf_used in
             let n = Int.min want room in
             if n <= 0 then begin
-              t.stats.send_eagain <- t.stats.send_eagain + 1;
+              Nkmon.Registry.incr t.ctr.c_send_eagain;
               Cpu.charge (core_for t gs) ~cycles:t.costs.Nk_costs.nk_syscall;
               k (Error Types.Eagain)
             end
             else
               match Hugepages.alloc (Nk_device.hugepages t.device) n with
               | None ->
-                  t.stats.send_eagain <- t.stats.send_eagain + 1;
+                  Nkmon.Registry.incr t.ctr.c_send_eagain;
                   Cpu.charge (core_for t gs) ~cycles:t.costs.Nk_costs.nk_syscall;
                   k (Error Types.Eagain)
               | Some extent ->
@@ -385,7 +425,7 @@ let api t =
                           Hugepages.write_payload (Nk_device.hugepages t.device) extent
                             (Types.Data (if String.length s = n then s else String.sub s 0 n))
                       | Types.Zeros _ -> ());
-                      t.stats.bytes_sent <- t.stats.bytes_sent + n;
+                      Nkmon.Registry.add t.ctr.c_bytes_sent n;
                       post_op t gs Nqe.Send ~data_ptr:extent.Hugepages.offset ~size:n
                         ~synthetic ();
                       k (Ok n)))
@@ -534,7 +574,10 @@ let api t =
     peer_addr;
   }
 
-let create ~engine ~vm_id ~cores ~device ~costs ~profile () =
+let create ~engine ~vm_id ~cores ~device ~costs ~profile ?(mon = Nkmon.null ()) () =
+  let c name =
+    Nkmon.counter mon ~component:"guestlib" ~instance:(Printf.sprintf "vm%d" vm_id) ~name
+  in
   let t =
     {
       engine;
@@ -549,8 +592,15 @@ let create ~engine ~vm_id ~cores ~device ~costs ~profile () =
       qstates =
         Array.init (Nk_device.n_qsets device) (fun _ ->
             { scheduled = false; last_active = 0.0 });
-      stats =
-        { nqes_tx = 0; nqes_rx = 0; bytes_sent = 0; bytes_received = 0; send_eagain = 0 };
+      mon;
+      ctr =
+        {
+          c_nqes_tx = c "nqes_tx";
+          c_nqes_rx = c "nqes_rx";
+          c_bytes_sent = c "bytes_sent";
+          c_bytes_received = c "bytes_received";
+          c_send_eagain = c "send_eagain";
+        };
       next_gid = 1;
       next_ep = 1;
     }

@@ -22,6 +22,7 @@ val create :
   device:Nk_device.t ->
   costs:Nk_costs.t ->
   profile:Sim.Cost_profile.t ->
+  ?mon:Nkmon.t ->
   unit ->
   t
 (** [device] must have one queue set per core in [cores]. [profile] is the
@@ -30,11 +31,13 @@ val create :
 val api : t -> Tcpstack.Socket_api.t
 
 type stats = {
-  mutable nqes_tx : int;
-  mutable nqes_rx : int;
-  mutable bytes_sent : int;
-  mutable bytes_received : int;
-  mutable send_eagain : int;  (** sends rejected for lack of buffer/extent *)
+  nqes_tx : int;
+  nqes_rx : int;
+  bytes_sent : int;
+  bytes_received : int;
+  send_eagain : int;  (** sends rejected for lack of buffer/extent *)
 }
 
 val stats : t -> stats
+(** Immutable snapshot of the registry-backed [guestlib/vm<id>/...]
+    counters. *)

@@ -8,19 +8,25 @@ type t = {
   pressure : Sim.Pressure.t;
   nic : Nic.t;
   vswitch : Vswitch.t;
+  mon : Nkmon.t;
   mutable ce : Coreengine.t option;
   mutable ce_core : Sim.Cpu.t option;
   mutable next_vm_id : int;
   mutable next_nsm_id : int;
 }
 
-let create ~engine ~fabric ~registry ~rng ~costs ~name () =
+let create ~engine ~fabric ~registry ~rng ~costs ~name ?mon () =
+  let mon =
+    match mon with
+    | Some m -> m
+    | None -> Nkmon.create ~now:(fun () -> Sim.Engine.now engine) ()
+  in
   let pressure = Sim.Pressure.create engine () in
   let nic = Nic.create engine ~name:(name ^ ".pnic") ~pressure () in
   Fabric.attach fabric nic;
   let vswitch = Vswitch.create engine ~nic () in
   { engine; fabric; registry; master_rng = rng; costs; name; pressure; nic; vswitch;
-    ce = None; ce_core = None; next_vm_id = 1; next_nsm_id = 1 }
+    mon; ce = None; ce_core = None; next_vm_id = 1; next_nsm_id = 1 }
 
 let name t = t.name
 let engine t = t.engine
@@ -30,6 +36,7 @@ let pressure t = t.pressure
 let registry t = t.registry
 let rng t = Nkutil.Rng.split t.master_rng
 let costs t = t.costs
+let mon t = t.mon
 
 let own_ip t ip = Fabric.add_route t.fabric ip t.nic
 
@@ -42,7 +49,10 @@ let enable_netkernel t =
   | None ->
       let core = Sim.Cpu.create t.engine ~name:(t.name ^ ".coreengine") () in
       t.ce_core <- Some core;
-      t.ce <- Some (Coreengine.create ~engine:t.engine ~core ~costs:t.costs ())
+      t.ce <-
+        Some
+          (Coreengine.create ~engine:t.engine ~core ~mon:t.mon
+             ~instance:(t.name ^ ".ce") t.costs)
 
 let coreengine t =
   match t.ce with

@@ -10,9 +10,12 @@ val create :
   rng:Nkutil.Rng.t ->
   costs:Nk_costs.t ->
   name:string ->
+  ?mon:Nkmon.t ->
   unit ->
   t
-(** Attaches a NIC to the fabric and builds the host vswitch. *)
+(** Attaches a NIC to the fabric and builds the host vswitch. [mon] is the
+    observability handle shared with every component built on this host;
+    defaults to a fresh handle clocked by [engine] (tracing off). *)
 
 val name : t -> string
 
@@ -30,6 +33,8 @@ val rng : t -> Nkutil.Rng.t
 (** A fresh independent RNG split per call. *)
 
 val costs : t -> Nk_costs.t
+
+val mon : t -> Nkmon.t
 
 val own_ip : t -> Addr.ip -> unit
 (** Route [ip] to this host in the fabric. *)

@@ -5,11 +5,28 @@ type t = {
   mutable free_list : (int * int) list; (* (offset, len), sorted by offset *)
   mutable in_use : int;
   live : (int, int) Hashtbl.t; (* offset -> len, for double-free detection *)
+  mon : Nkmon.t;
+  region : string;
 }
 
-let create ?(page_size = 2 * 1024 * 1024) ?(pages = 32) () =
+let create ?(page_size = 2 * 1024 * 1024) ?(pages = 32) ?(mon = Nkmon.null ())
+    ?(region = "hugepages") () =
   let size = page_size * pages in
-  { buf = Bytes.create size; free_list = [ (0, size) ]; in_use = 0; live = Hashtbl.create 64 }
+  let t =
+    {
+      buf = Bytes.create size;
+      free_list = [ (0, size) ];
+      in_use = 0;
+      live = Hashtbl.create 64;
+      mon;
+      region;
+    }
+  in
+  Nkmon.sampler mon ~component:"hugepages" ~instance:region ~name:"bytes_in_use" (fun () ->
+      float_of_int t.in_use);
+  Nkmon.sampler mon ~component:"hugepages" ~instance:region ~name:"allocations" (fun () ->
+      float_of_int (Hashtbl.length t.live));
+  t
 
 let capacity t = Bytes.length t.buf
 
@@ -30,6 +47,9 @@ let alloc t n =
         t.free_list <- List.rev_append acc (remainder @ rest);
         t.in_use <- t.in_use + need;
         Hashtbl.replace t.live off need;
+        if Nkmon.tracing t.mon then
+          Nkmon.event t.mon
+            (Nkmon.Trace.Hugepage_alloc { region = t.region; offset = off; len = n });
         Some { offset = off; len = n }
     | hole :: rest -> take (hole :: acc) rest
   in
@@ -41,6 +61,9 @@ let free t e =
   | Some rounded ->
       Hashtbl.remove t.live e.offset;
       t.in_use <- t.in_use - rounded;
+      if Nkmon.tracing t.mon then
+        Nkmon.event t.mon
+          (Nkmon.Trace.Hugepage_free { region = t.region; offset = e.offset; len = e.len });
       (* Insert sorted by offset, then coalesce adjacent holes. *)
       let rec insert = function
         | [] -> [ (e.offset, rounded) ]

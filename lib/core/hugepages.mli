@@ -12,9 +12,10 @@ type t
 
 type extent = { offset : int; len : int }
 
-val create : ?page_size:int -> ?pages:int -> unit -> t
+val create : ?page_size:int -> ?pages:int -> ?mon:Nkmon.t -> ?region:string -> unit -> t
 (** Defaults: 2 MB pages × 32. (The paper uses 128 pages; experiments that
-    need more pass [~pages].) *)
+    need more pass [~pages].) [region] names the instance in Nkmon
+    ([hugepages/<region>/...] gauges, alloc/free trace events). *)
 
 val capacity : t -> int
 

@@ -10,19 +10,33 @@ type t = {
   overflow : overflow Queue.t;
   mutable kick_ce : (unit -> unit) option;
   mutable kick_owner : (int -> unit) option;
+  mon : Nkmon.t;
+  c_posted : Nkmon.Registry.counter;
+  c_ring_full : Nkmon.Registry.counter;
 }
 
-let create ~id ~role ~qsets ?capacity ~hugepages () =
+let create ~id ~role ~qsets ?capacity ~hugepages ?(mon = Nkmon.null ()) () =
   if qsets < 1 then invalid_arg "Nk_device.create: need at least one queue set";
-  {
-    id;
-    role;
-    qsets = Array.init qsets (fun _ -> Queue_set.create ?capacity ());
-    hugepages;
-    overflow = Queue.create ();
-    kick_ce = None;
-    kick_owner = None;
-  }
+  let instance = Printf.sprintf "dev%d" id in
+  let t =
+    {
+      id;
+      role;
+      qsets = Array.init qsets (fun _ -> Queue_set.create ?capacity ());
+      hugepages;
+      overflow = Queue.create ();
+      kick_ce = None;
+      kick_owner = None;
+      mon;
+      c_posted = Nkmon.counter mon ~component:"nk_device" ~instance ~name:"posted";
+      c_ring_full = Nkmon.counter mon ~component:"nk_device" ~instance ~name:"ring_full";
+    }
+  in
+  Nkmon.sampler mon ~component:"nk_device" ~instance ~name:"queued" (fun () ->
+      float_of_int
+        (Array.fold_left (fun acc s -> acc + Queue_set.total_queued s) 0 t.qsets
+        + Queue.length t.overflow));
+  t
 
 let id t = t.id
 
@@ -60,11 +74,24 @@ let flush_overflow t =
   in
   loop ()
 
+let trace_queue = function
+  | `Job -> Nkmon.Trace.Job
+  | `Completion -> Nkmon.Trace.Completion
+  | `Send -> Nkmon.Trace.Send
+  | `Receive -> Nkmon.Trace.Receive
+
 let post t ~qset q nqe =
   flush_overflow t;
+  Nkmon.Registry.incr t.c_posted;
   if
     (not (Queue.is_empty t.overflow)) || not (Nkutil.Spsc_ring.push (ring t ~qset q) nqe)
-  then Queue.add { q; qset; nqe } t.overflow;
+  then begin
+    Nkmon.Registry.incr t.c_ring_full;
+    if Nkmon.tracing t.mon then
+      Nkmon.event t.mon
+        (Nkmon.Trace.Ring_full { device = t.id; qset; queue = trace_queue q });
+    Queue.add { q; qset; nqe } t.overflow
+  end;
   match t.kick_ce with None -> () | Some f -> f ()
 
 let outbound_pending t ~qset =

@@ -15,7 +15,16 @@ type role = Vm_side | Nsm_side
 type t
 
 val create :
-  id:int -> role:role -> qsets:int -> ?capacity:int -> hugepages:Hugepages.t -> unit -> t
+  id:int ->
+  role:role ->
+  qsets:int ->
+  ?capacity:int ->
+  hugepages:Hugepages.t ->
+  ?mon:Nkmon.t ->
+  unit ->
+  t
+(** [mon] records [nk_device/dev<id>/...] metrics (posted NQEs, ring-full
+    spills, queued depth) and [Ring_full] trace events. *)
 
 val id : t -> int
 

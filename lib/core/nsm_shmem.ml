@@ -31,7 +31,13 @@ end)
 
 type qset_state = { mutable scheduled : bool }
 
-type stats = { mutable bytes_copied : int; mutable conns : int }
+type stats = { bytes_copied : int; conns : int }
+
+(* Live registry-backed counters; [stats] snapshots them. *)
+type counters = {
+  c_bytes_copied : Nkmon.Registry.counter;
+  c_conns : Nkmon.Registry.counter;
+}
 
 type t = {
   engine : Engine.t;
@@ -43,10 +49,15 @@ type t = {
   socks : (int * int, endpoint) Hashtbl.t; (* (vm_id, gid) -> endpoint *)
   listeners : listener Endpoint_table.t;
   qstates : qset_state array;
-  stats : stats;
+  ctr : counters;
 }
 
-let stats t = t.stats
+let stats t =
+  let module R = Nkmon.Registry in
+  {
+    bytes_copied = R.counter_value t.ctr.c_bytes_copied;
+    conns = R.counter_value t.ctr.c_conns;
+  }
 
 let register_vm t ~vm_id ~hugepages ~ips =
   ignore ips;
@@ -104,7 +115,7 @@ let rec drain t (src : endpoint) (dst : endpoint) =
               Cpu.charge
                 (Cpu.Set.core t.cores dst.nsm_qset)
                 ~cycles:(float_of_int len *. t.copy_cost);
-              t.stats.bytes_copied <- t.stats.bytes_copied + len;
+              Nkmon.Registry.add t.ctr.c_bytes_copied len;
               dst.credit_used <- dst.credit_used + len;
               post t dst Nqe.Ev_data ~data_ptr:dst_extent.Hugepages.offset ~size:len
                 ~synthetic:p.synthetic ();
@@ -180,7 +191,7 @@ let apply t ~qset_idx (nqe : Nqe.t) =
                   Hashtbl.replace t.socks (l.l_vm.vm_id, sgid) server;
                   ep.peer <- Some server;
                   server.peer <- Some ep;
-                  t.stats.conns <- t.stats.conns + 1;
+                  Nkmon.Registry.incr t.ctr.c_conns;
                   (* Announce the connection to the listener's VM. *)
                   Cpu.charge
                     (Cpu.Set.core t.cores server.nsm_qset)
@@ -269,7 +280,13 @@ let on_kick t qi =
     process_qset t qi
   end
 
-let create ~engine ~device ~cores ~costs ?(copy_cycles_per_byte = 0.3) () =
+let create ~engine ~device ~cores ~costs ?(copy_cycles_per_byte = 0.3) ?(mon = Nkmon.null ()) () =
+  let c name =
+    Nkmon.counter mon
+      ~component:"nsm_shmem"
+      ~instance:(Printf.sprintf "nsm%d" (Nk_device.id device))
+      ~name
+  in
   let t =
     {
       engine;
@@ -281,7 +298,7 @@ let create ~engine ~device ~cores ~costs ?(copy_cycles_per_byte = 0.3) () =
       socks = Hashtbl.create 256;
       listeners = Endpoint_table.create 16;
       qstates = Array.init (Nk_device.n_qsets device) (fun _ -> { scheduled = false });
-      stats = { bytes_copied = 0; conns = 0 };
+      ctr = { c_bytes_copied = c "bytes_copied"; c_conns = c "conns" };
     }
   in
   Nk_device.set_kick_owner device (fun qi -> on_kick t qi);

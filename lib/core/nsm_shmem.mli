@@ -14,6 +14,7 @@ val create :
   cores:Sim.Cpu.Set.t ->
   costs:Nk_costs.t ->
   ?copy_cycles_per_byte:float ->
+  ?mon:Nkmon.t ->
   unit ->
   t
 (** [copy_cycles_per_byte] is the cross-region memcpy cost (default 0.3,
@@ -25,6 +26,8 @@ val register_vm : t -> vm_id:int -> hugepages:Hugepages.t -> ips:Addr.ip list ->
 
 val deregister_vm : t -> vm_id:int -> unit
 
-type stats = { mutable bytes_copied : int; mutable conns : int }
+type stats = { bytes_copied : int; conns : int }
 
 val stats : t -> stats
+(** Immutable snapshot of the registry-backed [nsm_shmem/nsm<id>/...]
+    counters. *)

@@ -19,3 +19,7 @@ val create : ?capacity:int -> unit -> t
 (** [capacity] per ring, default 8192. *)
 
 val total_queued : t -> int
+
+val depths : t -> int * int * int * int
+(** Current [(job, completion, send, receive)] ring occupancies, for
+    Nkmon queue-depth gauges. *)

@@ -34,10 +34,18 @@ and ssock = {
 type qset_state = { mutable scheduled : bool }
 
 type stats = {
-  mutable nqes_rx : int;
-  mutable nqes_tx : int;
-  mutable bytes_to_stack : int;
-  mutable bytes_to_vm : int;
+  nqes_rx : int;
+  nqes_tx : int;
+  bytes_to_stack : int;
+  bytes_to_vm : int;
+}
+
+(* Live registry-backed counters; [stats] snapshots them. *)
+type counters = {
+  c_nqes_rx : Nkmon.Registry.counter;
+  c_nqes_tx : Nkmon.Registry.counter;
+  c_bytes_to_stack : Nkmon.Registry.counter;
+  c_bytes_to_vm : Nkmon.Registry.counter;
 }
 
 type t = {
@@ -49,10 +57,19 @@ type t = {
   pressure : Sim.Pressure.t;
   vms : (int, vm_ctx) Hashtbl.t;
   qstates : qset_state array;
-  stats : stats;
+  mon : Nkmon.t;
+  instance : string;
+  ctr : counters;
 }
 
-let stats t = t.stats
+let stats t =
+  let module R = Nkmon.Registry in
+  {
+    nqes_rx = R.counter_value t.ctr.c_nqes_rx;
+    nqes_tx = R.counter_value t.ctr.c_nqes_tx;
+    bytes_to_stack = R.counter_value t.ctr.c_bytes_to_stack;
+    bytes_to_vm = R.counter_value t.ctr.c_bytes_to_vm;
+  }
 
 let nk_debug = Sys.getenv_opt "NKDEBUG" <> None
 
@@ -66,7 +83,7 @@ let core_index t core =
 (* ---- NQE replies --------------------------------------------------------- *)
 
 let post t (ss : ssock) op ?op_data ?data_ptr ?size ?synthetic () =
-  t.stats.nqes_tx <- t.stats.nqes_tx + 1;
+  Nkmon.Registry.incr t.ctr.c_nqes_tx;
   Cpu.charge (Cpu.Set.core t.cores ss.nsm_qset) ~cycles:t.costs.Nk_costs.nqe_encode;
   let queue =
     match op with Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof -> `Receive | _ -> `Completion
@@ -112,7 +129,7 @@ let rec pump_send t ss =
                       Cpu.charge
                         (t.ops.Stack_ops.conn_core conn)
                         ~cycles:(Nk_costs.hugepage_copy_cycles t.costs t.pressure n);
-                      t.stats.bytes_to_stack <- t.stats.bytes_to_stack + n;
+                      Nkmon.Registry.add t.ctr.c_bytes_to_stack n;
                       p.off <- p.off + n;
                       if p.off >= p.extent.Hugepages.len then begin
                         ignore (Queue.pop ss.sendq);
@@ -194,7 +211,7 @@ let rec pump_recv t ss =
                             (Nk_costs.hugepage_copy_cycles t.costs t.pressure n
                             +. t.costs.Nk_costs.hugepage_alloc);
                         ss.recv_credit_used <- ss.recv_credit_used + n;
-                        t.stats.bytes_to_vm <- t.stats.bytes_to_vm + n;
+                        Nkmon.Registry.add t.ctr.c_bytes_to_vm n;
                         post t ss Nqe.Ev_data ~data_ptr:extent.Hugepages.offset ~size:n
                           ~synthetic ();
                         go ()
@@ -277,7 +294,7 @@ let on_accept t vm (lsock : ssock) conn ~peer =
   wire_conn t ss conn;
   (* Announce the pipelined accept: the VM learns the new socket id through
      the size field, the peer address through op_data. *)
-  t.stats.nqes_tx <- t.stats.nqes_tx + 1;
+  Nkmon.Registry.incr t.ctr.c_nqes_tx;
   Cpu.charge (Cpu.Set.core t.cores ss.nsm_qset) ~cycles:t.costs.Nk_costs.nqe_encode;
   Nk_device.post t.device ~qset:ss.nsm_qset `Receive
     (Nqe.encode
@@ -303,7 +320,18 @@ let lookup_or_create t vm (nqe : Nqe.t) =
       end
 
 let apply t ~qset_idx (nqe : Nqe.t) =
-  t.stats.nqes_rx <- t.stats.nqes_rx + 1;
+  Nkmon.Registry.incr t.ctr.c_nqes_rx;
+  if Nkmon.tracing t.mon then
+    Nkmon.event t.mon
+      (Nkmon.Trace.Nqe_deliver
+         {
+           component = "servicelib";
+           instance = t.instance;
+           qset = qset_idx;
+           op = Nqe.op_to_string nqe.Nqe.op;
+           vm_id = nqe.Nqe.vm_id;
+           sock = nqe.Nqe.sock;
+         });
   match Hashtbl.find_opt t.vms nqe.Nqe.vm_id with
   | None -> ()
   | Some vm -> (
@@ -404,7 +432,9 @@ let on_kick t qi =
 
 (* ---- construction -------------------------------------------------------------------- *)
 
-let create ~engine ~device ~ops ~cores ~costs ~pressure () =
+let create ~engine ~device ~ops ~cores ~costs ~pressure ?(mon = Nkmon.null ()) () =
+  let instance = Printf.sprintf "nsm%d" (Nk_device.id device) in
+  let c name = Nkmon.counter mon ~component:"servicelib" ~instance ~name in
   let t =
     {
       engine;
@@ -415,7 +445,15 @@ let create ~engine ~device ~ops ~cores ~costs ~pressure () =
       pressure;
       vms = Hashtbl.create 8;
       qstates = Array.init (Nk_device.n_qsets device) (fun _ -> { scheduled = false });
-      stats = { nqes_rx = 0; nqes_tx = 0; bytes_to_stack = 0; bytes_to_vm = 0 };
+      mon;
+      instance;
+      ctr =
+        {
+          c_nqes_rx = c "nqes_rx";
+          c_nqes_tx = c "nqes_tx";
+          c_bytes_to_stack = c "bytes_to_stack";
+          c_bytes_to_vm = c "bytes_to_vm";
+        };
     }
   in
   Nk_device.set_kick_owner device (fun qi -> on_kick t qi);

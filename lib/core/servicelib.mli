@@ -26,6 +26,7 @@ val create :
   cores:Sim.Cpu.Set.t ->
   costs:Nk_costs.t ->
   pressure:Sim.Pressure.t ->
+  ?mon:Nkmon.t ->
   unit ->
   t
 (** [device] is the NSM's NK device (one queue set per core in [cores]). *)
@@ -37,10 +38,12 @@ val register_vm : t -> vm_id:int -> hugepages:Hugepages.t -> ips:Addr.ip list ->
 val deregister_vm : t -> vm_id:int -> unit
 
 type stats = {
-  mutable nqes_rx : int;
-  mutable nqes_tx : int;
-  mutable bytes_to_stack : int;
-  mutable bytes_to_vm : int;
+  nqes_rx : int;
+  nqes_tx : int;
+  bytes_to_stack : int;
+  bytes_to_vm : int;
 }
 
 val stats : t -> stats
+(** Immutable snapshot of the registry-backed [servicelib/nsm<id>/...]
+    counters. *)

@@ -4,21 +4,27 @@ type t = {
   fabric : Fabric.t;
   rng : Nkutil.Rng.t;
   costs : Nk_costs.t;
+  mon : Nkmon.t;
 }
 
 let create ?(rate_gbps = 100.0) ?(delay = 20e-6) ?buffer_bytes ?ecn_threshold_bytes
-    ?(seed = 42) ?(costs = Nk_costs.default) () =
+    ?(seed = 42) ?(costs = Nk_costs.default) ?trace_capacity ?trace_enabled () =
   let engine = Sim.Engine.create () in
   let fabric =
     Fabric.create engine ~rate_bps:(rate_gbps *. 1e9) ~delay ?buffer_bytes
       ?ecn_threshold_bytes ()
   in
+  let mon =
+    Nkmon.create ?trace_capacity ?trace_enabled
+      ~now:(fun () -> Sim.Engine.now engine)
+      ()
+  in
   { engine; registry = Tcpstack.Conn_registry.create (); fabric;
-    rng = Nkutil.Rng.create ~seed; costs }
+    rng = Nkutil.Rng.create ~seed; costs; mon }
 
 let add_host t ~name =
   Host.create ~engine:t.engine ~fabric:t.fabric ~registry:t.registry
-    ~rng:(Nkutil.Rng.split t.rng) ~costs:t.costs ~name ()
+    ~rng:(Nkutil.Rng.split t.rng) ~costs:t.costs ~name ~mon:t.mon ()
 
 let run ?until t = Sim.Engine.run ?until t.engine
 

@@ -10,6 +10,7 @@ type t = {
   fabric : Fabric.t;
   rng : Nkutil.Rng.t;
   costs : Nk_costs.t;
+  mon : Nkmon.t;  (** shared observability handle for the whole world *)
 }
 
 val create :
@@ -19,9 +20,14 @@ val create :
   ?ecn_threshold_bytes:int ->
   ?seed:int ->
   ?costs:Nk_costs.t ->
+  ?trace_capacity:int ->
+  ?trace_enabled:bool ->
   unit ->
   t
-(** Defaults: 100 Gb/s ports, 20 us one-way delay, seed 42. *)
+(** Defaults: 100 Gb/s ports, 20 us one-way delay, seed 42. Every host
+    added to the testbed shares [mon], so all component metrics land in one
+    registry; [trace_enabled] (default false) turns on event tracing with a
+    ring of [trace_capacity] records. *)
 
 val add_host : t -> name:string -> Host.t
 

@@ -43,7 +43,8 @@ let create_baseline host ~name ~vcpus ~ips ?(profile = Sim.Cost_profile.linux_ke
   let cfg = match config with Some c -> c | None -> Tcpstack.Stack.default_config profile in
   let stack =
     Tcpstack.Stack.create ~engine:(Host.engine host) ~name ~cores
-      ~vswitch:(Host.vswitch host) ~registry:(Host.registry host) ~rng:(Host.rng host) cfg
+      ~vswitch:(Host.vswitch host) ~registry:(Host.registry host) ~rng:(Host.rng host)
+      ~mon:(Host.mon host) cfg
   in
   List.iter
     (fun ip ->
@@ -59,13 +60,16 @@ let create_nk host ~name ~vcpus ~ips ~nsms ?(profile = Sim.Cost_profile.linux_ke
   Host.enable_netkernel host;
   let vm_id = Host.fresh_vm_id host in
   let cores = Host.new_cores host ~name ~n:vcpus in
-  let hugepages = Hugepages.create ~pages:hugepage_pages () in
+  let mon = Host.mon host in
+  let hugepages =
+    Hugepages.create ~pages:hugepage_pages ~mon ~region:(Printf.sprintf "vm%d" vm_id) ()
+  in
   let device =
-    Nk_device.create ~id:vm_id ~role:Nk_device.Vm_side ~qsets:vcpus ~hugepages ()
+    Nk_device.create ~id:vm_id ~role:Nk_device.Vm_side ~qsets:vcpus ~hugepages ~mon ()
   in
   let guestlib =
     Guestlib.create ~engine:(Host.engine host) ~vm_id ~cores ~device
-      ~costs:(Host.costs host) ~profile ()
+      ~costs:(Host.costs host) ~profile ~mon ()
   in
   let ce = Host.coreengine host in
   Coreengine.register_vm ce device;

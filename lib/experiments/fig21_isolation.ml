@@ -28,9 +28,9 @@ let run ?(quick = false) () =
   in
   let ce = Host.coreengine hosta in
   Coreengine.set_rate_limit ce ~vm_id:(Vm.vm_id (List.nth vms 0))
-    ~bytes_per_sec:(1e9 /. 8.0) ();
+    ~bytes_per_sec:(1e9 /. 8.0);
   Coreengine.set_rate_limit ce ~vm_id:(Vm.vm_id (List.nth vms 1))
-    ~bytes_per_sec:(0.5e9 /. 8.0) ();
+    ~bytes_per_sec:(0.5e9 /. 8.0);
   (* One sink per VM so throughput is attributable. *)
   let sinks =
     List.mapi

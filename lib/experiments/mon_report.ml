@@ -1,0 +1,3 @@
+let table ?(id = "stats") ?(title = "Nkmon metrics") mon =
+  Report.make ~id ~title ~headers:Nkmon.Registry.row_headers
+    (Nkmon.Registry.to_rows (Nkmon.registry mon))

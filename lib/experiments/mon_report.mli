@@ -1,0 +1,7 @@
+(** Render an {!Nkmon} registry as a {!Report} table, so observability
+    snapshots print and export exactly like experiment results. *)
+
+val table : ?id:string -> ?title:string -> Nkmon.t -> Report.t
+(** One row per registered metric in deterministic
+    [component/instance/metric] order; histograms and time series are
+    summarised into the value cell. *)

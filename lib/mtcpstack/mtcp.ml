@@ -22,7 +22,7 @@ let shard_for t flow = t.shards.(Addr.Flow.rss_hash flow mod Array.length t.shar
 let dispatch t (seg : Segment.t) = T.Stack.input (shard_for t seg.Segment.flow) seg
 
 let create ~engine ~name ~cores ~vswitch ~registry ~rng ?(profile = Sim.Cost_profile.mtcp)
-    ?cc_factory ?tcb ?(charge_user_copy = true) () =
+    ?cc_factory ?tcb ?(charge_user_copy = true) ?mon () =
   let n = Cpu.Set.n cores in
   let cc_factory =
     match cc_factory with
@@ -46,7 +46,7 @@ let create ~engine ~name ~cores ~vswitch ~registry ~rng ?(profile = Sim.Cost_pro
     T.Stack.create ~engine
       ~name:(Printf.sprintf "%s.shard%d" name i)
       ~cores:(Cpu.Set.of_array [| Cpu.Set.core cores i |])
-      ~vswitch ~registry ~rng:(Nkutil.Rng.split rng) cfg
+      ~vswitch ~registry ~rng:(Nkutil.Rng.split rng) ?mon cfg
   in
   { engine; name; vswitch; shards = Array.init n mk; ips = []; next_port = 32768 }
 

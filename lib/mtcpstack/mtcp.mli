@@ -30,6 +30,7 @@ val create :
   ?cc_factory:Tcpstack.Cc.factory ->
   ?tcb:Tcpstack.Tcb.config ->
   ?charge_user_copy:bool ->
+  ?mon:Nkmon.t ->
   unit ->
   t
 (** One shard per core in [cores]. [profile] defaults to

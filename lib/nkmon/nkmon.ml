@@ -1,0 +1,35 @@
+module Registry = Registry
+module Trace = Trace
+
+type t = { registry : Registry.t; trace : Trace.t }
+
+let create ?trace_capacity ?trace_enabled ~now () =
+  {
+    registry = Registry.create ();
+    trace = Trace.create ?capacity:trace_capacity ?enabled:trace_enabled ~now ();
+  }
+
+let null () =
+  {
+    registry = Registry.create ();
+    trace = Trace.create ~capacity:1 ~enabled:false ~now:(fun () -> 0.0) ();
+  }
+
+let registry t = t.registry
+
+let trace t = t.trace
+
+let counter t = Registry.counter t.registry
+
+let gauge t = Registry.gauge t.registry
+
+let sampler t = Registry.sampler t.registry
+
+let histogram ?sub_buckets ?max_value t =
+  Registry.histogram ?sub_buckets ?max_value t.registry
+
+let timeseries t = Registry.timeseries t.registry
+
+let tracing t = Trace.enabled t.trace
+
+let event t ev = Trace.record t.trace ev

@@ -1,0 +1,61 @@
+(** Nkmon: the unified observability subsystem.
+
+    One [Nkmon.t] per simulated world bundles the {!Registry} (named
+    counters, gauges, histograms and time series keyed by
+    [component/instance/metric]) with the {!Trace} layer (typed events
+    stamped with {!Sim.Engine} virtual time, ring-buffer retention).
+    {!Testbed.create} builds one and every component created under that
+    testbed — CoreEngine, NK devices, GuestLib, ServiceLib, NSMs,
+    hugepage regions, TCP stacks — reports through it instead of keeping
+    a private mutable [stats] record.
+
+    Components accept [?mon] at creation; when omitted (unit tests
+    building components directly) they fall back to a detached handle
+    from {!null}, so their snapshot accessors keep working without any
+    shared registry. *)
+
+module Registry = Registry
+module Trace = Trace
+
+type t
+
+val create : ?trace_capacity:int -> ?trace_enabled:bool -> now:(unit -> float) -> unit -> t
+(** [now] supplies virtual timestamps for trace events (pass
+    [fun () -> Sim.Engine.now engine]). Tracing defaults to disabled;
+    metrics are always live. *)
+
+val null : unit -> t
+(** A detached sink: a private registry, tracing disabled, clock pinned
+    to 0. Used as the default by components created without [?mon]. *)
+
+val registry : t -> Registry.t
+
+val trace : t -> Trace.t
+
+(** {1 Convenience forwarding} *)
+
+val counter : t -> component:string -> instance:string -> name:string -> Registry.counter
+
+val gauge : t -> component:string -> instance:string -> name:string -> Registry.gauge
+
+val sampler :
+  t -> component:string -> instance:string -> name:string -> (unit -> float) -> unit
+
+val histogram :
+  ?sub_buckets:int ->
+  ?max_value:float ->
+  t ->
+  component:string ->
+  instance:string ->
+  name:string ->
+  Nkutil.Histogram.t
+
+val timeseries :
+  t -> bin_width:float -> component:string -> instance:string -> name:string ->
+  Nkutil.Timeseries.t
+
+val tracing : t -> bool
+(** Cheap guard for event-construction sites:
+    [if Nkmon.tracing mon then Nkmon.event mon (...)]. *)
+
+val event : t -> Trace.event -> unit

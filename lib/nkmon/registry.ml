@@ -1,0 +1,202 @@
+type counter = { mutable n : int }
+
+type gauge = { mutable g : float }
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_sampler of (unit -> float) ref
+  | M_histogram of Nkutil.Histogram.t
+  | M_timeseries of Nkutil.Timeseries.t
+
+type t = { table : (string * string * string, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_sampler _ -> "gauge"
+  | M_histogram _ -> "histogram"
+  | M_timeseries _ -> "timeseries"
+
+let key ~component ~instance ~name = (component, instance, name)
+
+let mismatch (c, i, n) m want =
+  invalid_arg
+    (Printf.sprintf "Nkmon.Registry: %s/%s/%s is a %s, not a %s" c i n (kind_name m) want)
+
+let counter t ~component ~instance ~name =
+  let k = key ~component ~instance ~name in
+  match Hashtbl.find_opt t.table k with
+  | Some (M_counter c) -> c
+  | Some m -> mismatch k m "counter"
+  | None ->
+      let c = { n = 0 } in
+      Hashtbl.replace t.table k (M_counter c);
+      c
+
+let incr c = c.n <- c.n + 1
+
+let add c n = c.n <- c.n + n
+
+let counter_value c = c.n
+
+let gauge t ~component ~instance ~name =
+  let k = key ~component ~instance ~name in
+  match Hashtbl.find_opt t.table k with
+  | Some (M_gauge g) -> g
+  | Some m -> mismatch k m "gauge"
+  | None ->
+      let g = { g = 0.0 } in
+      Hashtbl.replace t.table k (M_gauge g);
+      g
+
+let set g v = g.g <- v
+
+let gauge_value g = g.g
+
+let sampler t ~component ~instance ~name f =
+  let k = key ~component ~instance ~name in
+  match Hashtbl.find_opt t.table k with
+  | Some (M_sampler r) -> r := f
+  | Some m -> mismatch k m "sampler"
+  | None -> Hashtbl.replace t.table k (M_sampler (ref f))
+
+let histogram ?sub_buckets ?max_value t ~component ~instance ~name =
+  let k = key ~component ~instance ~name in
+  match Hashtbl.find_opt t.table k with
+  | Some (M_histogram h) -> h
+  | Some m -> mismatch k m "histogram"
+  | None ->
+      let h = Nkutil.Histogram.create ?sub_buckets ?max_value () in
+      Hashtbl.replace t.table k (M_histogram h);
+      h
+
+let timeseries t ~bin_width ~component ~instance ~name =
+  let k = key ~component ~instance ~name in
+  match Hashtbl.find_opt t.table k with
+  | Some (M_timeseries ts) -> ts
+  | Some m -> mismatch k m "timeseries"
+  | None ->
+      let ts = Nkutil.Timeseries.create ~bin_width () in
+      Hashtbl.replace t.table k (M_timeseries ts);
+      ts
+
+(* ---- enumeration and export --------------------------------------------- *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Nkutil.Histogram.t
+  | Timeseries of Nkutil.Timeseries.t
+
+type entry = { component : string; instance : string; metric : string; value : value }
+
+let value_of_metric = function
+  | M_counter c -> Counter c.n
+  | M_gauge g -> Gauge g.g
+  | M_sampler r -> Gauge (!r ())
+  | M_histogram h -> Histogram h
+  | M_timeseries ts -> Timeseries ts
+
+let find t ~component ~instance ~name =
+  Option.map value_of_metric (Hashtbl.find_opt t.table (component, instance, name))
+
+let entries t =
+  Hashtbl.fold
+    (fun (component, instance, metric) m acc ->
+      { component; instance; metric; value = value_of_metric m } :: acc)
+    t.table []
+  |> List.sort (fun a b ->
+         compare (a.component, a.instance, a.metric) (b.component, b.instance, b.metric))
+
+let cardinality t = Hashtbl.length t.table
+
+let fmt_float v =
+  (* Compact but deterministic: integers print without a mantissa tail. *)
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let value_cell = function
+  | Counter n -> string_of_int n
+  | Gauge v -> fmt_float v
+  | Histogram h ->
+      let module H = Nkutil.Histogram in
+      Printf.sprintf "n=%d mean=%s p50=%s p99=%s max=%s" (H.count h) (fmt_float (H.mean h))
+        (fmt_float (H.percentile h 50.0))
+        (fmt_float (H.percentile h 99.0))
+        (fmt_float (H.max h))
+  | Timeseries ts ->
+      let module T = Nkutil.Timeseries in
+      let total = Array.fold_left ( +. ) 0.0 (T.to_array ts) in
+      Printf.sprintf "bins=%d width=%s total=%s" (T.num_bins ts) (fmt_float (T.bin_width ts))
+        (fmt_float total)
+
+let row_headers = [ "component"; "instance"; "metric"; "value" ]
+
+let to_rows t =
+  List.map (fun e -> [ e.component; e.instance; e.metric; value_cell e.value ]) (entries t)
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," row_headers);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map (fun c -> "\"" ^ c ^ "\"") row));
+      Buffer.add_char buf '\n')
+    (to_rows t);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v = Printf.sprintf "%.9g" v
+
+let value_json = function
+  | Counter n -> Printf.sprintf "\"kind\":\"counter\",\"value\":%d" n
+  | Gauge v -> Printf.sprintf "\"kind\":\"gauge\",\"value\":%s" (json_float v)
+  | Histogram h ->
+      let module H = Nkutil.Histogram in
+      Printf.sprintf
+        "\"kind\":\"histogram\",\"count\":%d,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s"
+        (H.count h) (json_float (H.mean h))
+        (json_float (H.percentile h 50.0))
+        (json_float (H.percentile h 90.0))
+        (json_float (H.percentile h 99.0))
+        (json_float (H.max h))
+  | Timeseries ts ->
+      let module T = Nkutil.Timeseries in
+      let bins =
+        T.to_array ts |> Array.to_list |> List.map json_float |> String.concat ","
+      in
+      Printf.sprintf "\"kind\":\"timeseries\",\"bin_width\":%s,\"bins\":[%s]"
+        (json_float (T.bin_width ts))
+        bins
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"metrics\":[\n";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf "{\"component\":\"%s\",\"instance\":\"%s\",\"metric\":\"%s\",%s}"
+           (json_escape e.component) (json_escape e.instance) (json_escape e.metric)
+           (value_json e.value)))
+    (entries t);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

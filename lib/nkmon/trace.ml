@@ -1,0 +1,199 @@
+type queue = Job | Completion | Send | Receive
+
+let queue_to_string = function
+  | Job -> "job"
+  | Completion -> "completion"
+  | Send -> "send"
+  | Receive -> "receive"
+
+type event =
+  | Nqe_enqueue of {
+      device : int;
+      qset : int;
+      queue : queue;
+      op : string;
+      vm_id : int;
+      sock : int;
+    }
+  | Nqe_switch of { vm_id : int; sock : int; op : string; dst : string }
+  | Nqe_deliver of {
+      component : string;
+      instance : string;
+      qset : int;
+      op : string;
+      vm_id : int;
+      sock : int;
+    }
+  | Ring_full of { device : int; qset : int; queue : queue }
+  | Rate_limit_defer of { vm_id : int; bytes : int }
+  | Ring_defer of { vm_id : int }
+  | Nqe_drop of { vm_id : int; sock : int; reason : string }
+  | Tcp_state of { stack : string; sock : int; old_state : string; new_state : string }
+  | Hugepage_alloc of { region : string; offset : int; len : int }
+  | Hugepage_free of { region : string; offset : int; len : int }
+  | Custom of { component : string; name : string; detail : string }
+
+type record = { seq : int; time : float; event : event }
+
+type t = {
+  now : unit -> float;
+  ring : record option array;
+  mutable next : int; (* total recorded; ring slot is [next mod capacity] *)
+  mutable on : bool;
+}
+
+let create ?(capacity = 65536) ?(enabled = false) ~now () =
+  let capacity = Int.max 1 capacity in
+  { now; ring = Array.make capacity None; next = 0; on = enabled }
+
+let enabled t = t.on
+
+let set_enabled t on = t.on <- on
+
+let capacity t = Array.length t.ring
+
+let record t event =
+  if t.on then begin
+    let slot = t.next mod Array.length t.ring in
+    t.ring.(slot) <- Some { seq = t.next; time = t.now (); event };
+    t.next <- t.next + 1
+  end
+
+let recorded t = t.next
+
+let dropped t = Int.max 0 (t.next - Array.length t.ring)
+
+let records t =
+  let cap = Array.length t.ring in
+  let retained = Int.min t.next cap in
+  let first = t.next - retained in
+  List.init retained (fun i -> Option.get t.ring.((first + i) mod cap))
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0
+
+let event_type = function
+  | Nqe_enqueue _ -> "nqe_enqueue"
+  | Nqe_switch _ -> "nqe_switch"
+  | Nqe_deliver _ -> "nqe_deliver"
+  | Ring_full _ -> "ring_full"
+  | Rate_limit_defer _ -> "rate_limit_defer"
+  | Ring_defer _ -> "ring_defer"
+  | Nqe_drop _ -> "nqe_drop"
+  | Tcp_state _ -> "tcp_state"
+  | Hugepage_alloc _ -> "hugepage_alloc"
+  | Hugepage_free _ -> "hugepage_free"
+  | Custom _ -> "custom"
+
+(* Every event flattens to (string * string) pairs used by both exports. *)
+let event_args = function
+  | Nqe_enqueue { device; qset; queue; op; vm_id; sock } ->
+      [
+        ("device", string_of_int device);
+        ("qset", string_of_int qset);
+        ("queue", queue_to_string queue);
+        ("op", op);
+        ("vm_id", string_of_int vm_id);
+        ("sock", string_of_int sock);
+      ]
+  | Nqe_switch { vm_id; sock; op; dst } ->
+      [
+        ("vm_id", string_of_int vm_id);
+        ("sock", string_of_int sock);
+        ("op", op);
+        ("dst", dst);
+      ]
+  | Nqe_deliver { component; instance; qset; op; vm_id; sock } ->
+      [
+        ("component", component);
+        ("instance", instance);
+        ("qset", string_of_int qset);
+        ("op", op);
+        ("vm_id", string_of_int vm_id);
+        ("sock", string_of_int sock);
+      ]
+  | Ring_full { device; qset; queue } ->
+      [
+        ("device", string_of_int device);
+        ("qset", string_of_int qset);
+        ("queue", queue_to_string queue);
+      ]
+  | Rate_limit_defer { vm_id; bytes } ->
+      [ ("vm_id", string_of_int vm_id); ("bytes", string_of_int bytes) ]
+  | Ring_defer { vm_id } -> [ ("vm_id", string_of_int vm_id) ]
+  | Nqe_drop { vm_id; sock; reason } ->
+      [ ("vm_id", string_of_int vm_id); ("sock", string_of_int sock); ("reason", reason) ]
+  | Tcp_state { stack; sock; old_state; new_state } ->
+      [
+        ("stack", stack);
+        ("sock", string_of_int sock);
+        ("old_state", old_state);
+        ("new_state", new_state);
+      ]
+  | Hugepage_alloc { region; offset; len } ->
+      [ ("region", region); ("offset", string_of_int offset); ("len", string_of_int len) ]
+  | Hugepage_free { region; offset; len } ->
+      [ ("region", region); ("offset", string_of_int offset); ("len", string_of_int len) ]
+  | Custom { component; name; detail } ->
+      [ ("component", component); ("name", name); ("detail", detail) ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_time time = Printf.sprintf "%.9f" time
+
+let record_to_json r =
+  let args =
+    event_args r.event
+    |> List.map (fun (k, v) ->
+           (* Numeric fields stay numbers in JSON. *)
+           match int_of_string_opt v with
+           | Some _ when k <> "op" && k <> "dst" -> Printf.sprintf "\"%s\":%s" k v
+           | _ -> Printf.sprintf "\"%s\":\"%s\"" k (json_escape v))
+    |> String.concat ","
+  in
+  Printf.sprintf "{\"seq\":%d,\"time\":%s,\"type\":\"%s\"%s%s}" r.seq (fmt_time r.time)
+    (event_type r.event)
+    (if args = "" then "" else ",")
+    args
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"events\":[\n";
+  let first = ref true in
+  List.iter
+    (fun r ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf (record_to_json r))
+    (records t);
+  Buffer.add_string buf
+    (Printf.sprintf "\n],\"recorded\":%d,\"dropped\":%d}\n" (recorded t) (dropped t));
+  Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "seq,time,type,args\n";
+  List.iter
+    (fun r ->
+      let args =
+        event_args r.event
+        |> List.map (fun (k, v) -> k ^ "=" ^ v)
+        |> String.concat ";"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,\"%s\"\n" r.seq (fmt_time r.time) (event_type r.event)
+           args))
+    (records t);
+  Buffer.contents buf

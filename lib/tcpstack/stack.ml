@@ -45,15 +45,28 @@ let default_config profile =
   }
 
 type stats = {
-  mutable segs_rx : int;
-  mutable segs_tx : int;
-  mutable payload_rx : int;
-  mutable payload_tx : int;
-  mutable rx_ring_drops : int;
-  mutable syn_drops : int;
-  mutable rst_tx : int;
-  mutable conns_established : int;
-  mutable conns_failed : int;
+  segs_rx : int;
+  segs_tx : int;
+  payload_rx : int;
+  payload_tx : int;
+  rx_ring_drops : int;
+  syn_drops : int;
+  rst_tx : int;
+  conns_established : int;
+  conns_failed : int;
+}
+
+(* Live registry-backed counters; [stats] snapshots them. *)
+type counters = {
+  c_segs_rx : Nkmon.Registry.counter;
+  c_segs_tx : Nkmon.Registry.counter;
+  c_payload_rx : Nkmon.Registry.counter;
+  c_payload_tx : Nkmon.Registry.counter;
+  c_rx_ring_drops : Nkmon.Registry.counter;
+  c_syn_drops : Nkmon.Registry.counter;
+  c_rst_tx : Nkmon.Registry.counter;
+  c_conns_established : Nkmon.Registry.counter;
+  c_conns_failed : Nkmon.Registry.counter;
 }
 
 type listener = {
@@ -117,7 +130,8 @@ type t = {
   conns : sock Flow_table.t; (* keyed by local->remote flow *)
   listeners : sock Endpoint_table.t;
   rx : rx_queue array;
-  stats : stats;
+  mon : Nkmon.t;
+  ctr : counters;
   mutable next_sid : int;
   mutable next_port : int;
   mutable next_src_ip : int; (* round-robin index into [ips] for connects *)
@@ -128,7 +142,19 @@ let name t = t.name
 let engine t = t.engine
 let cores t = t.cores
 let config t = t.cfg
-let stats t = t.stats
+let stats t =
+  let module R = Nkmon.Registry in
+  {
+    segs_rx = R.counter_value t.ctr.c_segs_rx;
+    segs_tx = R.counter_value t.ctr.c_segs_tx;
+    payload_rx = R.counter_value t.ctr.c_payload_rx;
+    payload_tx = R.counter_value t.ctr.c_payload_tx;
+    rx_ring_drops = R.counter_value t.ctr.c_rx_ring_drops;
+    syn_drops = R.counter_value t.ctr.c_syn_drops;
+    rst_tx = R.counter_value t.ctr.c_rst_tx;
+    conns_established = R.counter_value t.ctr.c_conns_established;
+    conns_failed = R.counter_value t.ctr.c_conns_failed;
+  }
 
 let owns_ip t ip = List.mem ip t.ips
 
@@ -183,13 +209,13 @@ let emit_cycles t (seg : Segment.t) =
   else (p.per_chunk_tx +. (float_of_int seg.Segment.len *. p.per_byte_tx)) *. tx_mult t
 
 let emit t s (seg : Segment.t) =
-  t.stats.segs_tx <- t.stats.segs_tx + 1;
-  t.stats.payload_tx <- t.stats.payload_tx + seg.Segment.len;
+  Nkmon.Registry.incr t.ctr.c_segs_tx;
+  Nkmon.Registry.add t.ctr.c_payload_tx seg.Segment.len;
   Cpu.exec s.core ~cycles:(emit_cycles t seg) (fun () -> Vswitch.output t.vswitch seg)
 
 let send_rst t (seg : Segment.t) =
   if not seg.Segment.rst then begin
-    t.stats.rst_tx <- t.stats.rst_tx + 1;
+    Nkmon.Registry.incr t.ctr.c_rst_tx;
     let reply =
       Segment.make
         ~flow:(Addr.Flow.reverse seg.Segment.flow)
@@ -238,7 +264,7 @@ let make_actions t s ~flow ~role =
     (match get_conn () with
     | Some c when not c.established ->
         c.established <- true;
-        t.stats.conns_established <- t.stats.conns_established + 1
+        Nkmon.Registry.incr t.ctr.c_conns_established
     | Some _ | None -> ());
     (match role with
     | `Active k -> k (Ok ())
@@ -265,7 +291,7 @@ let make_actions t s ~flow ~role =
     | Some c ->
         if c.error = None then c.error <- Some err;
         if not c.established then begin
-          t.stats.conns_failed <- t.stats.conns_failed + 1;
+          Nkmon.Registry.incr t.ctr.c_conns_failed;
           match role with
           | `Active k -> k (Error err)
           | `Passive lsock -> (
@@ -296,6 +322,17 @@ let make_actions t s ~flow ~role =
     on_writable = (fun () -> notify t s);
     on_error;
     on_destroy;
+    on_transition =
+      (fun old_state new_state ->
+        if Nkmon.tracing t.mon then
+          Nkmon.event t.mon
+            (Nkmon.Trace.Tcp_state
+               {
+                 stack = t.name;
+                 sock = s.sid;
+                 old_state = Tcb.state_to_string old_state;
+                 new_state = Tcb.state_to_string new_state;
+               }));
   }
 
 (* ---- SYN handling ------------------------------------------------------ *)
@@ -309,7 +346,7 @@ let handle_syn t (seg : Segment.t) =
       | Listener l ->
           let backlog = Int.min l.l_backlog t.cfg.profile.accept_backlog in
           if l.syn_count + Queue.length l.accept_q >= backlog then
-            t.stats.syn_drops <- t.stats.syn_drops + 1
+            Nkmon.Registry.incr t.ctr.c_syn_drops
           else begin
             match
               Conn_registry.lookup t.registry ~flow:seg.Segment.flow ~isn:seg.Segment.seq
@@ -317,7 +354,7 @@ let handle_syn t (seg : Segment.t) =
             | None ->
                 (* No content channel: the SYN does not come from one of our
                    simulated stacks. Drop it. *)
-                t.stats.syn_drops <- t.stats.syn_drops + 1
+                Nkmon.Registry.incr t.ctr.c_syn_drops
             | Some channel ->
                 let flow = Addr.Flow.reverse seg.Segment.flow in
                 let s = fresh_sock t ~qidx:(next_queue t) in
@@ -354,7 +391,7 @@ let seg_rx_cycles t (seg : Segment.t) =
   else (p.per_chunk_rx +. (float_of_int seg.Segment.len *. p.per_byte_rx)) *. rx_mult t
 
 let deliver t (seg : Segment.t) =
-  t.stats.payload_rx <- t.stats.payload_rx + seg.Segment.len;
+  Nkmon.Registry.add t.ctr.c_payload_rx seg.Segment.len;
   let flow = Addr.Flow.reverse seg.Segment.flow in
   match Flow_table.find_opt t.conns flow with
   | Some s -> (
@@ -417,7 +454,7 @@ let rec poll_loop t qi =
           poll_loop t qi)
 
 let input t (seg : Segment.t) =
-  t.stats.segs_rx <- t.stats.segs_rx + 1;
+  Nkmon.Registry.incr t.ctr.c_segs_rx;
   let qi =
     match Flow_table.find_opt t.conns (Addr.Flow.reverse seg.Segment.flow) with
     | Some s -> s.qidx
@@ -425,7 +462,7 @@ let input t (seg : Segment.t) =
   in
   let q = t.rx.(qi) in
   if not (Nkutil.Spsc_ring.push q.ring seg) then
-    t.stats.rx_ring_drops <- t.stats.rx_ring_drops + 1
+    Nkmon.Registry.incr t.ctr.c_rx_ring_drops
   else
     match t.cfg.rx_mode with
     | Polling -> () (* the per-core poll loop picks it up *)
@@ -439,7 +476,21 @@ let input t (seg : Segment.t) =
 
 (* ---- construction ------------------------------------------------------- *)
 
-let create ~engine ~name ~cores ~vswitch ~registry ~rng cfg =
+let create ~engine ~name ~cores ~vswitch ~registry ~rng ?(mon = Nkmon.null ()) cfg =
+  let ctr =
+    let c metric = Nkmon.counter mon ~component:"tcpstack" ~instance:name ~name:metric in
+    {
+      c_segs_rx = c "segs_rx";
+      c_segs_tx = c "segs_tx";
+      c_payload_rx = c "payload_rx";
+      c_payload_tx = c "payload_tx";
+      c_rx_ring_drops = c "rx_ring_drops";
+      c_syn_drops = c "syn_drops";
+      c_rst_tx = c "rst_tx";
+      c_conns_established = c "conns_established";
+      c_conns_failed = c "conns_failed";
+    }
+  in
   let n = Cpu.Set.n cores in
   let rx =
     Array.init n (fun _ ->
@@ -459,18 +510,8 @@ let create ~engine ~name ~cores ~vswitch ~registry ~rng cfg =
       conns = Flow_table.create 256;
       listeners = Endpoint_table.create 16;
       rx;
-      stats =
-        {
-          segs_rx = 0;
-          segs_tx = 0;
-          payload_rx = 0;
-          payload_tx = 0;
-          rx_ring_drops = 0;
-          syn_drops = 0;
-          rst_tx = 0;
-          conns_established = 0;
-          conns_failed = 0;
-        };
+      mon;
+      ctr;
       next_sid = 1;
       next_port = fst cfg.ephemeral_range;
       next_src_ip = 0;

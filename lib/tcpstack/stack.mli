@@ -52,8 +52,12 @@ val create :
   vswitch:Vswitch.t ->
   registry:Conn_registry.t ->
   rng:Nkutil.Rng.t ->
+  ?mon:Nkmon.t ->
   config ->
   t
+(** [mon] is the world's observability handle; counters land under
+    [tcpstack/<name>/...] and state transitions trace as [Tcp_state]
+    events. Defaults to a detached {!Nkmon.null} sink. *)
 
 val name : t -> string
 
@@ -120,15 +124,15 @@ val input : t -> Segment.t -> unit
 (** {1 Statistics} *)
 
 type stats = {
-  mutable segs_rx : int;
-  mutable segs_tx : int;
-  mutable payload_rx : int;
-  mutable payload_tx : int;
-  mutable rx_ring_drops : int;
-  mutable syn_drops : int;
-  mutable rst_tx : int;
-  mutable conns_established : int;
-  mutable conns_failed : int;
+  segs_rx : int;
+  segs_tx : int;
+  payload_rx : int;
+  payload_tx : int;
+  rx_ring_drops : int;
+  syn_drops : int;
+  rst_tx : int;
+  conns_established : int;
+  conns_failed : int;
 }
 
 val stats : t -> stats

@@ -61,6 +61,7 @@ type actions = {
   on_writable : unit -> unit;
   on_error : Types.err -> unit;
   on_destroy : unit -> unit;
+  on_transition : state -> state -> unit;
 }
 
 type retx_item = {
@@ -145,10 +146,19 @@ let cancel_timer_opt t h =
   | None -> ()
   | Some handle -> t.act.cancel_timer handle
 
+(* All state changes funnel through here so the owning stack can observe
+   them (Nkmon [Tcp_state] trace events). *)
+let set_state t st =
+  if t.state <> st then begin
+    let old = t.state in
+    t.state <- st;
+    t.act.on_transition old st
+  end
+
 let destroy t =
   if not t.destroyed then begin
     t.destroyed <- true;
-    t.state <- Closed;
+    set_state t Closed;
     cancel_timer_opt t t.rto_timer;
     t.rto_timer <- None;
     cancel_timer_opt t t.persist_timer;
@@ -158,7 +168,7 @@ let destroy t =
   end
 
 let enter_time_wait t =
-  t.state <- Time_wait;
+  set_state t Time_wait;
   cancel_timer_opt t t.rto_timer;
   t.rto_timer <- None;
   ignore (t.act.set_timer ~delay:t.cfg.time_wait (fun () -> destroy t))
@@ -282,8 +292,8 @@ let rec try_output t =
       t.fin_sent <- true;
       progress := true;
       (match t.state with
-      | Established | Syn_rcvd -> t.state <- Fin_wait_1
-      | Close_wait -> t.state <- Last_ack
+      | Established | Syn_rcvd -> set_state t Fin_wait_1
+      | Close_wait -> set_state t Last_ack
       | Syn_sent | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed -> ())
     end;
     if !progress && t.rto_timer = None then arm_rto t;
@@ -411,7 +421,7 @@ let process_ack t (seg : Segment.t) =
       arm_rto t;
       if fin_acked t then begin
         match t.state with
-        | Fin_wait_1 -> t.state <- Fin_wait_2
+        | Fin_wait_1 -> set_state t Fin_wait_2
         | Closing -> enter_time_wait t
         | Last_ack -> destroy t
         | Syn_sent | Syn_rcvd | Established | Fin_wait_2 | Close_wait | Time_wait | Closed
@@ -468,10 +478,10 @@ let process_payload t (seg : Segment.t) =
       if off.Reassembly.fin_reached then begin
         t.fin_received <- true;
         match t.state with
-        | Established -> t.state <- Close_wait
-        | Fin_wait_1 -> if fin_acked t then enter_time_wait t else t.state <- Closing
+        | Established -> set_state t Close_wait
+        | Fin_wait_1 -> if fin_acked t then enter_time_wait t else set_state t Closing
         | Fin_wait_2 -> enter_time_wait t
-        | Syn_rcvd -> t.state <- Close_wait
+        | Syn_rcvd -> set_state t Close_wait
         | Syn_sent | Close_wait | Closing | Last_ack | Time_wait | Closed -> ()
       end;
       (* Data and FIN segments are acknowledged immediately. *)
@@ -503,7 +513,7 @@ let handle_syn_sent t (seg : Segment.t) =
     t.rto_backoff <- 1.0;
     if seg.Segment.ts_echo >= 0.0 then
       Rtt_estimator.sample t.rtt (t.act.now () -. seg.Segment.ts_echo);
-    t.state <- Established;
+    set_state t Established;
     arm_rto t;
     emit_ack t;
     t.act.on_established ();
@@ -532,7 +542,7 @@ let input t (seg : Segment.t) =
               t.state = Syn_rcvd && seg.Segment.ack_flag
               && Tcp_seq.geq seg.Segment.ack (Tcp_seq.add t.iss 1)
             then begin
-              t.state <- Established;
+              set_state t Established;
               t.rto_backoff <- 1.0;
               t.act.on_established ()
             end;

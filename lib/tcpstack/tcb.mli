@@ -57,6 +57,8 @@ type actions = {
   on_writable : unit -> unit;  (** send-buffer space was freed *)
   on_error : Types.err -> unit;  (** connection failed (reset/timeout) *)
   on_destroy : unit -> unit;  (** TCB left the demux; drop references *)
+  on_transition : state -> state -> unit;
+      (** observes every [old -> new] state change (Nkmon tracing) *)
 }
 
 type t

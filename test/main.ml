@@ -2,6 +2,7 @@ let () =
   Alcotest.run "netkernel"
     [
       ("nkutil", Test_nkutil.tests);
+      ("nkmon", Test_nkmon.tests);
       ("sim", Test_sim.tests);
       ("net-elements", Test_net.tests);
       ("tcp-units", Test_tcp_units.tests);

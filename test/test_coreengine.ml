@@ -8,7 +8,7 @@ module Ring = Nkutil.Spsc_ring
 let mk_world () =
   let engine = E.create () in
   let core = Sim.Cpu.create engine ~name:"ce" () in
-  let ce = Coreengine.create ~engine ~core ~costs:Nk_costs.default () in
+  let ce = Coreengine.create ~engine ~core Nk_costs.default in
   (engine, ce)
 
 let mk_device ~id ~role ~qsets =
@@ -124,7 +124,7 @@ let rate_limit_defers_sends () =
   Coreengine.attach ce ~vm_id:1 ~nsm_ids:[ 1 ];
   (* 1000 B/s with a 1000 B burst: the first send passes, the second waits
      ~1 s for tokens. *)
-  Coreengine.set_rate_limit ce ~vm_id:1 ~bytes_per_sec:1000.0 ~burst:1000.0 ();
+  Coreengine.set_rate_limit ce ~vm_id:1 ~bytes_per_sec:1000.0 ~burst:1000.0;
   Nk_device.post vm ~qset:0 `Send (encode Nqe.Send ~vm_id:1 ~qset:0 ~sock:5 ~size:1000 ());
   Nk_device.post vm ~qset:0 `Send (encode Nqe.Send ~vm_id:1 ~qset:0 ~sock:5 ~size:1000 ());
   E.run engine ~until:0.5;
@@ -143,7 +143,7 @@ let control_not_rate_limited () =
   Coreengine.register_vm ce vm;
   Coreengine.register_nsm ce nsm;
   Coreengine.attach ce ~vm_id:1 ~nsm_ids:[ 1 ];
-  Coreengine.set_rate_limit ce ~vm_id:1 ~bytes_per_sec:1.0 ~burst:1.0 ();
+  Coreengine.set_rate_limit ce ~vm_id:1 ~bytes_per_sec:1.0 ~burst:1.0;
   Nk_device.post vm ~qset:0 `Job (encode Nqe.Socket ~vm_id:1 ~qset:0 ~sock:5 ());
   E.run engine ~until:0.01;
   Alcotest.(check int) "control op passes a strangled bucket" 1

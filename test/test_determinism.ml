@@ -5,8 +5,10 @@
 open Nkcore
 module Types = Tcpstack.Types
 
-let run_once ?loss_seed ~seed () =
-  let tb = Testbed.create ~seed () in
+let run_once ?loss_seed ?(trace = false) ~seed () =
+  (* A deliberately small trace ring so wraparound itself is exercised by
+     the byte-identical check. *)
+  let tb = Testbed.create ~seed ~trace_enabled:trace ~trace_capacity:4096 () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let nsm = Nsm.create_kernel hosta ~name:"nsm" ~vcpus:2 () in
@@ -50,37 +52,50 @@ let run_once ?loss_seed ~seed () =
     Vm.busy_cycles vm,
     Nsm.busy_cycles nsm,
     ce.Coreengine.switched,
-    Sim.Engine.events_executed tb.Testbed.engine )
+    Sim.Engine.events_executed tb.Testbed.engine,
+    ( Nkmon.Registry.to_json (Nkmon.registry tb.Testbed.mon),
+      Nkmon.Trace.to_json (Nkmon.trace tb.Testbed.mon) ) )
 
 let identical_runs () =
   let a = run_once ~seed:1234 () in
   let b = run_once ~seed:1234 () in
-  let c1, f1, v1, n1, s1, e1 = a and c2, f2, v2, n2, s2, e2 = b in
+  let c1, f1, v1, n1, s1, e1, (m1, _) = a and c2, f2, v2, n2, s2, e2, (m2, _) = b in
   Alcotest.(check int) "completed" c1 c2;
   Alcotest.(check (float 0.0)) "finish time (exact)" f1 f2;
   Alcotest.(check (float 0.0)) "vm cycles (exact)" v1 v2;
   Alcotest.(check (float 0.0)) "nsm cycles (exact)" n1 n2;
   Alcotest.(check int) "NQEs switched" s1 s2;
-  Alcotest.(check int) "events executed" e1 e2
+  Alcotest.(check int) "events executed" e1 e2;
+  Alcotest.(check string) "metrics JSON byte-identical" m1 m2
 
 let identical_lossy_runs () =
   (* Determinism must also hold with fault injection active. *)
   let a = run_once ~loss_seed:7 ~seed:1234 () in
   let b = run_once ~loss_seed:7 ~seed:1234 () in
-  let c1, f1, _, _, _, e1 = a and c2, f2, _, _, _, e2 = b in
+  let c1, f1, _, _, _, e1, _ = a and c2, f2, _, _, _, e2, _ = b in
   Alcotest.(check int) "completed" c1 c2;
   Alcotest.(check (float 0.0)) "finish time (exact)" f1 f2;
   Alcotest.(check int) "events executed" e1 e2
 
 let loss_seed_matters () =
   (* Different loss patterns must produce different executions. *)
-  let _, f1, _, _, _, e1 = run_once ~loss_seed:11 ~seed:1234 () in
-  let _, f2, _, _, _, e2 = run_once ~loss_seed:12 ~seed:1234 () in
+  let _, f1, _, _, _, e1, _ = run_once ~loss_seed:11 ~seed:1234 () in
+  let _, f2, _, _, _, e2, _ = run_once ~loss_seed:12 ~seed:1234 () in
   if f1 = f2 && e1 = e2 then Alcotest.fail "different loss seeds, identical runs"
+
+let identical_traced_runs () =
+  (* The full event trace — with ring wraparound — must also be
+     byte-for-byte reproducible. *)
+  let _, _, _, _, _, _, (m1, t1) = run_once ~trace:true ~seed:1234 () in
+  let _, _, _, _, _, _, (m2, t2) = run_once ~trace:true ~seed:1234 () in
+  Alcotest.(check bool) "trace is non-trivial" true (String.length t1 > 1000);
+  Alcotest.(check string) "trace JSON byte-identical" t1 t2;
+  Alcotest.(check string) "metrics JSON byte-identical" m1 m2
 
 let tests =
   [
     Alcotest.test_case "identical seeds, identical runs" `Quick identical_runs;
+    Alcotest.test_case "identical seeds, identical traces" `Quick identical_traced_runs;
     Alcotest.test_case "identical seeds with loss injection" `Quick identical_lossy_runs;
     Alcotest.test_case "loss seed matters" `Quick loss_seed_matters;
   ]

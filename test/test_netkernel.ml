@@ -252,7 +252,7 @@ let rate_limit_caps_throughput () =
   let tb, host, _nsm, vms, client = nk_world ~nsm_cores:2 () in
   let vm = List.hd vms in
   Coreengine.set_rate_limit (Host.coreengine host) ~vm_id:(Vm.vm_id vm)
-    ~bytes_per_sec:(1e9 /. 8.0) ();
+    ~bytes_per_sec:(1e9 /. 8.0);
   let sink_addr = Addr.make ip_client 5001 in
   let sink =
     match

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Repo check: tier-1 build + tests, plus a format check when ocamlformat is
+# available (the pinned version is in .ocamlformat; the build does not
+# require it, so environments without it skip the formatting step).
+set -e
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt
+else
+  echo "check.sh: ocamlformat not installed; skipping format check"
+fi
+echo "check.sh: OK"
