@@ -124,10 +124,128 @@ let trace_cmd =
           the virtual-time trace (JSON by default)")
     Term.(const run $ csv)
 
+let orchestrate_cmd =
+  (* The control plane live: two NetKernel VMs under closed-loop load, the
+     Nkctl autoscaler ticking, one NSM crash injected mid-run. Prints the
+     virtual-time control-event log and a service summary. *)
+  let crash_at_doc = "Inject an NSM crash at this virtual time (seconds); 0 disables." in
+  let crash_at =
+    Arg.(value & opt float 2.0 & info [ "crash-at" ] ~docv:"SECONDS" ~doc:crash_at_doc)
+  in
+  let duration =
+    Arg.(value & opt float 6.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let run crash_at duration =
+    let open Nkcore in
+    let tb = Testbed.create ~trace_enabled:true ~trace_capacity:(1 lsl 20) () in
+    let hosta = Testbed.add_host tb ~name:"hostA" in
+    let hostb = Testbed.add_host tb ~name:"hostB" in
+    let spawn i = Nsm.create_kernel hosta ~name:(Printf.sprintf "nsm%d" i) ~vcpus:1 () in
+    let nsm0 = spawn 0 in
+    let ctl =
+      Nkctl.create hosta
+        ~policy:{ Nkctl.Policy.default with period = 0.25; max_nsms = 3 }
+        ~spawn:(fun i -> spawn (i + 1))
+        ()
+    in
+    Nkctl.manage ctl nsm0;
+    let proto = Nkapps.Proto.Fixed { request = 64; response = 512; keepalive = false } in
+    let client =
+      Vm.create_baseline hostb ~name:"client" ~vcpus:8 ~ips:[ 20; 21 ]
+        ~profile:Sim.Cost_profile.ideal ()
+    in
+    let lgs =
+      List.map
+        (fun i ->
+          let vm =
+            Vm.create_nk hosta
+              ~name:(Printf.sprintf "vm%d" i)
+              ~vcpus:1 ~ips:[ 10 + i ] ~nsms:[ nsm0 ] ()
+          in
+          Nkctl.add_vm ctl vm ~home:nsm0;
+          let addr = Addr.make (10 + i) 80 in
+          (match
+             Nkapps.Epoll_server.start ~engine:tb.Testbed.engine ~api:(Vm.api vm)
+               (Nkapps.Epoll_server.config ~proto addr)
+           with
+          | Ok _ -> ()
+          | Error e -> failwith (Tcpstack.Types.err_to_string e));
+          Nkapps.Loadgen.start ~engine:tb.Testbed.engine ~api:(Vm.api client)
+            {
+              Nkapps.Loadgen.server = addr;
+              proto;
+              mode =
+                Nkapps.Loadgen.Closed
+                  { concurrency = 16; total = None; duration = Some duration };
+              warmup = 0.0;
+            })
+        [ 0; 1 ]
+    in
+    Nkctl.start ctl;
+    if crash_at > 0.0 then
+      ignore
+        (Sim.Engine.schedule tb.Testbed.engine ~delay:crash_at (fun () ->
+             match Nkctl.active_nsms ctl with
+             | nsm :: _ -> Nsm.fail nsm
+             | [] -> ()));
+    (* The dataplane floods the trace ring, so sweep the control-plane
+       events out of it periodically instead of reading it only at the end. *)
+    let ctl_log = ref [] in
+    let last_seq = ref (-1) in
+    let sweep () =
+      List.iter
+        (fun (r : Nkmon.Trace.record) ->
+          if r.Nkmon.Trace.seq > !last_seq then begin
+            last_seq := r.Nkmon.Trace.seq;
+            match r.Nkmon.Trace.event with
+            | Nkmon.Trace.Custom
+                { component = ("nkctl" | "coreengine") as c; name; detail }
+              when c = "nkctl"
+                   || List.mem name [ "drain"; "undrain"; "deregister_nsm"; "crash_nsm" ]
+              -> ctl_log := (r.Nkmon.Trace.time, c, name, detail) :: !ctl_log
+            | _ -> ()
+          end)
+        (Nkmon.Trace.records (Nkmon.trace tb.Testbed.mon))
+    in
+    let rec sweeper () =
+      sweep ();
+      ignore (Sim.Engine.schedule tb.Testbed.engine ~delay:0.1 sweeper)
+    in
+    sweeper ();
+    Testbed.run tb ~until:(duration +. 0.5);
+    Nkctl.stop ctl;
+    sweep ();
+    print_endline "control events (virtual time):";
+    List.iter
+      (fun (time, c, name, detail) ->
+        Printf.printf "  %8.3fs  %-10s %-12s %s\n" time c name detail)
+      (List.rev !ctl_log);
+    let completed, errors =
+      List.fold_left
+        (fun (c, e) lg ->
+          let r = Nkapps.Loadgen.results lg in
+          (c + r.Nkapps.Loadgen.completed, e + r.Nkapps.Loadgen.errors))
+        (0, 0) lgs
+    in
+    let s = Nkctl.stats ctl in
+    Printf.printf
+      "summary: %d requests served, %d errors; scale-ups %d, scale-downs %d, \
+       handovers %d, failovers %d, drains completed %d; %d NSM(s) active\n"
+      completed errors s.Nkctl.scale_ups s.Nkctl.scale_downs s.Nkctl.handovers
+      s.Nkctl.failovers s.Nkctl.drains_completed
+      (List.length (Nkctl.active_nsms ctl))
+  in
+  Cmd.v
+    (Cmd.info "orchestrate"
+       ~doc:
+         "Run the Nkctl control plane live: autoscaling under load, a \
+          mid-run NSM crash with failover, and the control-event log")
+    Term.(const run $ crash_at $ duration)
+
 let () =
   let doc = "NetKernel reproduction: decoupled VM network stacks, simulated" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "nk" ~version:"1.0.0" ~doc)
-          [ run_cmd; list_cmd; demo_cmd; stats_cmd; trace_cmd ]))
+          [ run_cmd; list_cmd; demo_cmd; stats_cmd; trace_cmd; orchestrate_cmd ]))

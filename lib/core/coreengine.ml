@@ -1,6 +1,7 @@
 module Cpu = Sim.Cpu
 module Engine = Sim.Engine
 module Ring = Nkutil.Spsc_ring
+module Types = Tcpstack.Types
 
 type route = { nsm_id : int; nsm_qset : int }
 
@@ -23,6 +24,7 @@ type counters = {
   c_ring_deferred : Nkmon.Registry.counter;
   c_dropped : Nkmon.Registry.counter;
   c_sweeps : Nkmon.Registry.counter;
+  c_error_completions : Nkmon.Registry.counter;
 }
 
 type t = {
@@ -34,6 +36,8 @@ type t = {
   mutable device_order : (Nk_device.t * [ `Vm | `Nsm ]) list;
   assignment : (int, int array * int ref) Hashtbl.t; (* vm_id -> nsms, rr *)
   conn_table : (int * int, route) Hashtbl.t; (* (vm_id, sock) -> route *)
+  nsm_conns : (int, int ref) Hashtbl.t; (* nsm_id -> live table entries *)
+  draining : (int, unit) Hashtbl.t; (* NSMs excluded from new assignments *)
   buckets : (int, Nkutil.Token_bucket.t) Hashtbl.t;
   (* Per-VM FIFO of NQEs awaiting tokens or ring space; once non-empty all
      of that VM's traffic flows through it to preserve ordering. Entries
@@ -58,6 +62,8 @@ let create ~engine ~core ?(mon = Nkmon.null ()) ?(instance = "ce") costs =
       device_order = [];
       assignment = Hashtbl.create 16;
       conn_table = Hashtbl.create 1024;
+      nsm_conns = Hashtbl.create 16;
+      draining = Hashtbl.create 4;
       buckets = Hashtbl.create 16;
       deferred = Hashtbl.create 16;
       running = false;
@@ -70,6 +76,7 @@ let create ~engine ~core ?(mon = Nkmon.null ()) ?(instance = "ce") costs =
           c_ring_deferred = c "ring_deferred";
           c_dropped = c "dropped";
           c_sweeps = c "sweeps";
+          c_error_completions = c "error_completions";
         };
       sweep_batch =
         Nkmon.histogram mon ~component:"coreengine" ~instance ~name:"sweep_batch";
@@ -113,9 +120,67 @@ let switched t (nqe : Nqe.t) dst =
 
 let conn_table_size t = Hashtbl.length t.conn_table
 
+(* All connection-table mutations go through these two so the per-NSM entry
+   counts (the drain-completion signal) can never desynchronize. *)
+let conn_counter t nsm_id =
+  match Hashtbl.find_opt t.nsm_conns nsm_id with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.nsm_conns nsm_id r;
+      r
+
+let table_add t key route =
+  (match Hashtbl.find_opt t.conn_table key with
+  | Some prev -> decr (conn_counter t prev.nsm_id)
+  | None -> ());
+  Hashtbl.replace t.conn_table key route;
+  incr (conn_counter t route.nsm_id)
+
+let table_remove t key =
+  match Hashtbl.find_opt t.conn_table key with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove t.conn_table key;
+      decr (conn_counter t r.nsm_id)
+
+let nsm_conn_count t ~nsm_id =
+  match Hashtbl.find_opt t.nsm_conns nsm_id with Some r -> !r | None -> 0
+
+let ctl_event t name detail =
+  if Nkmon.tracing t.mon then
+    Nkmon.event t.mon (Nkmon.Trace.Custom { component = "coreengine"; name; detail })
+
 let attach t ~vm_id ~nsm_ids =
   if nsm_ids = [] then invalid_arg "Coreengine.attach: need at least one NSM";
   Hashtbl.replace t.assignment vm_id (Array.of_list nsm_ids, ref 0)
+
+let detach t ~vm_id ~nsm_id =
+  match Hashtbl.find_opt t.assignment vm_id with
+  | None -> ()
+  | Some (nsms, _rr) ->
+      let rest = List.filter (fun id -> id <> nsm_id) (Array.to_list nsms) in
+      if List.length rest < Array.length nsms then begin
+        if rest = [] then Hashtbl.remove t.assignment vm_id
+        else Hashtbl.replace t.assignment vm_id (Array.of_list rest, ref 0);
+        ctl_event t "detach" (Printf.sprintf "vm=%d nsm=%d" vm_id nsm_id)
+      end
+
+let drain_nsm t ~nsm_id =
+  if not (Hashtbl.mem t.draining nsm_id) then begin
+    Hashtbl.replace t.draining nsm_id ();
+    ctl_event t "drain_nsm" (Printf.sprintf "nsm=%d conns=%d" nsm_id (nsm_conn_count t ~nsm_id))
+  end
+
+let undrain_nsm t ~nsm_id =
+  if Hashtbl.mem t.draining nsm_id then begin
+    Hashtbl.remove t.draining nsm_id;
+    ctl_event t "undrain_nsm" (Printf.sprintf "nsm=%d" nsm_id)
+  end
+
+let is_draining t ~nsm_id = Hashtbl.mem t.draining nsm_id
+
+let forget_route t ~vm_id ~sock = table_remove t (vm_id, sock)
 
 let set_rate_limit ?burst t ~vm_id ~bytes_per_sec =
   let burst = match burst with Some b -> b | None -> bytes_per_sec *. 0.05 in
@@ -153,42 +218,6 @@ let charge_table_miss t =
   if t.costs.Nk_costs.ce_hw_offload then
     Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_switch
 
-let route_vm_to_nsm t (nqe : Nqe.t) raw =
-  match Hashtbl.find_opt t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock) with
-  | Some r -> (
-      match Hashtbl.find_opt t.nsms r.nsm_id with
-      | None ->
-          drop t (Some nqe) "nsm_gone";
-          true
-      | Some dev ->
-          let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
-          if nqe.Nqe.op = Nqe.Close then
-            Hashtbl.remove t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock);
-          if push_inbound t dev ~qset:r.nsm_qset q raw then begin
-            switched t nqe (Printf.sprintf "nsm%d" r.nsm_id);
-            true
-          end
-          else false)
-  | None -> (
-      (* First NQE of this socket: assign an NSM and a queue set. *)
-      match Hashtbl.find_opt t.assignment nqe.Nqe.vm_id with
-      | None ->
-          drop t (Some nqe) "no_nsm_assignment";
-          true
-      | Some (nsms, rr) ->
-          charge_table_miss t;
-          let nsm_id = nsms.(!rr mod Array.length nsms) in
-          incr rr;
-          let dev = Hashtbl.find t.nsms nsm_id in
-          let nsm_qset = nqe.Nqe.sock * 2654435761 land max_int mod Nk_device.n_qsets dev in
-          Hashtbl.replace t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock) { nsm_id; nsm_qset };
-          let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
-          if push_inbound t dev ~qset:nsm_qset q raw then begin
-            switched t nqe (Printf.sprintf "nsm%d" nsm_id);
-            true
-          end
-          else false)
-
 let route_nsm_to_vm t ~src_nsm ~src_qset (nqe : Nqe.t) raw =
   match Hashtbl.find_opt t.vms nqe.Nqe.vm_id with
   | None ->
@@ -214,11 +243,14 @@ let route_nsm_to_vm t ~src_nsm ~src_qset (nqe : Nqe.t) raw =
       let table_sock =
         match nqe.Nqe.op with Nqe.Ev_accept -> nqe.Nqe.size | _ -> nqe.Nqe.sock
       in
-      if not (Hashtbl.mem t.conn_table (nqe.Nqe.vm_id, table_sock)) then
-        Hashtbl.replace t.conn_table (nqe.Nqe.vm_id, table_sock)
-          { nsm_id = src_nsm; nsm_qset = src_qset };
-      if nqe.Nqe.op = Nqe.Comp_close then
-        Hashtbl.remove t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock);
+      (* Never resurrect routes towards an NSM that has since departed
+         (its parting completions are still in flight). *)
+      if
+        Hashtbl.mem t.nsms src_nsm
+        && not (Hashtbl.mem t.conn_table (nqe.Nqe.vm_id, table_sock))
+      then
+        table_add t (nqe.Nqe.vm_id, table_sock) { nsm_id = src_nsm; nsm_qset = src_qset };
+      if nqe.Nqe.op = Nqe.Comp_close then table_remove t (nqe.Nqe.vm_id, nqe.Nqe.sock);
       let q =
         match nqe.Nqe.op with
         | Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof -> `Receive
@@ -298,6 +330,105 @@ and drain_deferred t =
       loop ())
     t.deferred;
   if !next_delay < infinity then schedule_release t (Float.max 1e-6 !next_delay)
+
+(* Deliver a CE-synthesized NSM->VM NQE, parking it with the VM's deferred
+   traffic when the inbound ring is full (same ordering rules as dispatch). *)
+and deliver_to_vm t ~src_nsm ~src_qset (nqe : Nqe.t) raw =
+  let dq = deferred_queue t nqe.Nqe.vm_id in
+  let has_deferred_to_vm =
+    Queue.fold
+      (fun acc e -> acc || match e with To_vm _ -> true | To_nsm _ -> false)
+      false dq
+  in
+  if has_deferred_to_vm || not (route_nsm_to_vm t ~src_nsm ~src_qset nqe raw) then begin
+    Queue.add (To_vm { src_nsm; src_qset; raw }) dq;
+    schedule_release t 5e-6
+  end
+
+(* The socket's NSM is gone (crash or deregistration): complete the job NQE
+   with an error instead of dropping it, so GuestLib never hangs on a reply
+   that cannot come. Close acknowledges success — the socket is gone either
+   way; Send keeps data_ptr/size so the VM reclaims the payload extent. *)
+and reply_error t (nqe : Nqe.t) err =
+  let comp =
+    match nqe.Nqe.op with
+    | Nqe.Socket -> Some Nqe.Comp_socket
+    | Nqe.Bind -> Some Nqe.Comp_bind
+    | Nqe.Listen -> Some Nqe.Comp_listen
+    | Nqe.Connect -> Some Nqe.Comp_connect
+    | Nqe.Send -> Some Nqe.Comp_send
+    | Nqe.Close -> Some Nqe.Comp_close
+    | _ -> None
+  in
+  match comp with
+  | None -> ()
+  | Some op ->
+      Nkmon.Registry.incr t.ctr.c_error_completions;
+      let op_data = if op = Nqe.Comp_close then Nqe.ok_code else Nqe.err_code err in
+      let reply =
+        Nqe.make ~op ~vm_id:nqe.Nqe.vm_id ~qset:nqe.Nqe.qset ~sock:nqe.Nqe.sock ~op_data
+          ~data_ptr:nqe.Nqe.data_ptr ~size:nqe.Nqe.size ()
+      in
+      deliver_to_vm t ~src_nsm:(-1) ~src_qset:0 reply (Nqe.encode reply)
+
+and route_vm_to_nsm t (nqe : Nqe.t) raw =
+  match Hashtbl.find_opt t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock) with
+  | Some r -> (
+      match Hashtbl.find_opt t.nsms r.nsm_id with
+      | None ->
+          table_remove t (nqe.Nqe.vm_id, nqe.Nqe.sock);
+          drop t (Some nqe) "nsm_gone";
+          reply_error t nqe Types.Econnreset;
+          true
+      | Some dev ->
+          let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
+          if nqe.Nqe.op = Nqe.Close then table_remove t (nqe.Nqe.vm_id, nqe.Nqe.sock);
+          if push_inbound t dev ~qset:r.nsm_qset q raw then begin
+            switched t nqe (Printf.sprintf "nsm%d" r.nsm_id);
+            true
+          end
+          else false)
+  | None -> (
+      (* First NQE of this socket: assign an NSM and a queue set, skipping
+         NSMs that are draining or gone (falling back to the raw pick if
+         nothing else is available, so a misconfigured drain-all still
+         yields a deterministic error path). *)
+      match Hashtbl.find_opt t.assignment nqe.Nqe.vm_id with
+      | None ->
+          drop t (Some nqe) "no_nsm_assignment";
+          reply_error t nqe Types.Econnreset;
+          true
+      | Some (nsms, rr) -> (
+          charge_table_miss t;
+          let n = Array.length nsms in
+          let base = !rr in
+          incr rr;
+          let nsm_id =
+            let rec pick i =
+              if i >= n then nsms.(base mod n)
+              else
+                let cand = nsms.((base + i) mod n) in
+                if Hashtbl.mem t.nsms cand && not (Hashtbl.mem t.draining cand) then cand
+                else pick (i + 1)
+            in
+            pick 0
+          in
+          match Hashtbl.find_opt t.nsms nsm_id with
+          | None ->
+              drop t (Some nqe) "nsm_gone";
+              reply_error t nqe Types.Econnreset;
+              true
+          | Some dev ->
+              let nsm_qset =
+                nqe.Nqe.sock * 2654435761 land max_int mod Nk_device.n_qsets dev
+              in
+              table_add t (nqe.Nqe.vm_id, nqe.Nqe.sock) { nsm_id; nsm_qset };
+              let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
+              if push_inbound t dev ~qset:nsm_qset q raw then begin
+                switched t nqe (Printf.sprintf "nsm%d" nsm_id);
+                true
+              end
+              else false))
 
 (* One full sweep over all devices, popping at most [ce_batch] NQEs per
    outbound ring. Returns the work list. *)
@@ -434,6 +565,56 @@ let deregister_vm t ~vm_id =
   Hashtbl.remove t.assignment vm_id;
   Hashtbl.remove t.buckets vm_id;
   Hashtbl.remove t.deferred vm_id;
-  Hashtbl.iter
-    (fun key _ -> if fst key = vm_id then Hashtbl.remove t.conn_table key)
-    (Hashtbl.copy t.conn_table)
+  let keys =
+    Hashtbl.fold
+      (fun key _ acc -> if fst key = vm_id then key :: acc else acc)
+      t.conn_table []
+  in
+  List.iter (table_remove t) keys
+
+let deregister_nsm t ~nsm_id =
+  (match Hashtbl.find_opt t.nsms nsm_id with
+  | None -> ()
+  | Some dev ->
+      t.device_order <-
+        List.filter (fun (d, _) -> not (d == dev)) t.device_order);
+  Hashtbl.remove t.nsms nsm_id;
+  Hashtbl.remove t.draining nsm_id;
+  (* Take it out of every VM's round-robin pool. *)
+  let vms_using =
+    Hashtbl.fold
+      (fun vm_id (nsms, _) acc ->
+        if Array.exists (fun id -> id = nsm_id) nsms then vm_id :: acc else acc)
+      t.assignment []
+  in
+  List.iter (fun vm_id -> detach t ~vm_id ~nsm_id) vms_using;
+  (* And forget its connection-table entries (satellite bugfix: a departed
+     NSM used to leak them forever). *)
+  let keys =
+    Hashtbl.fold
+      (fun key r acc -> if r.nsm_id = nsm_id then key :: acc else acc)
+      t.conn_table []
+  in
+  List.iter (table_remove t) keys;
+  Hashtbl.remove t.nsm_conns nsm_id;
+  ctl_event t "deregister_nsm" (Printf.sprintf "nsm=%d" nsm_id)
+
+let crash_nsm t ~nsm_id =
+  let victims =
+    Hashtbl.fold
+      (fun key r acc -> if r.nsm_id = nsm_id then key :: acc else acc)
+      t.conn_table []
+    |> List.sort compare
+  in
+  deregister_nsm t ~nsm_id;
+  (* Every socket the dead NSM served gets a reset event — an error, never
+     a hang — so GuestLib can fail pending accepts/connects/reads. *)
+  List.iter
+    (fun (vm_id, sock) ->
+      let nqe =
+        Nqe.make ~op:Nqe.Ev_err ~vm_id ~qset:Nqe.qset_unassigned ~sock
+          ~op_data:(Nqe.err_code Types.Econnreset) ()
+      in
+      deliver_to_vm t ~src_nsm:(-1) ~src_qset:0 nqe (Nqe.encode nqe))
+    victims;
+  ctl_event t "crash_nsm" (Printf.sprintf "nsm=%d sockets=%d" nsm_id (List.length victims))

@@ -29,10 +29,44 @@ val register_nsm : t -> Nk_device.t -> unit
 val deregister_vm : t -> vm_id:int -> unit
 (** Forget a VM device (it departed); its table entries are dropped. *)
 
+val deregister_nsm : t -> nsm_id:int -> unit
+(** Graceful symmetric counterpart of {!deregister_vm}: stop polling the
+    NSM device, drop its connection-table entries and remove it from every
+    VM's round-robin pool. Sockets still routed to it afterwards complete
+    with [ECONNRESET]-style errors rather than hanging. *)
+
+val crash_nsm : t -> nsm_id:int -> unit
+(** Abrupt NSM death (failover pillar): {!deregister_nsm} plus a synthetic
+    [Ev_err] (connection reset) delivered to every socket the dead NSM was
+    serving, so every blocked accept/connect/read observes an error. Other
+    VMs' traffic is untouched. *)
+
 val attach : t -> vm_id:int -> nsm_ids:int list -> unit
 (** Declare which NSM(s) serve the VM. With several NSMs, sockets are
     assigned round-robin at their first NQE (the paper's per-socket
     mapping). *)
+
+val detach : t -> vm_id:int -> nsm_id:int -> unit
+(** Remove one NSM from the VM's assignment pool. New sockets no longer
+    land on it; established connections keep their route until they
+    close. *)
+
+val drain_nsm : t -> nsm_id:int -> unit
+(** Exclude the NSM from new-socket assignment everywhere while letting its
+    established connections finish (live-handover drain). Deregister it
+    once {!nsm_conn_count} reaches zero. *)
+
+val undrain_nsm : t -> nsm_id:int -> unit
+
+val is_draining : t -> nsm_id:int -> bool
+
+val nsm_conn_count : t -> nsm_id:int -> int
+(** Live connection-table entries routed to the NSM (the drain-completion
+    signal). *)
+
+val forget_route : t -> vm_id:int -> sock:int -> unit
+(** Drop one connection-table entry so the socket's next NQE re-runs NSM
+    assignment (listener re-homing during handover). *)
 
 val set_rate_limit : ?burst:float -> t -> vm_id:int -> bytes_per_sec:float -> unit
 (** Token-bucket cap on the VM's egress payload bytes (Fig 21). [burst]

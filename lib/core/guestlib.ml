@@ -14,6 +14,7 @@ type gsock = {
   mutable state : gstate;
   mutable local : Addr.t option;
   mutable peer : Addr.t option;
+  mutable backlog : int; (* remembered for listener re-homing *)
   mutable err : Types.err option;
   recvq : rx_chunk Queue.t;
   mutable recv_avail : int;
@@ -92,7 +93,12 @@ let gsock_events t gid =
       | Gfresh | Gconnecting -> Types.no_events
       | Gclosed -> { Types.readable = false; writable = false; hup = true }
       | Glistening ->
-          { Types.readable = not (Queue.is_empty gs.acceptq); writable = false; hup = false }
+          let hup = gs.err <> None in
+          {
+            Types.readable = (not (Queue.is_empty gs.acceptq)) || hup;
+            writable = false;
+            hup;
+          }
       | Gconnected ->
           let hup = gs.err <> None in
           {
@@ -203,6 +209,7 @@ let apply t (nqe : Nqe.t) =
               state = Gconnected;
               local = lsock.local;
               peer = Some peer;
+              backlog = 0;
               err = None;
               recvq = Queue.create ();
               recv_avail = 0;
@@ -256,11 +263,15 @@ let apply t (nqe : Nqe.t) =
       | None -> ()
       | Some gs ->
           (match err with Some e -> gs.err <- Some e | None -> gs.err <- Some Types.Econnreset);
+          let e = Option.value gs.err ~default:Types.Econnreset in
           (match gs.on_connect with
           | None -> ()
           | Some k ->
               gs.on_connect <- None;
-              k (Error (Option.value gs.err ~default:Types.Econnreset)));
+              k (Error e));
+          (* A dying listener must fail its parked accepts, not strand them. *)
+          Queue.iter (fun k -> k (Error e)) gs.accept_waiters;
+          Queue.clear gs.accept_waiters;
           notify_epolls t gs.gid)
   | Nqe.Socket | Nqe.Bind | Nqe.Listen | Nqe.Connect | Nqe.Send | Nqe.Recv_done | Nqe.Close
     ->
@@ -323,6 +334,7 @@ let alloc_gsock t =
     state = Gfresh;
     local = None;
     peer = None;
+    backlog = 0;
     err = None;
     recvq = Queue.create ();
     recv_avail = 0;
@@ -362,6 +374,7 @@ let api t =
         | None -> Error Types.Einval
         | Some _ ->
             gs.state <- Glistening;
+            gs.backlog <- backlog;
             Cpu.charge (core_for t gs) ~cycles:(control_cycles t);
             post_op t gs Nqe.Listen ~op_data:(Int64.of_int backlog) ();
             Ok ())
@@ -369,6 +382,8 @@ let api t =
   let accept gid ~k =
     match find t gid with
     | None -> k (Error Types.Einval)
+    | Some gs when gs.state = Glistening && gs.err <> None ->
+        k (Error (Option.value gs.err ~default:Types.Econnreset))
     | Some gs when gs.state = Glistening ->
         if Queue.is_empty gs.acceptq then Queue.add k gs.accept_waiters
         else begin
@@ -573,6 +588,35 @@ let api t =
     local_addr;
     peer_addr;
   }
+
+(* ---- listener re-homing (control plane) --------------------------------- *)
+
+let listening_socks t =
+  Hashtbl.fold
+    (fun gid gs acc -> if gs.state = Glistening then gid :: acc else acc)
+    t.socks []
+  |> List.sort compare
+
+let remigrate_listeners t =
+  List.iter
+    (fun gid ->
+      match find t gid with
+      | Some gs when gs.state = Glistening -> (
+          match gs.local with
+          | None -> ()
+          | Some addr ->
+              (* The listener is being re-homed: its route was forgotten, so
+                 replaying the socket/bind/listen NQEs re-runs NSM assignment
+                 and re-registers the endpoint on the new NSM. A crash error
+                 is wiped — the reborn listener starts clean. *)
+              gs.err <- None;
+              Cpu.charge (core_for t gs) ~cycles:(3.0 *. control_cycles t);
+              post_op t gs Nqe.Socket ();
+              post_op t gs Nqe.Bind ~op_data:(Nqe.pack_addr addr) ();
+              post_op t gs Nqe.Listen ~op_data:(Int64.of_int gs.backlog) ();
+              notify_epolls t gs.gid)
+      | _ -> ())
+    (listening_socks t)
 
 let create ~engine ~vm_id ~cores ~device ~costs ~profile ?(mon = Nkmon.null ()) () =
   let c name =

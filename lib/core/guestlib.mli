@@ -41,3 +41,13 @@ type stats = {
 val stats : t -> stats
 (** Immutable snapshot of the registry-backed [guestlib/vm<id>/...]
     counters. *)
+
+val listening_socks : t -> int list
+(** Guest socket ids currently in the listening state (sorted). *)
+
+val remigrate_listeners : t -> unit
+(** Replay socket/bind/listen NQEs for every listening socket. Used by the
+    control plane after the listeners' routes were forgotten
+    ({!Coreengine.forget_route}) and their source-NSM listeners closed: the
+    replayed NQEs re-run NSM assignment, landing the listeners on the VM's
+    current NSM. Clears any pending crash error on the listeners. *)

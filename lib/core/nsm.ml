@@ -11,12 +11,14 @@ type t = {
   cores : Cpu.Set.t;
   device : Nk_device.t;
   backend : backend;
+  mutable failed : bool;
 }
 
 let id t = t.nsm_id
 let name t = t.name
 let cores t = t.cores
 let device t = t.device
+let failed t = t.failed
 
 let make_device host ~nsm_id ~vcpus =
   (* The NSM-side device needs no payload region of its own: payloads live
@@ -28,7 +30,7 @@ let make_device host ~nsm_id ~vcpus =
 let finish host ~name ~cores ~device ~backend ~nsm_id =
   Host.enable_netkernel host;
   Coreengine.register_nsm (Host.coreengine host) device;
-  { host; nsm_id; name; cores; device; backend }
+  { host; nsm_id; name; cores; device; backend; failed = false }
 
 let create_kernel host ~name ~vcpus ?(profile = Sim.Cost_profile.linux_kernel) ?cc_factory
     ?tcb () =
@@ -93,6 +95,31 @@ let register_vm t ~vm_id ~hugepages ~ips =
   match t.backend with
   | Tcp { service; _ } -> Servicelib.register_vm service ~vm_id ~hugepages ~ips
   | Shm shm -> Nsm_shmem.register_vm shm ~vm_id ~hugepages ~ips
+
+let deregister_vm t ~vm_id =
+  match t.backend with
+  | Tcp { service; _ } -> Servicelib.deregister_vm service ~vm_id
+  | Shm shm -> Nsm_shmem.deregister_vm shm ~vm_id
+
+let close_vm_listeners t ~vm_id =
+  match t.backend with
+  | Tcp { service; _ } -> Servicelib.close_vm_listeners service ~vm_id
+  | Shm _ -> ()
+
+let fail t =
+  if not t.failed then begin
+    t.failed <- true;
+    (* Silence the module first (no parting NQEs), then let CoreEngine drop
+       the device and error out every socket it was serving. *)
+    (match t.backend with Tcp { service; _ } -> Servicelib.fail service | Shm _ -> ());
+    Coreengine.crash_nsm (Host.coreengine t.host) ~nsm_id:t.nsm_id
+  end
+
+let retire t =
+  if not t.failed then begin
+    t.failed <- true;
+    Coreengine.deregister_nsm (Host.coreengine t.host) ~nsm_id:t.nsm_id
+  end
 
 let stack_stats t =
   match t.backend with

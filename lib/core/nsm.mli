@@ -44,6 +44,28 @@ val device : t -> Nk_device.t
 val register_vm : t -> vm_id:int -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
 (** Called by {!Vm.create_nk}; wires the VM's payload region and IPs. *)
 
+val deregister_vm : t -> vm_id:int -> unit
+(** Stop serving the VM on this NSM: its connections here are aborted and
+    its listeners closed. *)
+
+val close_vm_listeners : t -> vm_id:int -> unit
+(** Release the VM's listening endpoints on this NSM only (listener
+    re-homing); established connections keep running. No-op for the
+    shared-memory NSM. *)
+
+val fail : t -> unit
+(** Inject an NSM crash: the module goes silent, every connection it
+    carried is reset, and {!Coreengine.crash_nsm} errors out the affected
+    VM sockets. Idempotent. *)
+
+val retire : t -> unit
+(** Graceful removal (scale-down after a completed drain): deregister from
+    CoreEngine without the crash semantics. Marks the NSM {!failed} so the
+    control plane stops considering it. *)
+
+val failed : t -> bool
+(** True once {!fail} or {!retire} ran. *)
+
 val stack_stats : t -> Tcpstack.Stack.stats list
 (** Per-stack (or per-shard) statistics; empty for the shared-memory NSM. *)
 

@@ -60,6 +60,7 @@ type t = {
   mon : Nkmon.t;
   instance : string;
   ctr : counters;
+  mutable dead : bool; (* crashed: no NQEs in or out, ever again *)
 }
 
 let stats t =
@@ -83,15 +84,17 @@ let core_index t core =
 (* ---- NQE replies --------------------------------------------------------- *)
 
 let post t (ss : ssock) op ?op_data ?data_ptr ?size ?synthetic () =
-  Nkmon.Registry.incr t.ctr.c_nqes_tx;
-  Cpu.charge (Cpu.Set.core t.cores ss.nsm_qset) ~cycles:t.costs.Nk_costs.nqe_encode;
-  let queue =
-    match op with Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof -> `Receive | _ -> `Completion
-  in
-  Nk_device.post t.device ~qset:ss.nsm_qset queue
-    (Nqe.encode
-       (Nqe.make ~op ~vm_id:ss.vm.vm_id ~qset:ss.vm_qset ~sock:ss.gid ?op_data ?data_ptr
-          ?size ?synthetic ()))
+  if not t.dead then begin
+    Nkmon.Registry.incr t.ctr.c_nqes_tx;
+    Cpu.charge (Cpu.Set.core t.cores ss.nsm_qset) ~cycles:t.costs.Nk_costs.nqe_encode;
+    let queue =
+      match op with Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof -> `Receive | _ -> `Completion
+    in
+    Nk_device.post t.device ~qset:ss.nsm_qset queue
+      (Nqe.encode
+         (Nqe.make ~op ~vm_id:ss.vm.vm_id ~qset:ss.vm_qset ~sock:ss.gid ?op_data ?data_ptr
+            ?size ?synthetic ()))
+  end
 
 let post_result t ss op err =
   let op_data = match err with None -> Nqe.ok_code | Some e -> Nqe.err_code e in
@@ -233,7 +236,7 @@ let rec pump_recv t ss =
 (* ---- connection events ------------------------------------------------------ *)
 
 let on_conn_event t ss (ev : Types.events) =
-  if not ss.closed then begin
+  if (not t.dead) && not ss.closed then begin
     if ev.Types.readable then pump_recv t ss;
     if ev.Types.writable then pump_send t ss;
     if ev.Types.hup then begin
@@ -336,7 +339,24 @@ let apply t ~qset_idx (nqe : Nqe.t) =
   | None -> ()
   | Some vm -> (
       match lookup_or_create t vm nqe with
-      | None -> ()
+      | None -> (
+          (* A socket this NSM never saw — e.g. an NQE re-routed here after
+             the socket's original NSM crashed. Complete it with an error so
+             the VM never waits on a reply that cannot come; the Send reply
+             echoes data_ptr/size so GuestLib reclaims the payload extent. *)
+          let reply op ~op_data =
+            Nkmon.Registry.incr t.ctr.c_nqes_tx;
+            Cpu.charge (Cpu.Set.core t.cores qset_idx) ~cycles:t.costs.Nk_costs.nqe_encode;
+            Nk_device.post t.device ~qset:qset_idx `Completion
+              (Nqe.encode
+                 (Nqe.make ~op ~vm_id:nqe.Nqe.vm_id ~qset:nqe.Nqe.qset ~sock:nqe.Nqe.sock
+                    ~op_data ~data_ptr:nqe.Nqe.data_ptr ~size:nqe.Nqe.size ()))
+          in
+          match nqe.Nqe.op with
+          | Nqe.Send -> reply Nqe.Comp_send ~op_data:(Nqe.err_code Types.Econnreset)
+          | Nqe.Close -> reply Nqe.Comp_close ~op_data:Nqe.ok_code
+          | Nqe.Connect -> reply Nqe.Comp_connect ~op_data:(Nqe.err_code Types.Econnreset)
+          | _ -> ())
       | Some ss -> (
           if ss.conn = None && ss.listener = None then ss.nsm_qset <- qset_idx;
           match nqe.Nqe.op with
@@ -394,6 +414,10 @@ let apply t ~qset_idx (nqe : Nqe.t) =
 (* ---- polling ------------------------------------------------------------------------ *)
 
 let rec process_qset t qi =
+  if t.dead then t.qstates.(qi).scheduled <- false
+  else process_qset_live t qi
+
+and process_qset_live t qi =
   let s = Nk_device.qset t.device qi in
   let pop ring acc n =
     let rec loop acc n =
@@ -447,6 +471,7 @@ let create ~engine ~device ~ops ~cores ~costs ~pressure ?(mon = Nkmon.null ()) (
       qstates = Array.init (Nk_device.n_qsets device) (fun _ -> { scheduled = false });
       mon;
       instance;
+      dead = false;
       ctr =
         {
           c_nqes_rx = c "nqes_rx";
@@ -460,9 +485,53 @@ let create ~engine ~device ~ops ~cores ~costs ~pressure ?(mon = Nkmon.null ()) (
   t
 
 let register_vm t ~vm_id ~hugepages ~ips =
-  let vm = { vm_id; hugepages; socks = Hashtbl.create 256; next_gid = 1 } in
-  Hashtbl.replace t.vms vm_id vm;
+  (* Idempotent: re-registering (e.g. a control-plane re-attach) must not
+     wipe the VM's live sockets. *)
+  if not (Hashtbl.mem t.vms vm_id) then
+    Hashtbl.replace t.vms vm_id
+      { vm_id; hugepages; socks = Hashtbl.create 256; next_gid = 1 };
   List.iter t.ops.Stack_ops.add_ip ips
+
+let close_vm_listeners t ~vm_id =
+  match Hashtbl.find_opt t.vms vm_id with
+  | None -> ()
+  | Some vm ->
+      let listeners =
+        Hashtbl.fold
+          (fun gid ss acc ->
+            match ss.listener with Some l -> (gid, ss, l) :: acc | None -> acc)
+          vm.socks []
+      in
+      List.iter
+        (fun (gid, ss, l) ->
+          (* Silent close: the listener is moving to another NSM, the VM's
+             socket stays listening. Established connections accepted here
+             keep running — only the endpoint registration is released. *)
+          t.ops.Stack_ops.close_listener l;
+          ss.listener <- None;
+          ss.closed <- true;
+          Hashtbl.remove vm.socks gid)
+        listeners
+
+let fail t =
+  if not t.dead then begin
+    t.dead <- true;
+    (* Kill the stack state under every VM's sockets: aborts send RSTs so
+       remote peers observe resets, exactly like a crashed middlebox. *)
+    Hashtbl.iter
+      (fun _ vm ->
+        Hashtbl.iter
+          (fun _ ss ->
+            (match ss.conn with
+            | Some conn -> t.ops.Stack_ops.abort_conn conn
+            | None -> ());
+            match ss.listener with
+            | Some l -> t.ops.Stack_ops.close_listener l
+            | None -> ())
+          vm.socks)
+      t.vms;
+    Hashtbl.reset t.vms
+  end
 
 let deregister_vm t ~vm_id =
   match Hashtbl.find_opt t.vms vm_id with

@@ -33,9 +33,20 @@ val create :
 
 val register_vm : t -> vm_id:int -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
 (** Serve [vm_id]: its payloads live in [hugepages]; the NSM stack takes
-    ownership of the VM's IPs. *)
+    ownership of the VM's IPs. Idempotent: re-registering an already-served
+    VM only (re-)adds IPs and never disturbs live sockets. *)
 
 val deregister_vm : t -> vm_id:int -> unit
+
+val close_vm_listeners : t -> vm_id:int -> unit
+(** Release the VM's listening endpoints on this NSM (the listeners are
+    being re-homed to another NSM); established connections accepted
+    through them keep running. *)
+
+val fail : t -> unit
+(** Simulated crash: abort every connection (remote peers observe resets),
+    close every listener, and go permanently silent — no NQE is consumed or
+    produced afterwards. *)
 
 type stats = {
   nqes_rx : int;

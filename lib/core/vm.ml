@@ -22,6 +22,11 @@ let attach_nsm t nsm =
       Coreengine.attach ce ~vm_id:t.vm_id ~nsm_ids:[ Nsm.id nsm ];
       Nsm.register_vm nsm ~vm_id:t.vm_id ~hugepages ~ips:t.ips
 
+let detach_nsm t nsm =
+  match t.backend with
+  | Baseline _ -> invalid_arg (t.name ^ ": not a NetKernel VM")
+  | Nk _ -> Coreengine.detach (Host.coreengine t.host) ~vm_id:t.vm_id ~nsm_id:(Nsm.id nsm)
+
 let name t = t.name
 let vm_id t = t.vm_id
 let api t = t.api

@@ -43,6 +43,11 @@ val attach_nsm : t -> Nsm.t -> unit
     NSM; established connections keep their current NSM until they close.
     Only valid for NetKernel VMs. *)
 
+val detach_nsm : t -> Nsm.t -> unit
+(** Remove [nsm] from the VM's assignment pool: it receives no new sockets
+    from this VM; established connections keep their route until they
+    close. Only valid for NetKernel VMs. *)
+
 val name : t -> string
 
 val vm_id : t -> int

@@ -8,6 +8,7 @@ let all =
   [
     { id = "fig07"; title = "AG traffic burstiness"; run = Fig07_trace.run };
     { id = "fig08"; title = "Multiplexing AGs on one NSM"; run = Fig08_multiplexing.run };
+    { id = "fig0708"; title = "Autoscaling NSMs under the AG trace"; run = Fig0708_autoscale.run };
     { id = "table2"; title = "AG packing / core saving"; run = Table2_packing.run };
     { id = "fig09"; title = "VM-level fair bandwidth sharing"; run = Fig09_fairshare.run };
     { id = "table3"; title = "nginx: kernel vs mTCP NSM"; run = Table3_nginx.run };

@@ -50,6 +50,37 @@ let to_csv t =
   |> List.map (fun row -> String.concat "," (List.map escape row))
   |> String.concat "\n"
 
+let to_json t =
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let str s = "\"" ^ escape s ^ "\"" in
+  let arr items = "[" ^ String.concat ", " items ^ "]" in
+  let row r = arr (List.map str r) in
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"id\": %s," (str t.id);
+      Printf.sprintf "  \"title\": %s," (str t.title);
+      Printf.sprintf "  \"headers\": %s," (row t.headers);
+      Printf.sprintf "  \"rows\": %s," (arr (List.map row t.rows));
+      Printf.sprintf "  \"notes\": %s" (row t.notes);
+      "}";
+    ]
+
 let cell_f ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
 
 let cell_gbps v = Printf.sprintf "%.1f" v

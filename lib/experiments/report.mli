@@ -21,6 +21,9 @@ val print : Format.formatter -> t -> unit
 
 val to_csv : t -> string
 
+val to_json : t -> string
+(** One JSON object: id, title, headers, rows (array of arrays), notes. *)
+
 val cell_f : ?decimals:int -> float -> string
 
 val cell_gbps : float -> string

@@ -200,7 +200,16 @@ let rec accept_loop t =
   if not t.stopped then
     t.api.Socket_api.accept t.listener ~k:(fun r ->
         match r with
-        | Error _ -> () (* listener closed *)
+        | Error (Types.Eclosed | Types.Einval) -> () (* listener closed *)
+        | Error _ ->
+            (* Transient listener failure (e.g. its NSM crashed): count it
+               and keep accepting — the operator may re-home the listener,
+               after which connections flow again. *)
+            if not t.stopped then begin
+              t.stats.errors <- t.stats.errors + 1;
+              ignore
+                (Sim.Engine.schedule t.engine ~delay:0.01 (fun () -> accept_loop t))
+            end
         | Ok (fd, _peer) ->
             handle_conn t fd;
             accept_loop t)

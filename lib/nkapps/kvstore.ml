@@ -4,6 +4,7 @@ module Socket_api = Tcpstack.Socket_api
 type stats = { mutable commands : int; mutable hits : int; mutable misses : int }
 
 type t = {
+  engine : Sim.Engine.t;
   api : Socket_api.t;
   reactor : Reactor.t;
   table : (string, string) Hashtbl.t;
@@ -90,7 +91,6 @@ let handle_conn t fd =
   drain ()
 
 let start ~engine ~api ~addr =
-  ignore engine;
   match api.Socket_api.socket () with
   | Error e -> Error e
   | Ok ls -> (
@@ -101,13 +101,21 @@ let start ~engine ~api ~addr =
           | Error e -> Error e
           | Ok () ->
               let t =
-                { api; reactor = Reactor.create api; table = Hashtbl.create 1024;
+                { engine; api; reactor = Reactor.create api;
+                  table = Hashtbl.create 1024;
                   stats = { commands = 0; hits = 0; misses = 0 } }
               in
               let rec accept_loop () =
                 api.Socket_api.accept ls ~k:(fun r ->
                     match r with
-                    | Error _ -> ()
+                    | Error (Types.Eclosed | Types.Einval) -> ()
+                    | Error _ ->
+                        (* Transient listener failure (e.g. its NSM crashed):
+                           keep accepting so service resumes once the operator
+                           re-homes the listener. *)
+                        ignore
+                          (Sim.Engine.schedule t.engine ~delay:0.01 (fun () ->
+                               accept_loop ()))
                     | Ok (fd, _) ->
                         handle_conn t fd;
                         accept_loop ())
@@ -123,7 +131,19 @@ module Client = struct
     c_reactor : Reactor.t;
     c_buf : Buffer.t;
     waiters : (string -> unit) Queue.t;
+    mutable c_dead : bool;
   }
+
+  (* A lost connection must error every outstanding command — a command
+     whose server died gets a reply, never a hang. *)
+  let fail_conn c =
+    if not c.c_dead then begin
+      c.c_dead <- true;
+      Reactor.unwatch c.c_reactor c.c_fd;
+      c.c_api.Socket_api.close c.c_fd;
+      Queue.iter (fun waiter -> waiter "-ERR connection lost") c.waiters;
+      Queue.clear c.waiters
+    end
 
   let connect ~engine ~api addr ~k =
     ignore engine;
@@ -136,7 +156,8 @@ module Client = struct
             | Ok () ->
                 let c =
                   { c_api = api; c_fd = fd; c_reactor = Reactor.create api;
-                    c_buf = Buffer.create 128; waiters = Queue.create () }
+                    c_buf = Buffer.create 128; waiters = Queue.create ();
+                    c_dead = false }
                 in
                 let rec drain () =
                   api.Socket_api.recv fd ~max:65536 ~mode:`Copy ~k:(fun r ->
@@ -150,9 +171,9 @@ module Client = struct
                               | exception Queue.Empty -> ())
                             (split_lines c.c_buf);
                           drain ()
-                      | Ok _ -> ()
+                      | Ok _ -> fail_conn c (* EOF *)
                       | Error Types.Eagain -> ()
-                      | Error _ -> ())
+                      | Error _ -> fail_conn c)
                 in
                 Reactor.watch c.c_reactor fd ~readable:true ~writable:false (fun ev ->
                     if ev.Types.readable then drain ());
@@ -160,8 +181,11 @@ module Client = struct
                 k (Ok c))
 
   let command c line k =
-    Queue.add k c.waiters;
-    send_all c.c_api c.c_fd (line ^ "\r\n") (fun () -> ())
+    if c.c_dead then k "-ERR connection lost"
+    else begin
+      Queue.add k c.waiters;
+      send_all c.c_api c.c_fd (line ^ "\r\n") (fun () -> ())
+    end
 
   let set c ~key ~value ~k =
     command c (Printf.sprintf "SET %s %s" key value) (fun reply ->
@@ -181,6 +205,9 @@ module Client = struct
         else k (Error reply))
 
   let close c =
-    Reactor.unwatch c.c_reactor c.c_fd;
-    c.c_api.Socket_api.close c.c_fd
+    if not c.c_dead then begin
+      c.c_dead <- true;
+      Reactor.unwatch c.c_reactor c.c_fd;
+      c.c_api.Socket_api.close c.c_fd
+    end
 end

@@ -5,28 +5,40 @@ module Endpoint_table = Hashtbl.Make (struct
   let hash = Addr.hash
 end)
 
+module Flow_table = Hashtbl.Make (struct
+  type t = Addr.Flow.t
+
+  let equal = Addr.Flow.equal
+  let hash = Addr.Flow.hash
+end)
+
 type t = {
   engine : Sim.Engine.t;
   local_delay : float;
   nic : Nic.t;
   by_ip : (Addr.ip, Segment.t -> unit) Hashtbl.t;
   by_endpoint : (Segment.t -> unit) Endpoint_table.t;
+  by_flow : (Segment.t -> unit) Flow_table.t;
   mutable unclaimed : int;
 }
 
 let input t (seg : Segment.t) =
-  let dst = seg.Segment.flow.dst in
-  match Endpoint_table.find_opt t.by_endpoint dst with
+  match Flow_table.find_opt t.by_flow seg.Segment.flow with
   | Some f -> f seg
   | None -> (
-      match Hashtbl.find_opt t.by_ip dst.ip with
+      let dst = seg.Segment.flow.dst in
+      match Endpoint_table.find_opt t.by_endpoint dst with
       | Some f -> f seg
-      | None -> t.unclaimed <- t.unclaimed + 1)
+      | None -> (
+          match Hashtbl.find_opt t.by_ip dst.ip with
+          | Some f -> f seg
+          | None -> t.unclaimed <- t.unclaimed + 1))
 
 let create engine ?(local_delay = 5e-6) ~nic () =
   let t =
     { engine; local_delay; nic; by_ip = Hashtbl.create 16;
-      by_endpoint = Endpoint_table.create 16; unclaimed = 0 }
+      by_endpoint = Endpoint_table.create 16; by_flow = Flow_table.create 256;
+      unclaimed = 0 }
   in
   Nic.set_rx_handler nic (input t);
   t
@@ -38,6 +50,10 @@ let unregister_ip t ip = Hashtbl.remove t.by_ip ip
 let register_endpoint t addr f = Endpoint_table.replace t.by_endpoint addr f
 
 let unregister_endpoint t addr = Endpoint_table.remove t.by_endpoint addr
+
+let register_flow t flow f = Flow_table.replace t.by_flow flow f
+
+let unregister_flow t flow = Flow_table.remove t.by_flow flow
 
 let owns_ip t ip = Hashtbl.mem t.by_ip ip
 

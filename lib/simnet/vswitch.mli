@@ -23,6 +23,14 @@ val register_endpoint : t -> Addr.t -> (Segment.t -> unit) -> unit
 
 val unregister_endpoint : t -> Addr.t -> unit
 
+val register_flow : t -> Addr.Flow.t -> (Segment.t -> unit) -> unit
+(** Exact 4-tuple override in the segment's inbound orientation (wins over
+    both tables). Pins an established connection to its stack so its
+    ⟨ip, port⟩ endpoint can be re-registered elsewhere — what keeps accepted
+    connections alive across a live listener handover between NSMs. *)
+
+val unregister_flow : t -> Addr.Flow.t -> unit
+
 val owns_ip : t -> Addr.ip -> bool
 
 val output : t -> Segment.t -> unit

@@ -84,6 +84,7 @@ and conn = {
   mutable established : bool;
   mutable error : Types.err option;
   mutable c_endpoint_registered : bool;
+  mutable c_flow_registered : bool;
 }
 
 and sock_kind = Fresh | Listener of listener | Conn of conn | Sclosed
@@ -136,6 +137,9 @@ type t = {
   mutable next_port : int;
   mutable next_src_ip : int; (* round-robin index into [ips] for connects *)
   mutable next_queue : int; (* RFS-style round-robin flow steering *)
+  mutable self_input : Segment.t -> unit;
+      (* [input t], tied after [create]; lets [handle_syn] pin accepted
+         flows in the vswitch without a forward reference. *)
 }
 
 let name t = t.name
@@ -246,11 +250,17 @@ let next_queue t =
 
 let unregister_endpoints t s =
   (match s.kind with
-  | Conn c when c.c_endpoint_registered -> (
-      match s.local with
-      | Some a -> Vswitch.unregister_endpoint t.vswitch a
-      | None -> ())
-  | Conn _ | Fresh | Sclosed -> ()
+  | Conn c ->
+      (if c.c_endpoint_registered then
+         match s.local with
+         | Some a -> Vswitch.unregister_endpoint t.vswitch a
+         | None -> ());
+      if c.c_flow_registered then (
+        match (s.local, s.peer) with
+        | Some l, Some p ->
+            Vswitch.unregister_flow t.vswitch (Addr.Flow.make ~src:p ~dst:l)
+        | _ -> ())
+  | Fresh | Sclosed -> ()
   | Listener l when l.l_endpoint_registered -> Vswitch.unregister_endpoint t.vswitch l.l_addr
   | Listener _ -> ());
   ()
@@ -367,16 +377,25 @@ let handle_syn t (seg : Segment.t) =
                   Tcb.create_passive ~flow ~cfg:t.cfg.tcb ~act ~cc:(t.cfg.cc_factory ())
                     ~isn ~remote_isn:seg.Segment.seq ~remote_ts:seg.Segment.ts ~channel
                 in
-                s.kind <-
-                  Conn
-                    {
-                      tcb;
-                      registry_key = (seg.Segment.flow, seg.Segment.seq);
-                      established = false;
-                      error = None;
-                      c_endpoint_registered = false;
-                    };
-                Flow_table.replace t.conns flow s
+                let c =
+                  {
+                    tcb;
+                    registry_key = (seg.Segment.flow, seg.Segment.seq);
+                    established = false;
+                    error = None;
+                    c_endpoint_registered = false;
+                    c_flow_registered = false;
+                  }
+                in
+                s.kind <- Conn c;
+                Flow_table.replace t.conns flow s;
+                if t.cfg.register_vswitch then begin
+                  (* Pin the 4-tuple to this stack so the listener's
+                     ⟨ip, port⟩ endpoint can move to another NSM without
+                     stranding this established connection. *)
+                  Vswitch.register_flow t.vswitch seg.Segment.flow t.self_input;
+                  c.c_flow_registered <- true
+                end
           end
       | Fresh | Conn _ | Sclosed -> send_rst t seg)
 
@@ -516,8 +535,10 @@ let create ~engine ~name ~cores ~vswitch ~registry ~rng ?(mon = Nkmon.null ()) c
       next_port = fst cfg.ephemeral_range;
       next_src_ip = 0;
       next_queue = 0;
+      self_input = (fun _ -> ());
     }
   in
+  t.self_input <- input t;
   (match cfg.rx_mode with
   | Interrupt -> ()
   | Polling -> Array.iteri (fun qi _ -> poll_loop t qi) rx);
@@ -670,6 +691,7 @@ let connect t s dst ~k =
                     established = false;
                     error = None;
                     c_endpoint_registered = external_ip;
+                    c_flow_registered = false;
                   };
               Flow_table.replace t.conns flow s))
   | Listener _ | Conn _ | Sclosed -> k (Error Types.Einval)

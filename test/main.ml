@@ -16,4 +16,5 @@ let () =
       ("netkernel-e2e", Test_netkernel.tests);
       ("nk-faults", Test_nk_faults.tests);
       ("extensions", Test_extensions.tests);
+      ("nkctl", Test_nkctl.tests);
     ]

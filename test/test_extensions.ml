@@ -68,6 +68,146 @@ let switch_nsm_on_the_fly () =
   if conns nsm1 < 500 then Alcotest.failf "nsm1 should carry batch 1 (%d)" (conns nsm1);
   if conns nsm2 < 500 then Alcotest.failf "nsm2 should carry batch 2 (%d)" (conns nsm2)
 
+let checksum s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) s;
+  !h
+
+(* Live handover with drain: a bulk transfer in flight when the operator
+   re-homes the VM must complete on the source NSM byte-for-byte (the
+   vswitch flow pin keeps its segments landing on the source stack even
+   after the listener's endpoint moves), while connections opened after the
+   handover land on the target. Once the bulk connection closes, the
+   drained source retires at zero connections. *)
+let drain_handover_preserves_streams () =
+  (* A slow (1 Gb/s) fabric stretches the bulk transfer so the handover
+     lands mid-stream. *)
+  let tb = Testbed.create ~rate_gbps:1.0 () in
+  let hosta = Testbed.add_host tb ~name:"hostA" in
+  let hostb = Testbed.add_host tb ~name:"hostB" in
+  let nsm1 = Nsm.create_kernel hosta ~name:"nsm1" ~vcpus:1 () in
+  let nsm2 = Nsm.create_kernel hosta ~name:"nsm2" ~vcpus:1 () in
+  let ctl =
+    Nkctl.create hosta
+      ~policy:{ Nkctl.Policy.default with max_nsms = 1 }
+      ~spawn:(fun _ -> Alcotest.fail "unexpected NSM spawn")
+      ()
+  in
+  let vm = Vm.create_nk hosta ~name:"vm" ~vcpus:1 ~ips:[ ip_vm ] ~nsms:[ nsm1 ] () in
+  Nkctl.add_vm ctl vm ~home:nsm1;
+  let client =
+    Vm.create_baseline hostb ~name:"client" ~vcpus:8 ~ips:[ ip_client ]
+      ~profile:Sim.Cost_profile.ideal ()
+  in
+  let addr = Addr.make ip_vm 6379 in
+  (match Nkapps.Kvstore.start ~engine:tb.Testbed.engine ~api:(Vm.api vm) ~addr with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "kv: %s" (Types.err_to_string e));
+  let big = String.init 300_000 (fun i -> Char.chr (33 + ((i * 7) mod 90))) in
+  let got = ref None in
+  let handover_time = ref nan in
+  let bulk_done_time = ref nan in
+  ignore
+    (Sim.Engine.schedule tb.Testbed.engine ~delay:1e-3 (fun () ->
+         Nkapps.Kvstore.Client.connect ~engine:tb.Testbed.engine ~api:(Vm.api client)
+           addr
+           ~k:(fun r ->
+             match r with
+             | Error e -> Alcotest.failf "connect: %s" (Types.err_to_string e)
+             | Ok conn ->
+                 Nkapps.Kvstore.Client.set conn ~key:"blob" ~value:big ~k:(fun r ->
+                     (match r with
+                     | Ok () -> ()
+                     | Error e -> Alcotest.failf "set: %s" e);
+                     Nkapps.Kvstore.Client.get conn ~key:"blob" ~k:(fun r ->
+                         (match r with
+                         | Ok v -> got := v
+                         | Error e -> Alcotest.failf "get: %s" e);
+                         bulk_done_time := Testbed.now tb;
+                         Nkapps.Kvstore.Client.close conn)))));
+  (* Handover mid-transfer. *)
+  ignore
+    (Sim.Engine.schedule tb.Testbed.engine ~delay:2e-3 (fun () ->
+         handover_time := Testbed.now tb;
+         Nkctl.handover ctl ~vm ~target:nsm2));
+  (* A connection opened after the handover must land on the target NSM. *)
+  let post = ref None in
+  ignore
+    (Sim.Engine.schedule tb.Testbed.engine ~delay:0.1 (fun () ->
+         Nkapps.Kvstore.Client.connect ~engine:tb.Testbed.engine ~api:(Vm.api client)
+           addr
+           ~k:(fun r ->
+             match r with
+             | Error e -> Alcotest.failf "post connect: %s" (Types.err_to_string e)
+             | Ok conn ->
+                 Nkapps.Kvstore.Client.set conn ~key:"after" ~value:"handover"
+                   ~k:(fun _ ->
+                     Nkapps.Kvstore.Client.get conn ~key:"after" ~k:(fun r ->
+                         (match r with
+                         | Ok v -> post := v
+                         | Error e -> Alcotest.failf "post get: %s" e);
+                         Nkapps.Kvstore.Client.close conn)))));
+  Testbed.run tb ~until:30.0;
+  (match !got with
+  | Some v ->
+      Alcotest.(check int) "bulk length intact across handover" (String.length big)
+        (String.length v);
+      Alcotest.(check int) "bulk content intact across handover" (checksum big)
+        (checksum v)
+  | None -> Alcotest.fail "bulk transfer never completed");
+  if Float.is_nan !handover_time || !bulk_done_time <= !handover_time then
+    Alcotest.failf "handover (%.4fs) should land mid-stream (bulk done %.4fs)"
+      !handover_time !bulk_done_time;
+  Alcotest.(check string) "post-handover service" "handover"
+    (Option.value ~default:"" !post);
+  (* The established bulk connection stayed on the source stack... *)
+  if conns nsm1 < 1 then Alcotest.fail "bulk connection should have run on nsm1";
+  (* ...and the post-handover connection went to the target. *)
+  if conns nsm2 < 1 then Alcotest.fail "new connection should land on nsm2";
+  (* With everything closed, the drained source retires on the next tick. *)
+  Nkctl.tick ctl;
+  Alcotest.(check int) "drain completed" 1 (Nkctl.stats ctl).Nkctl.drains_completed;
+  Alcotest.(check int) "source left the pool" 1 (Nkctl.pool_size ctl);
+  if not (Nsm.failed nsm1) then Alcotest.fail "retired source should be marked failed"
+
+(* A detached NSM receives no new sockets; established routes are
+   untouched. Outbound connections exercise round-robin placement (accepted
+   server-side sockets always follow their listener's NSM, so the VM
+   connects out here: each request is a fresh socket CoreEngine places). *)
+let detach_nsm_stops_new_sockets () =
+  let tb = Testbed.create () in
+  let hosta = Testbed.add_host tb ~name:"hostA" in
+  let hostb = Testbed.add_host tb ~name:"hostB" in
+  let nsm1 = Nsm.create_kernel hosta ~name:"nsm1" ~vcpus:1 () in
+  let nsm2 = Nsm.create_kernel hosta ~name:"nsm2" ~vcpus:1 () in
+  let vm =
+    Vm.create_nk hosta ~name:"vm" ~vcpus:1 ~ips:[ ip_vm ] ~nsms:[ nsm1; nsm2 ] ()
+  in
+  let server_vm =
+    Vm.create_baseline hostb ~name:"server" ~vcpus:8 ~ips:[ ip_client ]
+      ~profile:Sim.Cost_profile.ideal ()
+  in
+  (match
+     Nkapps.Epoll_server.start ~engine:tb.Testbed.engine ~api:(Vm.api server_vm)
+       (Nkapps.Epoll_server.config ~proto:fixed64 (Addr.make ip_client 80))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "server: %s" (Types.err_to_string e));
+  (* Batch 1: round-robin placement spreads the VM's sockets over both. *)
+  let lg1 = run_loadgen tb (Vm.api vm) ~addr:(Addr.make ip_client 80) ~total:200 ~delay:1e-3 in
+  Testbed.run tb ~until:5.0;
+  Alcotest.(check int) "batch 1 served" 200
+    (Nkapps.Loadgen.results (Option.get !lg1)).Nkapps.Loadgen.completed;
+  let nsm2_before = conns nsm2 in
+  if conns nsm1 = 0 || nsm2_before = 0 then
+    Alcotest.fail "both NSMs should carry sockets before the detach";
+  Vm.detach_nsm vm nsm2;
+  let lg2 = run_loadgen tb (Vm.api vm) ~addr:(Addr.make ip_client 80) ~total:200 ~delay:0.0 in
+  Testbed.run tb ~until:10.0;
+  Alcotest.(check int) "batch 2 served" 200
+    (Nkapps.Loadgen.results (Option.get !lg2)).Nkapps.Loadgen.completed;
+  Alcotest.(check int) "detached NSM got no new sockets" nsm2_before (conns nsm2)
+
 let nk_world ~costs =
   let tb = Testbed.create ~costs () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
@@ -131,6 +271,10 @@ let ce_offload_saves_ce_cycles () =
 let tests =
   [
     Alcotest.test_case "switch NSM on the fly" `Quick switch_nsm_on_the_fly;
+    Alcotest.test_case "drain handover preserves streams" `Quick
+      drain_handover_preserves_streams;
+    Alcotest.test_case "detached NSM gets no new sockets" `Quick
+      detach_nsm_stops_new_sockets;
     Alcotest.test_case "zerocopy NSM raises throughput" `Quick zerocopy_reduces_nsm_cycles;
     Alcotest.test_case "SmartNIC CE offload saves cycles" `Quick ce_offload_saves_ce_cycles;
   ]
