@@ -111,7 +111,7 @@ let bechamel_suite () =
                Nkcore.Hugepages.write_payload hp e (Tcpstack.Types.Data msg);
                Nkcore.Hugepages.free hp e))
   in
-  let heap = Nkutil.Heap.create ~leq:(fun (a : float) b -> a <= b) () in
+  let heap = Nkutil.Heap.create ~dummy:0.0 ~leq:(fun (a : float) b -> a <= b) () in
   let heap_ops =
     Test.make ~name:"event heap add+pop"
       (Staged.stage (fun () ->
@@ -130,7 +130,7 @@ let bechamel_suite () =
   let analyzed = Analyze.all ols (Measure.label Instance.monotonic_clock |> fun _ -> Instance.monotonic_clock) raw in
   print_endline "\n=== Bechamel microbenchmarks (ns/op, monotonic clock) ===";
   let rows =
-    Hashtbl.fold
+    Nkutil.Det_tbl.fold ~cmp:String.compare
       (fun name result acc ->
         let est =
           match Bechamel.Analyze.OLS.estimates result with
@@ -139,10 +139,9 @@ let bechamel_suite () =
         in
         (name, est) :: acc)
       analyzed []
+    |> List.rev
   in
-  List.iter
-    (fun (name, est) -> Printf.printf "%-48s %s\n" name est)
-    (List.sort compare rows)
+  List.iter (fun (name, est) -> Printf.printf "%-48s %s\n" name est) rows
 
 let () =
   if !micro_only then bechamel_suite ()

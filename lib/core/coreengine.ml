@@ -5,6 +5,9 @@ module Types = Tcpstack.Types
 
 type route = { nsm_id : int; nsm_qset : int }
 
+(* Connection-table keys are ⟨VM id, socket id⟩. *)
+let conn_key_cmp = Nkutil.Det_tbl.pair Int.compare Int.compare
+
 type deferred_entry =
   | To_nsm of bytes
   | To_vm of { src_nsm : int; src_qset : int; raw : bytes }
@@ -119,6 +122,16 @@ let switched t (nqe : Nqe.t) dst =
          })
 
 let conn_table_size t = Hashtbl.length t.conn_table
+
+let dump_conn_table t =
+  let buf = Buffer.create 256 in
+  Nkutil.Det_tbl.iter ~cmp:conn_key_cmp
+    (fun (vm_id, sock) r ->
+      Buffer.add_string buf
+        (Printf.sprintf "vm=%d sock=%d -> nsm=%d qset=%d\n" vm_id sock r.nsm_id
+           r.nsm_qset))
+    t.conn_table;
+  Buffer.contents buf
 
 (* All connection-table mutations go through these two so the per-NSM entry
    counts (the drain-completion signal) can never desynchronize. *)
@@ -281,7 +294,9 @@ let rec schedule_release t delay =
 
 and drain_deferred t =
   let next_delay = ref infinity in
-  Hashtbl.iter
+  (* VM-id order: which VM's parked traffic gets tokens / ring space first
+     must not depend on hash-bucket layout. *)
+  Nkutil.Det_tbl.iter ~cmp:Int.compare
     (fun vm_id q ->
       let rec loop () =
         match Queue.peek_opt q with
@@ -566,7 +581,7 @@ let deregister_vm t ~vm_id =
   Hashtbl.remove t.buckets vm_id;
   Hashtbl.remove t.deferred vm_id;
   let keys =
-    Hashtbl.fold
+    Nkutil.Det_tbl.fold ~cmp:conn_key_cmp
       (fun key _ acc -> if fst key = vm_id then key :: acc else acc)
       t.conn_table []
   in
@@ -582,7 +597,7 @@ let deregister_nsm t ~nsm_id =
   Hashtbl.remove t.draining nsm_id;
   (* Take it out of every VM's round-robin pool. *)
   let vms_using =
-    Hashtbl.fold
+    Nkutil.Det_tbl.fold ~cmp:Int.compare
       (fun vm_id (nsms, _) acc ->
         if Array.exists (fun id -> id = nsm_id) nsms then vm_id :: acc else acc)
       t.assignment []
@@ -591,7 +606,7 @@ let deregister_nsm t ~nsm_id =
   (* And forget its connection-table entries (satellite bugfix: a departed
      NSM used to leak them forever). *)
   let keys =
-    Hashtbl.fold
+    Nkutil.Det_tbl.fold ~cmp:conn_key_cmp
       (fun key r acc -> if r.nsm_id = nsm_id then key :: acc else acc)
       t.conn_table []
   in
@@ -601,10 +616,10 @@ let deregister_nsm t ~nsm_id =
 
 let crash_nsm t ~nsm_id =
   let victims =
-    Hashtbl.fold
-      (fun key r acc -> if r.nsm_id = nsm_id then key :: acc else acc)
-      t.conn_table []
-    |> List.sort compare
+    (* Ascending ⟨vm,sock⟩ order: reset-event delivery order is part of the
+       deterministic execution. *)
+    Nkutil.Det_tbl.bindings ~cmp:conn_key_cmp t.conn_table
+    |> List.filter_map (fun (key, r) -> if r.nsm_id = nsm_id then Some key else None)
   in
   deregister_nsm t ~nsm_id;
   (* Every socket the dead NSM served gets a reset event — an error, never

@@ -89,3 +89,10 @@ val stats : t -> stats
 (** Immutable snapshot of the registry-backed counters. *)
 
 val conn_table_size : t -> int
+
+val dump_conn_table : t -> string
+(** Canonical rendering of the connection table, one
+    ["vm=%d sock=%d -> nsm=%d qset=%d"] line per entry in ascending
+    ⟨vm, sock⟩ order. Independent of hash-bucket layout and insertion
+    history, so two identical runs must produce byte-identical dumps (the
+    determinism suite asserts exactly that). *)

@@ -537,8 +537,8 @@ let api t =
       | None -> Cpu.Set.core t.cores 0
     in
     Hashtbl.replace t.epolls epid
-      (Epoll_core.create ~engine:t.engine ~events_of:(gsock_events t) ~core_of
-         ~wake_cycles:t.costs.Nk_costs.guest_epoll_wake ());
+      (Epoll_core.create ~engine:t.engine ~cmp:Int.compare ~events_of:(gsock_events t)
+         ~core_of ~wake_cycles:t.costs.Nk_costs.guest_epoll_wake ());
     epid
   in
   let epoll_add epid gid ~mask =
@@ -592,10 +592,8 @@ let api t =
 (* ---- listener re-homing (control plane) --------------------------------- *)
 
 let listening_socks t =
-  Hashtbl.fold
-    (fun gid gs acc -> if gs.state = Glistening then gid :: acc else acc)
-    t.socks []
-  |> List.sort compare
+  Nkutil.Det_tbl.bindings ~cmp:Int.compare t.socks
+  |> List.filter_map (fun (gid, gs) -> if gs.state = Glistening then Some gid else None)
 
 let remigrate_listeners t =
   List.iter

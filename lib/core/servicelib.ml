@@ -497,7 +497,7 @@ let close_vm_listeners t ~vm_id =
   | None -> ()
   | Some vm ->
       let listeners =
-        Hashtbl.fold
+        Nkutil.Det_tbl.fold ~cmp:Int.compare
           (fun gid ss acc ->
             match ss.listener with Some l -> (gid, ss, l) :: acc | None -> acc)
           vm.socks []
@@ -518,9 +518,11 @@ let fail t =
     t.dead <- true;
     (* Kill the stack state under every VM's sockets: aborts send RSTs so
        remote peers observe resets, exactly like a crashed middlebox. *)
-    Hashtbl.iter
+    (* Abort order is externally visible (RSTs on the wire), so walk VMs
+       and sockets in id order. *)
+    Nkutil.Det_tbl.iter ~cmp:Int.compare
       (fun _ vm ->
-        Hashtbl.iter
+        Nkutil.Det_tbl.iter ~cmp:Int.compare
           (fun _ ss ->
             (match ss.conn with
             | Some conn -> t.ops.Stack_ops.abort_conn conn
@@ -537,7 +539,7 @@ let deregister_vm t ~vm_id =
   match Hashtbl.find_opt t.vms vm_id with
   | None -> ()
   | Some vm ->
-      Hashtbl.iter
+      Nkutil.Det_tbl.iter ~cmp:Int.compare
         (fun _ ss ->
           (match ss.conn with Some conn -> t.ops.Stack_ops.abort_conn conn | None -> ());
           match ss.listener with

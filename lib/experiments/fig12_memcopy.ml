@@ -1,11 +1,15 @@
 (* Fig 12: message copy throughput through hugepages vs message size.
 
-   Real microbenchmark of the paper's §7.2 memory-copy path: the sender
-   copies a message into the hugepage region and builds a send NQE with the
-   data pointer; the NQE crosses two rings (GuestLib device -> CoreEngine ->
-   ServiceLib device); the receiver resolves the pointer and copies the
-   message out. Measures end-to-end application bytes per second of wall
-   clock.
+   Deterministic microbenchmark of the paper's §7.2 memory-copy path: the
+   sender copies a message into the hugepage region and builds a send NQE
+   with the data pointer; the NQE crosses two rings (GuestLib device ->
+   CoreEngine -> ServiceLib device); the receiver resolves the pointer and
+   copies the message out. The data movement is real; time is charged from
+   the calibrated cycle-cost model (Nk_costs) with the memory-bandwidth
+   pressure feedback of Sim.Pressure (the Table 6 mechanism: per-byte copy
+   cost grows with the modeled throughput), so the result is bit-identical
+   across runs and machines. Wall-clock measurement of the raw primitives
+   lives in bench/main.ml (nklint rule D1 keeps wall clocks out of lib/).
 
    Paper: >100 Gb/s for messages >= 4KB, ~144 Gb/s at 8KB. *)
 
@@ -13,14 +17,25 @@ open Nkcore
 
 let sizes = [ 64; 256; 1024; 4096; 8192; 16384; 65536 ]
 
+(* The paper's testbed core clock: converts modeled cycles to seconds. *)
+let cycles_per_sec = 2.3e9
+
 let run_one ~size ~iterations =
+  let costs = Nk_costs.default in
+  let engine = Sim.Engine.create () in
+  (* A time constant that spans many modeled messages at every size (the
+     largest message costs a few µs of modeled time): long enough to damp
+     the quadratic contention feedback into its fixed point, short enough
+     to converge well inside the run (the default 10 ms tau is sized for
+     full simulation runs, not a microbenchmark's sub-ms horizon). *)
+  let pressure = Sim.Pressure.create engine ~tau:1e-4 () in
   let hp = Hugepages.create ~page_size:(2 * 1024 * 1024) ~pages:8 () in
   let ring_a = Nkutil.Spsc_ring.create ~capacity:1024 in
   let ring_b = Nkutil.Spsc_ring.create ~capacity:1024 in
   let message = String.make size 'x' in
   let out = Bytes.create size in
   let moved = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let cycles = ref 0.0 in
   for _ = 1 to iterations do
     (match Hugepages.alloc hp size with
     | None -> failwith "fig12: hugepage exhausted"
@@ -53,23 +68,28 @@ let run_one ~size ~iterations =
                 | Tcpstack.Types.Zeros _ -> ())
             | Error _ -> ())
         | None -> ());
-        Hugepages.free hp extent)
+        Hugepages.free hp extent;
+        (* charge the modeled path: alloc + encode + switch + decode plus
+           the two pressure-dependent hugepage copies (in and out) *)
+        let msg_cycles =
+          costs.Nk_costs.hugepage_alloc +. costs.Nk_costs.nqe_encode
+          +. costs.Nk_costs.ce_switch +. costs.Nk_costs.nqe_decode
+          +. (2.0 *. Nk_costs.hugepage_copy_cycles costs pressure size)
+        in
+        cycles := !cycles +. msg_cycles;
+        (* advance virtual time and feed the bandwidth estimator, closing
+           the Table 6 contention loop deterministically *)
+        Sim.Engine.run engine ~until:(Sim.Engine.now engine +. (msg_cycles /. cycles_per_sec));
+        Sim.Pressure.observe pressure ~bits:(8.0 *. float_of_int size))
   done;
-  let dt = Unix.gettimeofday () -. t0 in
-  float_of_int !moved *. 8.0 /. dt /. 1e9
+  float_of_int !moved *. 8.0 /. (!cycles /. cycles_per_sec) /. 1e9
 
 let run ?(quick = false) () =
-  let budget = if quick then 64 * 1024 * 1024 else 512 * 1024 * 1024 in
+  let iterations = if quick then 512 else 2048 in
   let rows =
     List.map
       (fun size ->
-        let iterations = Int.max 1000 (budget / size) in
-        (* warm caches/GC, then take the best of three runs *)
-        ignore (run_one ~size ~iterations:(iterations / 10));
-        let gbps =
-          List.fold_left Float.max 0.0
-            (List.init 3 (fun _ -> run_one ~size ~iterations))
-        in
+        let gbps = run_one ~size ~iterations in
         [ Format.asprintf "%a" Nkutil.Units.pp_bytes size; Printf.sprintf "%.1f" gbps ])
       sizes
   in
@@ -77,8 +97,11 @@ let run ?(quick = false) () =
     ~headers:[ "message size"; "Gb/s" ]
     ~notes:
       [
-        "real microbenchmark (wall clock on this machine), not simulated";
+        "deterministic microbenchmark: real copy path, cycle-cost model (Nk_costs + \
+         Sim.Pressure bandwidth feedback) at 2.3 GHz — wall-clock timing lives in \
+         bench/main.ml";
         "paper: >100 Gb/s from 4KB messages; ~144 Gb/s at 8KB";
-        "shape to check: rises with message size (per-message costs amortize)";
+        "shape to check: rises with message size (per-message costs amortize), then \
+         saturates at the modeled memory-bandwidth limit";
       ]
     rows

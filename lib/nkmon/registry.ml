@@ -104,12 +104,12 @@ let find t ~component ~instance ~name =
   Option.map value_of_metric (Hashtbl.find_opt t.table (component, instance, name))
 
 let entries t =
-  Hashtbl.fold
+  Nkutil.Det_tbl.fold
+    ~cmp:(Nkutil.Det_tbl.triple String.compare String.compare String.compare)
     (fun (component, instance, metric) m acc ->
       { component; instance; metric; value = value_of_metric m } :: acc)
     t.table []
-  |> List.sort (fun a b ->
-         compare (a.component, a.instance, a.metric) (b.component, b.instance, b.metric))
+  |> List.rev
 
 let cardinality t = Hashtbl.length t.table
 

@@ -43,7 +43,9 @@ let of_csv text =
   | Some e -> Error e
   | None ->
       let traces =
-        Hashtbl.fold
+        (* Folding in ascending ag_id order makes the result order-stable
+           without a post-sort. *)
+        Nkutil.Det_tbl.fold ~cmp:Int.compare
           (fun ag_id cell acc ->
             let minutes = List.fold_left (fun m (i, _) -> Int.max m i) 0 !cell in
             let rates = Array.make (minutes + 1) 0.0 in
@@ -52,8 +54,9 @@ let of_csv text =
             let mean = Nkutil.Stats.mean rates in
             { Traffic.ag_id; rates; peak; mean } :: acc)
           table []
+        |> List.rev
       in
-      Ok (List.sort (fun a b -> compare a.Traffic.ag_id b.Traffic.ag_id) traces)
+      Ok traces
 
 let save ~path traces =
   let oc = open_out path in

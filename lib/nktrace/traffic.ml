@@ -62,7 +62,7 @@ let rate_at t seconds =
 let peak_to_mean t = if t.mean = 0.0 then 0.0 else t.peak /. t.mean
 
 let top_k_by_utilization ts k =
-  let sorted = List.sort (fun a b -> compare b.mean a.mean) ts in
+  let sorted = List.sort (fun a b -> Float.compare b.mean a.mean) ts in
   List.filteri (fun i _ -> i < k) sorted
 
 let aggregate = function

@@ -1,18 +1,19 @@
 type 'a t = {
   leq : 'a -> 'a -> bool;
+  dummy : 'a;
   mutable data : 'a array;
   mutable size : int;
 }
 
-let create ?(capacity = 256) ~leq () =
-  { leq; data = Array.make (max capacity 1) (Obj.magic 0); size = 0 }
+let create ?(capacity = 256) ~dummy ~leq () =
+  { leq; dummy; data = Array.make (max capacity 1) dummy; size = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
 let grow t =
-  let data = Array.make (2 * Array.length t.data) t.data.(0) in
+  let data = Array.make (2 * Array.length t.data) t.dummy in
   Array.blit t.data 0 data 0 t.size;
   t.data <- data
 
@@ -41,7 +42,6 @@ let rec sift_down t i =
   end
 
 let add t x =
-  if t.size = 0 && Array.length t.data > 0 then t.data.(0) <- x;
   if t.size = Array.length t.data then grow t;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
@@ -55,7 +55,7 @@ let pop_min t =
     let min = t.data.(0) in
     t.size <- t.size - 1;
     t.data.(0) <- t.data.(t.size);
-    t.data.(t.size) <- Obj.magic 0;
+    t.data.(t.size) <- t.dummy;
     (* release for GC *)
     if t.size > 0 then sift_down t 0;
     Some min
@@ -63,7 +63,7 @@ let pop_min t =
 
 let clear t =
   for i = 0 to t.size - 1 do
-    t.data.(i) <- Obj.magic 0
+    t.data.(i) <- t.dummy
   done;
   t.size <- 0
 

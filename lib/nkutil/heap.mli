@@ -7,9 +7,14 @@
 
 type 'a t
 
-val create : ?capacity:int -> leq:('a -> 'a -> bool) -> unit -> 'a t
-(** [create ~leq ()] is an empty heap ordered by [leq] (less-or-equal).
-    [capacity] pre-sizes the backing array (default 256). *)
+val create : ?capacity:int -> dummy:'a -> leq:('a -> 'a -> bool) -> unit -> 'a t
+(** [create ~dummy ~leq ()] is an empty heap ordered by [leq]
+    (less-or-equal). [capacity] pre-sizes the backing array (default 256).
+    [dummy] fills unused slots: it keeps popped elements reachable-free for
+    the GC and — unlike the [Obj.magic 0] it replaced — is sound for every
+    element type, including floats (whose arrays use the unboxed
+    flat-float-array representation that an immediate-0 slot would
+    corrupt). *)
 
 val length : 'a t -> int
 

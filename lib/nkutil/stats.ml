@@ -16,7 +16,7 @@ let percentile a p =
   if n = 0 then 0.0
   else begin
     let sorted = Array.copy a in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let p = Float.min 100.0 (Float.max 0.0 p) in
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     sorted.(Int.max 0 (Int.min (n - 1) (rank - 1)))

@@ -16,8 +16,15 @@ type t = {
 
 let leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
 
+let dummy_event = { time = 0.0; seq = -1; f = (fun () -> ()); cancelled = true }
+
 let create () =
-  { heap = Nkutil.Heap.create ~capacity:1024 ~leq (); clock = 0.0; next_seq = 0; executed = 0 }
+  {
+    heap = Nkutil.Heap.create ~capacity:1024 ~dummy:dummy_event ~leq ();
+    clock = 0.0;
+    next_seq = 0;
+    executed = 0;
+  }
 
 let now t = t.clock
 

@@ -96,7 +96,7 @@ let make stack =
     let epid = st.next_ep in
     st.next_ep <- st.next_ep + 1;
     Hashtbl.replace st.epolls epid
-      (Epoll_core.create ~engine ~events_of ~core_of ~wake_cycles ());
+      (Epoll_core.create ~engine ~cmp:Int.compare ~events_of ~core_of ~wake_cycles ());
     epid
   in
   let epoll_add epid fd ~mask =

@@ -8,6 +8,7 @@ type 'fd waiter = {
 
 type 'fd t = {
   engine : Engine.t;
+  cmp : 'fd -> 'fd -> int;
   events_of : 'fd -> Types.events;
   core_of : 'fd -> Cpu.t;
   wake_cycles : float;
@@ -18,8 +19,8 @@ type 'fd t = {
 
 let nonempty (e : Types.events) = e.Types.readable || e.Types.writable || e.Types.hup
 
-let create ~engine ~events_of ~core_of ~wake_cycles () =
-  { engine; events_of; core_of; wake_cycles; members = Hashtbl.create 64;
+let create ~engine ~cmp ~events_of ~core_of ~wake_cycles () =
+  { engine; cmp; events_of; core_of; wake_cycles; members = Hashtbl.create 64;
     ready = Hashtbl.create 64; waiter = None }
 
 let masked t fd (ev : Types.events) =
@@ -33,11 +34,12 @@ let masked t fd (ev : Types.events) =
       }
 
 let ready_list t =
-  Hashtbl.fold
-    (fun fd () acc ->
-      let ev = masked t fd (t.events_of fd) in
-      if nonempty ev then (fd, ev) :: acc else acc)
-    t.ready []
+  (* Ascending-fd readiness order: the order epoll_wait hands out events is
+     application-visible and must not depend on hash-bucket layout. *)
+  Nkutil.Det_tbl.bindings ~cmp:t.cmp t.ready
+  |> List.filter_map (fun (fd, ()) ->
+         let ev = masked t fd (t.events_of fd) in
+         if nonempty ev then Some (fd, ev) else None)
 
 let try_wake t core =
   match t.waiter with

@@ -10,13 +10,16 @@ type 'fd t
 
 val create :
   engine:Sim.Engine.t ->
+  cmp:('fd -> 'fd -> int) ->
   events_of:('fd -> Types.events) ->
   core_of:('fd -> Sim.Cpu.t) ->
   wake_cycles:float ->
   unit ->
   'fd t
 (** [events_of] must return the descriptor's current readiness snapshot;
-    [core_of] the core charged [wake_cycles] when a waiter is woken. *)
+    [core_of] the core charged [wake_cycles] when a waiter is woken. [cmp]
+    totally orders descriptors: ready sets are delivered in ascending [cmp]
+    order so event delivery is deterministic. *)
 
 val add : 'fd t -> 'fd -> mask:Types.events -> unit
 (** Register interest in the event kinds set in [mask] (hup is always

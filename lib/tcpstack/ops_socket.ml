@@ -152,8 +152,9 @@ let make ops =
     let epid = st.next_ep in
     st.next_ep <- st.next_ep + 1;
     Hashtbl.replace st.epolls epid
-      (Epoll_core.create ~engine:ops.Stack_ops.engine ~events_of:(events_of st)
-         ~core_of:(core_of st) ~wake_cycles:ops.Stack_ops.epoll_wake_cycles ());
+      (Epoll_core.create ~engine:ops.Stack_ops.engine ~cmp:Int.compare
+         ~events_of:(events_of st) ~core_of:(core_of st)
+         ~wake_cycles:ops.Stack_ops.epoll_wake_cycles ());
     epid
   in
   let epoll_add epid fd ~mask =

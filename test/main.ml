@@ -17,4 +17,5 @@ let () =
       ("nk-faults", Test_nk_faults.tests);
       ("extensions", Test_extensions.tests);
       ("nkctl", Test_nkctl.tests);
+      ("nklint", Test_nklint.tests);
     ]

@@ -1,0 +1,174 @@
+(* Fixture coverage for the nklint static analyzer (tools/nklint): one
+   minimal snippet per rule asserting it fires exactly where expected and
+   stays silent on the sanctioned replacement idiom — plus a whole-system
+   determinism regression: the CoreEngine connection table must dump
+   byte-identically across two identical runs (the property rules D1/D2
+   exist to protect). *)
+
+open Nkcore
+module L = Nklint_rules
+module Types = Tcpstack.Types
+
+let lint ?(path = "lib/fixture.ml") src = L.lint_source ~path src
+
+let check_diags what expected ?path src =
+  let got = List.map (fun d -> (d.L.rule, d.L.line)) (lint ?path src) in
+  Alcotest.(check (list (pair string int))) what expected got
+
+(* ---- D1: wall clock / ambient randomness ------------------------------ *)
+
+let d1_wall_clock () =
+  check_diags "gettimeofday flagged in lib/"
+    [ ("D1", 1) ]
+    "let t0 = Unix.gettimeofday ()";
+  check_diags "Sys.time flagged in lib/" [ ("D1", 2) ] "let x = 1\nlet t = Sys.time ()";
+  check_diags "wall clock allowed in bench/" [] ~path:"bench/fixture.ml"
+    "let t0 = Unix.gettimeofday ()"
+
+let d1_randomness () =
+  check_diags "ambient Random flagged" [ ("D1", 1) ] "let x = Random.int 5";
+  check_diags "Random.self_init flagged" [ ("D1", 1) ] "let () = Random.self_init ()";
+  check_diags "seeded Nkutil.Rng is the sanctioned source" []
+    "let r = Nkutil.Rng.create ~seed:7\nlet x = Nkutil.Rng.int r 5"
+
+(* ---- D2: order-sensitive Hashtbl iteration ---------------------------- *)
+
+let d2_hashtbl_order () =
+  check_diags "Hashtbl.iter flagged"
+    [ ("D2", 1) ]
+    "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl";
+  check_diags "Hashtbl.fold flagged"
+    [ ("D2", 1) ]
+    "let f tbl = Hashtbl.fold (fun _ _ acc -> acc) tbl 0";
+  check_diags "Det_tbl replacement is silent" []
+    "let f tbl = Nkutil.Det_tbl.iter ~cmp:Int.compare (fun _ _ -> ()) tbl";
+  check_diags "ordered-ok waiver on the preceding line" []
+    "(* nklint: ordered-ok *)\nlet f tbl = Hashtbl.fold (fun _ _ acc -> acc) tbl 0";
+  check_diags "waiver only covers its own site"
+    [ ("D2", 4) ]
+    "(* nklint: ordered-ok *)\n\
+     let f tbl = Hashtbl.fold (fun _ _ acc -> acc) tbl 0\n\
+     \n\
+     let g tbl = Hashtbl.iter (fun _ _ -> ()) tbl"
+
+(* ---- D3: bare polymorphic compare ------------------------------------- *)
+
+let d3_poly_compare () =
+  check_diags "Array.sort compare flagged"
+    [ ("D3", 1) ]
+    "let s a = Array.sort compare a";
+  check_diags "Stdlib.compare as argument flagged"
+    [ ("D3", 1) ]
+    "let s l = List.sort Stdlib.compare l";
+  check_diags "direct application is not the D3 target" [] "let c = compare 1 2";
+  check_diags "monomorphic comparator is silent" []
+    "let s l = List.sort Int.compare l"
+
+(* ---- D4: Obj.magic and exception swallowing --------------------------- *)
+
+let d4_obj_magic () =
+  check_diags "Obj.magic flagged" [ ("D4", 1) ] "let f x = Obj.magic x";
+  check_diags "typed dummy is silent" [] "let f d n = Array.make n d"
+
+let d4_swallow () =
+  check_diags "try ... with _ flagged" [ ("D4", 1) ] "let f g = try g () with _ -> ()";
+  check_diags "specific exception is silent" []
+    "let f g = try g () with Not_found -> ()";
+  check_diags "swallow-ok waiver" []
+    "let f g = try g () with _ -> () (* nklint: swallow-ok *)"
+
+(* ---- P1: NQE wire-protocol invariants --------------------------------- *)
+
+let p1_good =
+  "type op = Socket | Close\n\
+   let op_to_byte = function Socket -> 1 | Close -> 2\n\
+   let op_of_byte = function 1 -> Some Socket | 2 -> Some Close | _ -> None\n\
+   let size_bytes = 12\n\
+   let encode_into t buf ~pos =\n\
+  \  Bytes.set_uint8 buf pos t;\n\
+  \  Bytes.set_int32_le buf (pos + 8) 0l\n"
+
+let p1_bad =
+  "type op = Socket | Close | Ev_err\n\
+   let op_to_byte = function Socket -> 1 | Close -> 2 | Ev_err -> 2\n\
+   let op_of_byte = function 1 -> Some Socket | 2 -> Some Close | _ -> None\n\
+   let size_bytes = 16\n\
+   let encode_into t buf ~pos =\n\
+  \  Bytes.set_uint8 buf pos t;\n\
+  \  Bytes.set_int64_le buf (pos + 4) 0L\n"
+
+let p1_wire () =
+  check_diags "consistent mini-codec is silent" ~path:"lib/core/nqe.ml" [] p1_good;
+  check_diags "inconsistent codec: duplicate byte, missing decode arm, wrong span"
+    ~path:"lib/core/nqe.ml"
+    [ ("P1", 2); ("P1", 3); ("P1", 5) ]
+    p1_bad;
+  check_diags "P1 only applies to the real codec file" [] p1_bad
+
+let p1_real_codec () =
+  (* The invariant holds on the actual lib/core/nqe.ml encoder: byte-level
+     encode/decode round-trips inside the declared wire size. *)
+  let nqe =
+    Nqe.make ~op:Nqe.Ev_data ~vm_id:3 ~qset:1 ~sock:99 ~op_data:42L ~data_ptr:512
+      ~size:1024 ()
+  in
+  let buf = Nqe.encode nqe in
+  Alcotest.(check int) "wire size" Nqe.size_bytes (Bytes.length buf);
+  match Nqe.decode buf with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok d -> Alcotest.(check bool) "round-trip" true (d = nqe)
+
+(* ---- whole-system determinism regression ------------------------------ *)
+
+let conn_dump_once ~seed =
+  let tb = Testbed.create ~seed () in
+  let hosta = Testbed.add_host tb ~name:"hostA" in
+  let hostb = Testbed.add_host tb ~name:"hostB" in
+  let nsm = Nsm.create_kernel hosta ~name:"nsm" ~vcpus:2 () in
+  let vm = Vm.create_nk hosta ~name:"vm" ~vcpus:2 ~ips:[ 10 ] ~nsms:[ nsm ] () in
+  let client =
+    Vm.create_baseline hostb ~name:"client" ~vcpus:4 ~ips:[ 20 ]
+      ~profile:Sim.Cost_profile.ideal ()
+  in
+  (* Keepalive connections stay established, so the connection table is
+     non-trivial when the run ends. *)
+  let proto = Nkapps.Proto.Fixed { request = 64; response = 256; keepalive = true } in
+  (match
+     Nkapps.Epoll_server.start ~engine:tb.Testbed.engine ~api:(Vm.api vm)
+       (Nkapps.Epoll_server.config ~proto (Addr.make 10 80))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "server: %s" (Types.err_to_string e));
+  ignore
+    (Sim.Engine.schedule tb.Testbed.engine ~delay:1e-3 (fun () ->
+         ignore
+           (Nkapps.Loadgen.start ~engine:tb.Testbed.engine ~api:(Vm.api client)
+              {
+                Nkapps.Loadgen.server = Addr.make 10 80;
+                proto;
+                mode =
+                  Nkapps.Loadgen.Closed
+                    { concurrency = 8; total = Some 200; duration = None };
+                warmup = 0.0;
+              })));
+  Testbed.run tb ~until:10.0;
+  Coreengine.dump_conn_table (Host.coreengine hosta)
+
+let conn_table_dump_deterministic () =
+  let a = conn_dump_once ~seed:4242 in
+  let b = conn_dump_once ~seed:4242 in
+  Alcotest.(check bool) "dump is non-trivial" true (String.length a > 0);
+  Alcotest.(check string) "conn table dumps byte-identical" a b
+
+let tests =
+  [
+    Alcotest.test_case "D1 wall clock" `Quick d1_wall_clock;
+    Alcotest.test_case "D1 ambient randomness" `Quick d1_randomness;
+    Alcotest.test_case "D2 Hashtbl order" `Quick d2_hashtbl_order;
+    Alcotest.test_case "D3 polymorphic compare" `Quick d3_poly_compare;
+    Alcotest.test_case "D4 Obj.magic" `Quick d4_obj_magic;
+    Alcotest.test_case "D4 exception swallowing" `Quick d4_swallow;
+    Alcotest.test_case "P1 NQE wire invariants" `Quick p1_wire;
+    Alcotest.test_case "P1 holds on the real codec" `Quick p1_real_codec;
+    Alcotest.test_case "conn-table dump determinism" `Quick conn_table_dump_deterministic;
+  ]

@@ -11,7 +11,7 @@ module TS = Nkutil.Timeseries
 (* ---- heap ----------------------------------------------------------- *)
 
 let heap_sorted_pops () =
-  let h = H.create ~leq:(fun (a : int) b -> a <= b) () in
+  let h = H.create ~dummy:0 ~leq:(fun (a : int) b -> a <= b) () in
   List.iter (H.add h) [ 5; 3; 8; 1; 9; 2; 7; 1 ];
   let rec drain acc =
     match H.pop_min h with None -> List.rev acc | Some x -> drain (x :: acc)
@@ -22,12 +22,25 @@ let heap_qcheck =
   QCheck.Test.make ~name:"heap pops are sorted" ~count:200
     QCheck.(list int)
     (fun xs ->
-      let h = H.create ~leq:(fun (a : int) b -> a <= b) () in
+      let h = H.create ~dummy:0 ~leq:(fun (a : int) b -> a <= b) () in
       List.iter (H.add h) xs;
       let rec drain acc =
         match H.pop_min h with None -> List.rev acc | Some x -> drain (x :: acc)
       in
-      drain [] = List.sort compare xs)
+      drain [] = List.sort Int.compare xs)
+
+let heap_of_floats () =
+  (* Regression: unused slots used to be filled with [Obj.magic 0], which is
+     unsound for float elements — the backing array uses the unboxed
+     flat-float-array representation, so an immediate 0 in a slot corrupts
+     it. A tiny initial capacity forces growth (and [grow]'s dummy fill). *)
+  let h = H.create ~capacity:1 ~dummy:nan ~leq:(fun (a : float) b -> a <= b) () in
+  List.iter (H.add h) [ 3.5; 1.25; 2.75; 0.5; 8.0 ];
+  let rec drain acc =
+    match H.pop_min h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list (float 0.0)))
+    "sorted floats" [ 0.5; 1.25; 2.75; 3.5; 8.0 ] (drain [])
 
 (* ---- rng ------------------------------------------------------------- *)
 
@@ -137,7 +150,7 @@ let histogram_qcheck =
     (fun xs ->
       let h = Hist.create () in
       List.iter (Hist.record h) xs;
-      let sorted = List.sort compare xs in
+      let sorted = List.sort Float.compare xs in
       let exact p =
         let n = List.length sorted in
         List.nth sorted (Int.min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
@@ -257,6 +270,7 @@ let tests =
   [
     Alcotest.test_case "heap sorted pops" `Quick heap_sorted_pops;
     QCheck_alcotest.to_alcotest heap_qcheck;
+    Alcotest.test_case "heap of floats (Obj.magic regression)" `Quick heap_of_floats;
     Alcotest.test_case "rng determinism" `Quick rng_deterministic;
     Alcotest.test_case "rng ranges" `Quick rng_ranges;
     Alcotest.test_case "rng exponential mean" `Quick rng_exponential_mean;

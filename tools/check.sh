@@ -1,11 +1,13 @@
 #!/bin/sh
-# Repo check: tier-1 build + tests, plus a format check when ocamlformat is
-# available (the pinned version is in .ocamlformat; the build does not
-# require it, so environments without it skip the formatting step).
+# Repo check: tier-1 build + tests + nklint static analysis, plus a format
+# check when ocamlformat is available (the pinned version is in
+# .ocamlformat; the build does not require it, so environments without it
+# skip the formatting step).
 set -e
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
+dune build @lint
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt
 else

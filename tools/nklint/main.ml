@@ -1,0 +1,32 @@
+(* nklint CLI: [nklint PATH...] lints every .ml/.mli under the given files
+   or directories and exits nonzero if any diagnostic fires. Wired into the
+   build as [dune build @lint] (see the root dune file) and tools/check.sh. *)
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "_build" || (String.length name > 0 && name.[0] = '.') then acc
+           else walk (Filename.concat path name) acc)
+         acc
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+    path :: acc
+  else acc
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ ->
+        prerr_endline "usage: nklint PATH...";
+        exit 2
+  in
+  let files = List.rev (List.fold_left (fun acc r -> walk r acc) [] roots) in
+  let diags = List.concat_map Nklint_rules.lint_file files in
+  List.iter (fun d -> print_endline (Nklint_rules.to_string d)) diags;
+  Printf.eprintf "nklint: %d files checked, %d diagnostic%s\n%!" (List.length files)
+    (List.length diags)
+    (if List.length diags = 1 then "" else "s");
+  exit (if diags = [] then 0 else 1)

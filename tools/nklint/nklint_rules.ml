@@ -1,0 +1,386 @@
+(* nklint — NetKernel's repo-specific static analysis (DESIGN.md §10).
+
+   Walks OCaml parsetrees (compiler-libs [Ast_iterator], no ppx) and
+   enforces the determinism and invariant discipline the reproduction's
+   scientific claim rests on:
+
+   D1  no wall clock / ambient randomness under lib/ — simulated components
+       must take time from [Sim.Engine] and randomness from [Nkutil.Rng];
+   D2  no order-sensitive [Hashtbl.iter]/[Hashtbl.fold] — use
+       [Nkutil.Det_tbl] (key-sorted) or waive with (* nklint: ordered-ok *);
+   D3  no bare polymorphic [compare] passed as a function value — use the
+       monomorphic [Int.compare]/[Float.compare]/... (polymorphic compare
+       on non-immediate types walks structure, and on custom types orders
+       by declaration accident);
+   D4  no [Obj.magic]; no exception-swallowing [try ... with _ ->] outside
+       the allowlist below (waivers: magic-ok / swallow-ok);
+   P1  NQE wire-protocol invariants in lib/core/nqe.ml: the declared
+       [size_bytes] must equal the encoder's written span, every opcode
+       constructor must appear in both the encode and decode match sites,
+       and encode must assign distinct byte values.
+
+   The analysis is purely syntactic (parsetree, not typedtree): it can be
+   fooled by module aliasing or shadowing, which is acceptable — the rules
+   target idioms this codebase actually uses, and the waiver comments are
+   the escape hatch for deliberate exceptions. *)
+
+open Parsetree
+
+type diag = { file : string; line : int; col : int; rule : string; msg : string }
+
+let to_string d = Printf.sprintf "%s:%d: %s: %s" d.file d.line d.rule d.msg
+
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+(* D4 sites allowed without an inline waiver: (path suffix, rule) pairs.
+   Empty on main — the historical Obj.magic in nkutil/heap.ml was fixed for
+   real (caller-supplied dummy element), not allowlisted. *)
+let d4_allowlist : (string * string) list = []
+
+let allowlisted ~path rule =
+  List.exists
+    (fun (suffix, r) -> r = rule && Filename.check_suffix path suffix)
+    d4_allowlist
+
+(* Waiver comments. A waiver on line N covers diagnostics on lines N and
+   N+1, so it can sit on its own line above the flagged expression or at
+   the end of the same line. (The scan is textual; a waiver token inside a
+   string literal would also count — don't do that.) *)
+let waiver_tokens = [ ("nklint: ordered-ok", "D2"); ("nklint: magic-ok", "D4"); ("nklint: swallow-ok", "D4") ]
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let waived_lines src =
+  (* (line, rule) pairs for every waiver comment in the source text. *)
+  let lines = String.split_on_char '\n' src in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         List.filter_map
+           (fun (tok, rule) -> if contains ~sub:tok line then Some (i + 1, rule) else None)
+           waiver_tokens)
+       lines)
+
+let in_lib path =
+  String.length path >= 4 && String.sub path 0 4 = "lib/" || contains ~sub:"/lib/" path
+
+(* ---- expression-level rules (D1–D4) ---------------------------------- *)
+
+let loc_line (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let loc_col (loc : Location.t) =
+  loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol
+
+let expr_rules ~path ast =
+  let diags = ref [] in
+  let add loc rule msg =
+    diags := { file = path; line = loc_line loc; col = loc_col loc; rule; msg } :: !diags
+  in
+  let lib = in_lib path in
+  (* Locations of idents in function-head position: [compare a b] is a
+     direct (monomorphized-at-use) call and is not what D3 flags; the bare
+     value [List.sort compare] is. *)
+  let head_idents = Hashtbl.create 64 in
+  let check_ident loc = function
+    | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] | [ "Sys"; "time" ] as l
+      when lib ->
+        add loc "D1"
+          (Printf.sprintf
+             "wall-clock read %s in lib/ — take time from Sim.Engine (wall clock \
+              belongs in bench/ only)"
+             (String.concat "." l))
+    | "Random" :: _ as l when lib ->
+        add loc "D1"
+          (Printf.sprintf
+             "ambient randomness %s in lib/ — use Nkutil.Rng with an explicit seed"
+             (String.concat "." l))
+    | [ "Hashtbl"; ("iter" | "fold" as f) ] | [ "Stdlib"; "Hashtbl"; ("iter" | "fold" as f) ] ->
+        add loc "D2"
+          (Printf.sprintf
+             "Hashtbl.%s visits entries in nondeterministic bucket order — use \
+              Nkutil.Det_tbl.%s, or waive a provably order-insensitive site with (* \
+              nklint: ordered-ok *)"
+             f f)
+    | ([ "compare" ] | [ "Stdlib"; "compare" ]) when not (Hashtbl.mem head_idents loc) ->
+        add loc "D3"
+          "bare polymorphic compare passed as a function — use Int.compare / \
+           Float.compare / String.compare or a purpose-built comparator"
+    | [ "Obj"; "magic" ] | [ "Stdlib"; "Obj"; "magic" ] ->
+        if not (allowlisted ~path "D4") then
+          add loc "D4"
+            "Obj.magic defeats the type system (and corrupts flat-float-array \
+             payloads) — store a typed dummy/option instead"
+    | _ -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident _; pexp_loc; _ }, _) ->
+        Hashtbl.replace head_idents pexp_loc ()
+    | _ -> ());
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident loc (Longident.flatten txt)
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            match c.pc_lhs.ppat_desc with
+            | Ppat_any when not (allowlisted ~path "D4") ->
+                add c.pc_lhs.ppat_loc "D4"
+                  "try ... with _ -> swallows every exception (including \
+                   Stack_overflow and Assert_failure) — match the specific \
+                   exceptions, or waive with (* nklint: swallow-ok *)"
+            | _ -> ())
+          cases
+    | _ -> ());
+    default.expr self e
+  in
+  let it = { default with expr } in
+  it.structure it ast;
+  !diags
+
+(* ---- P1: NQE wire-protocol invariants --------------------------------- *)
+
+let rec last = function [] -> None | [ x ] -> Some x | _ :: tl -> last tl
+
+(* Body of [let f = function ... ] or [let f x = match x with ...]. *)
+let fn_cases e =
+  match e.pexp_desc with
+  | Pexp_function cases -> Some cases
+  | Pexp_fun (_, _, _, { pexp_desc = Pexp_match (_, cases); _ }) -> Some cases
+  | _ -> None
+
+let binding_named name (vb : value_binding) =
+  match vb.pvb_pat.ppat_desc with Ppat_var { txt; _ } -> txt = name | _ -> false
+
+let find_binding name ast =
+  List.find_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) -> List.find_opt (binding_named name) vbs
+      | _ -> None)
+    ast
+
+let int_of_const e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, _)) -> int_of_string_opt s
+  | _ -> None
+
+(* Width in bytes of a [Bytes.set_*] writer, from its name. *)
+let set_width = function
+  | "set_uint8" | "set_int8" -> Some 1
+  | "set_uint16_le" | "set_uint16_be" | "set_uint16_ne" | "set_int16_le" | "set_int16_be"
+  | "set_int16_ne" ->
+      Some 2
+  | "set_int32_le" | "set_int32_be" | "set_int32_ne" -> Some 4
+  | "set_int64_le" | "set_int64_be" | "set_int64_ne" -> Some 8
+  | _ -> None
+
+(* Offset of the write position relative to [pos]: [pos] itself or
+   [pos + k]. *)
+let rel_offset e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident "pos"; _ } -> Some 0
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident "+"; _ }; _ },
+        [ (_, { pexp_desc = Pexp_ident { txt = Longident.Lident "pos"; _ }; _ });
+          (_, k)
+        ] ) ->
+      int_of_const k
+  | _ -> None
+
+let encoder_span body =
+  (* Max (offset + width) over every Bytes.set_* in the encoder body. *)
+  let span = ref None in
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (_ :: (_, pos_arg) :: _ as _args))
+      -> (
+        match Longident.flatten txt with
+        | [ "Bytes"; setter ] -> (
+            match (set_width setter, rel_offset pos_arg) with
+            | Some w, Some off ->
+                let s = off + w in
+                span := Some (match !span with None -> s | Some m -> Int.max m s)
+            | _ -> ())
+        | _ -> ())
+    | _ -> ());
+    default.expr self e
+  in
+  let it = { default with expr } in
+  it.expr it body;
+  !span
+
+let constructors_in_patterns cases =
+  List.filter_map
+    (fun c ->
+      match c.pc_lhs.ppat_desc with
+      | Ppat_construct ({ txt; _ }, _) -> last (Longident.flatten txt)
+      | _ -> None)
+    cases
+
+let has_wildcard_pattern cases =
+  List.exists (fun c -> match c.pc_lhs.ppat_desc with Ppat_any -> true | _ -> false) cases
+
+let constructors_in_exprs ~known body_list =
+  (* Every known-constructor name mentioned anywhere in the given
+     expressions (e.g. the [Some Socket] results of the decoder). *)
+  let found = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    (match e.pexp_desc with
+    | Pexp_construct ({ txt; _ }, _) -> (
+        match last (Longident.flatten txt) with
+        | Some name when List.mem name known && not (List.mem name !found) ->
+            found := name :: !found
+        | _ -> ())
+    | _ -> ());
+    default.expr self e
+  in
+  let it = { default with expr } in
+  List.iter (it.expr it) body_list;
+  !found
+
+let rhs_int_constants cases = List.filter_map (fun c -> int_of_const c.pc_rhs) cases
+
+let nqe_rules ~path ast =
+  let diags = ref [] in
+  let add loc msg =
+    diags := { file = path; line = loc_line loc; col = loc_col loc; rule = "P1"; msg } :: !diags
+  in
+  let missing what loc = add loc (Printf.sprintf "expected %s in the NQE codec" what) in
+  let top_loc =
+    match ast with it :: _ -> it.pstr_loc | [] -> Location.none
+  in
+  (* opcode constructor names from [type op = ...] *)
+  let op_ctors =
+    List.find_map
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_type (_, decls) ->
+            List.find_map
+              (fun d ->
+                if d.ptype_name.Asttypes.txt = "op" then
+                  match d.ptype_kind with
+                  | Ptype_variant ctors ->
+                      Some (List.map (fun c -> c.pcd_name.Asttypes.txt) ctors)
+                  | _ -> None
+                else None)
+              decls
+        | _ -> None)
+      ast
+  in
+  (match op_ctors with
+  | None -> missing "a [type op] variant declaration" top_loc
+  | Some ctors -> (
+      (* encode side: op_to_byte must pattern-match every constructor and
+         assign distinct byte values *)
+      (match find_binding "op_to_byte" ast with
+      | None -> missing "an [op_to_byte] encode match" top_loc
+      | Some vb -> (
+          match fn_cases vb.pvb_expr with
+          | None -> add vb.pvb_loc "op_to_byte is not a single-match function"
+          | Some cases ->
+              (if not (has_wildcard_pattern cases) then
+                 let seen = constructors_in_patterns cases in
+                 List.iter
+                   (fun c ->
+                     if not (List.mem c seen) then
+                       add vb.pvb_loc
+                         (Printf.sprintf "opcode %s missing from encode match (op_to_byte)" c))
+                   ctors);
+              let bytes = rhs_int_constants cases in
+              let sorted = List.sort Int.compare bytes in
+              let rec dup = function
+                | a :: (b :: _ as tl) -> if a = b then Some a else dup tl
+                | _ -> None
+              in
+              (match dup sorted with
+              | Some b ->
+                  add vb.pvb_loc
+                    (Printf.sprintf "encode match assigns byte %d to two opcodes" b)
+              | None -> ())));
+      (* decode side: op_of_byte must produce every constructor *)
+      match find_binding "op_of_byte" ast with
+      | None -> missing "an [op_of_byte] decode match" top_loc
+      | Some vb -> (
+          match fn_cases vb.pvb_expr with
+          | None -> add vb.pvb_loc "op_of_byte is not a single-match function"
+          | Some cases ->
+              let produced =
+                constructors_in_exprs ~known:ctors (List.map (fun c -> c.pc_rhs) cases)
+              in
+              List.iter
+                (fun c ->
+                  if not (List.mem c produced) then
+                    add vb.pvb_loc
+                      (Printf.sprintf "opcode %s missing from decode match (op_of_byte)" c))
+                ctors)));
+  (* wire size: declared size_bytes = encoder's written span *)
+  (match (find_binding "size_bytes" ast, find_binding "encode_into" ast) with
+  | None, _ -> missing "a [size_bytes] wire-size constant" top_loc
+  | _, None -> missing "an [encode_into] writer" top_loc
+  | Some size_vb, Some enc_vb -> (
+      match (int_of_const size_vb.pvb_expr, encoder_span enc_vb.pvb_expr) with
+      | None, _ -> add size_vb.pvb_loc "size_bytes is not an integer literal"
+      | _, None -> add enc_vb.pvb_loc "encode_into contains no analyzable Bytes.set_* write"
+      | Some declared, Some span ->
+          if declared <> span then
+            add enc_vb.pvb_loc
+              (Printf.sprintf
+                 "encoder writes a %d-byte span but size_bytes declares %d" span declared)));
+  !diags
+
+(* ---- driver ------------------------------------------------------------ *)
+
+let parse_structure ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+let lint_source ~path src =
+  if Filename.check_suffix path ".mli" then
+    (* Interfaces carry no expressions the rules apply to; parse them only
+       so a syntactically broken .mli still surfaces here. *)
+    match
+      let lexbuf = Lexing.from_string src in
+      Lexing.set_filename lexbuf path;
+      ignore (Parse.interface lexbuf)
+    with
+    | () -> []
+    | exception _ ->
+        [ { file = path; line = 1; col = 0; rule = "parse"; msg = "syntax error" } ]
+  else
+    match parse_structure ~path src with
+    | exception _ ->
+        [ { file = path; line = 1; col = 0; rule = "parse"; msg = "syntax error" } ]
+    | ast ->
+        let diags =
+          expr_rules ~path ast
+          @ (if Filename.basename path = "nqe.ml" && in_lib path then nqe_rules ~path ast
+             else [])
+        in
+        let waivers = waived_lines src in
+        let waived d =
+          List.exists
+            (fun (line, rule) -> rule = d.rule && (line = d.line || line = d.line - 1))
+            waivers
+        in
+        List.filter (fun d -> not (waived d)) diags |> List.sort compare_diag
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  lint_source ~path src
