@@ -89,17 +89,25 @@ let demo_cmd =
 (* A small representative NetKernel workload (kernel-stack NSM, epoll
    server in the VM, closed-loop load) whose Nkmon handle the stats and
    trace subcommands inspect afterwards. *)
-let observed_world ~trace =
-  let w = Experiments.Worlds.netkernel () in
+let observed_world ~trace ~ce_cores =
+  let w = Experiments.Worlds.netkernel ~ce_cores () in
   let mon = w.Experiments.Worlds.tb.Nkcore.Testbed.mon in
   if trace then Nkmon.Trace.set_enabled (Nkmon.trace mon) true;
   ignore (Experiments.Worlds.measure_rps w ~concurrency:32 ~total:2_000 ());
   mon
 
+let ce_cores_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "ce-cores" ] ~docv:"N"
+        ~doc:
+          "Number of CoreEngine switching shards (dedicated cores); with \
+           more than one, per-shard metrics appear as ce.shard<k>.")
+
 let stats_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
-  let run csv =
-    let mon = observed_world ~trace:false in
+  let run csv ce_cores =
+    let mon = observed_world ~trace:false ~ce_cores in
     print_report ~csv (Experiments.Mon_report.table mon)
   in
   Cmd.v
@@ -107,12 +115,12 @@ let stats_cmd =
        ~doc:
          "Run a small NetKernel workload and print every Nkmon metric \
           (component/instance/metric) it produced")
-    Term.(const run $ csv)
+    Term.(const run $ csv $ ce_cores_arg)
 
 let trace_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of JSON.") in
-  let run csv =
-    let mon = observed_world ~trace:true in
+  let run csv ce_cores =
+    let mon = observed_world ~trace:true ~ce_cores in
     let tr = Nkmon.trace mon in
     if csv then print_string (Nkmon.Trace.to_csv tr)
     else print_string (Nkmon.Trace.to_json tr)
@@ -122,7 +130,7 @@ let trace_cmd =
        ~doc:
          "Run a small NetKernel workload with event tracing enabled and dump \
           the virtual-time trace (JSON by default)")
-    Term.(const run $ csv)
+    Term.(const run $ csv $ ce_cores_arg)
 
 let orchestrate_cmd =
   (* The control plane live: two NetKernel VMs under closed-loop load, the

@@ -12,6 +12,17 @@ type deferred_entry =
   | To_nsm of bytes
   | To_vm of { src_nsm : int; src_qset : int; raw : bytes }
 
+(* Per-VM FIFO of NQEs awaiting tokens or ring space; once non-empty all of
+   that VM's traffic dispatched by the owning shard flows through it to
+   preserve ordering. The per-direction pending counters are maintained on
+   every enqueue/dequeue so the hot dispatch path never scans the queue to
+   learn whether a direction is parked. *)
+type dq = {
+  entries : deferred_entry Queue.t;
+  mutable to_vm_pending : int;
+  mutable to_nsm_pending : int;
+}
+
 type stats = {
   switched : int;
   rate_deferred : int;
@@ -28,12 +39,27 @@ type counters = {
   c_dropped : Nkmon.Registry.counter;
   c_sweeps : Nkmon.Registry.counter;
   c_error_completions : Nkmon.Registry.counter;
+  c_xshard : Nkmon.Registry.counter;
+}
+
+(* One switching shard: its own polling core, run state, deferred queues and
+   counters. Queue sets are assigned to shards by the deterministic affinity
+   function [(dev_id + qset) mod n_shards], so every SPSC ring has exactly
+   one consuming (outbound) / producing (inbound) shard. *)
+type shard = {
+  idx : int;
+  cpu : Cpu.t;
+  mutable running : bool;
+  mutable release_scheduled : bool;
+  deferred : (int, dq) Hashtbl.t; (* vm_id -> parked traffic *)
+  ctr : counters;
+  sweep_batch : Nkutil.Histogram.t;
 }
 
 type t = {
   engine : Engine.t;
-  ce_core : Cpu.t;
   costs : Nk_costs.t;
+  mutable shards : shard array;
   vms : (int, Nk_device.t) Hashtbl.t;
   nsms : (int, Nk_device.t) Hashtbl.t;
   mutable device_order : (Nk_device.t * [ `Vm | `Nsm ]) list;
@@ -42,24 +68,50 @@ type t = {
   nsm_conns : (int, int ref) Hashtbl.t; (* nsm_id -> live table entries *)
   draining : (int, unit) Hashtbl.t; (* NSMs excluded from new assignments *)
   buckets : (int, Nkutil.Token_bucket.t) Hashtbl.t;
-  (* Per-VM FIFO of NQEs awaiting tokens or ring space; once non-empty all
-     of that VM's traffic flows through it to preserve ordering. Entries
-     remember their direction so re-dispatch uses the right routing. *)
-  deferred : (int, deferred_entry Queue.t) Hashtbl.t;
-  mutable running : bool;
-  mutable release_scheduled : bool;
   mon : Nkmon.t;
-  ctr : counters;
-  sweep_batch : Nkutil.Histogram.t;
+  instance : string;
 }
 
-let create ~engine ~core ?(mon = Nkmon.null ()) ?(instance = "ce") costs =
+let make_counters mon ~instance =
   let c name = Nkmon.counter mon ~component:"coreengine" ~instance ~name in
+  {
+    c_switched = c "switched";
+    c_rate_deferred = c "rate_deferred";
+    c_ring_deferred = c "ring_deferred";
+    c_dropped = c "dropped";
+    c_sweeps = c "sweeps";
+    c_error_completions = c "error_completions";
+    c_xshard = c "xshard";
+  }
+
+(* A lone shard keeps the engine's base instance name (bit-compatible with
+   the pre-sharding metric namespace); shards of a multi-core engine — and
+   any shard added later by [scale_out] — report as [<instance>.shard<k>]. *)
+let shard_instance ~instance ~solo idx =
+  if solo then instance else Printf.sprintf "%s.shard%d" instance idx
+
+let make_shard mon ~instance ~solo ~idx cpu =
+  let instance = shard_instance ~instance ~solo idx in
+  {
+    idx;
+    cpu;
+    running = false;
+    release_scheduled = false;
+    deferred = Hashtbl.create 16;
+    ctr = make_counters mon ~instance;
+    sweep_batch =
+      Nkmon.histogram mon ~component:"coreengine" ~instance ~name:"sweep_batch";
+  }
+
+let create ~engine ~cores ?(mon = Nkmon.null ()) ?(instance = "ce") costs =
+  let n = Array.length cores in
+  if n = 0 then invalid_arg "Coreengine.create: need at least one CE core";
+  let solo = n = 1 in
   let t =
     {
       engine;
-      ce_core = core;
       costs;
+      shards = Array.mapi (fun idx cpu -> make_shard mon ~instance ~solo ~idx cpu) cores;
       vms = Hashtbl.create 16;
       nsms = Hashtbl.create 16;
       device_order = [];
@@ -68,49 +120,76 @@ let create ~engine ~core ?(mon = Nkmon.null ()) ?(instance = "ce") costs =
       nsm_conns = Hashtbl.create 16;
       draining = Hashtbl.create 4;
       buckets = Hashtbl.create 16;
-      deferred = Hashtbl.create 16;
-      running = false;
-      release_scheduled = false;
       mon;
-      ctr =
-        {
-          c_switched = c "switched";
-          c_rate_deferred = c "rate_deferred";
-          c_ring_deferred = c "ring_deferred";
-          c_dropped = c "dropped";
-          c_sweeps = c "sweeps";
-          c_error_completions = c "error_completions";
-        };
-      sweep_batch =
-        Nkmon.histogram mon ~component:"coreengine" ~instance ~name:"sweep_batch";
+      instance;
     }
   in
   Nkmon.sampler mon ~component:"coreengine" ~instance ~name:"conn_table_size" (fun () ->
       float_of_int (Hashtbl.length t.conn_table));
   t
 
-let core t = t.ce_core
+let n_shards t = Array.length t.shards
 
-let stats t =
+let cores t = Array.map (fun sh -> sh.cpu) t.shards
+
+let core t = t.shards.(0).cpu
+
+(* Deterministic queue-set affinity: shard [(dev_id + qset) mod n_shards]
+   owns device [dev_id]'s queue set [qset] — it alone pops the outbound
+   rings of that queue set. VM and NSM id spaces overlap; that only spreads
+   ownership, it never aliases a ring. *)
+let owner_idx t ~dev_id ~qset = (dev_id + qset) mod Array.length t.shards
+
+let owner_shard t dev qset =
+  t.shards.(owner_idx t ~dev_id:(Nk_device.id dev) ~qset)
+
+(* Per-VM global state (conn-table entries, assignment row, token bucket)
+   is owned by the VM's home shard; other shards touching it pay the
+   cross-shard cacheline cost. *)
+let vm_home_idx t vm_id = vm_id mod Array.length t.shards
+
+let vm_home_shard t vm_id = t.shards.(vm_home_idx t vm_id)
+
+let charge_xshard t (sh : shard) =
+  Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_xshard;
+  Nkmon.Registry.incr sh.ctr.c_xshard
+
+let snapshot ctr =
   let module R = Nkmon.Registry in
   {
-    switched = R.counter_value t.ctr.c_switched;
-    rate_deferred = R.counter_value t.ctr.c_rate_deferred;
-    ring_deferred = R.counter_value t.ctr.c_ring_deferred;
-    dropped = R.counter_value t.ctr.c_dropped;
-    sweeps = R.counter_value t.ctr.c_sweeps;
+    switched = R.counter_value ctr.c_switched;
+    rate_deferred = R.counter_value ctr.c_rate_deferred;
+    ring_deferred = R.counter_value ctr.c_ring_deferred;
+    dropped = R.counter_value ctr.c_dropped;
+    sweeps = R.counter_value ctr.c_sweeps;
   }
 
-let drop t (nqe : Nqe.t option) reason =
-  Nkmon.Registry.incr t.ctr.c_dropped;
+let shard_stats t = Array.map (fun sh -> snapshot sh.ctr) t.shards
+
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+      let s = snapshot sh.ctr in
+      {
+        switched = acc.switched + s.switched;
+        rate_deferred = acc.rate_deferred + s.rate_deferred;
+        ring_deferred = acc.ring_deferred + s.ring_deferred;
+        dropped = acc.dropped + s.dropped;
+        sweeps = acc.sweeps + s.sweeps;
+      })
+    { switched = 0; rate_deferred = 0; ring_deferred = 0; dropped = 0; sweeps = 0 }
+    t.shards
+
+let drop (sh : shard) t (nqe : Nqe.t option) reason =
+  Nkmon.Registry.incr sh.ctr.c_dropped;
   if Nkmon.tracing t.mon then
     let vm_id, sock =
       match nqe with Some n -> (n.Nqe.vm_id, n.Nqe.sock) | None -> (-1, -1)
     in
     Nkmon.event t.mon (Nkmon.Trace.Nqe_drop { vm_id; sock; reason })
 
-let switched t (nqe : Nqe.t) dst =
-  Nkmon.Registry.incr t.ctr.c_switched;
+let switched (sh : shard) t (nqe : Nqe.t) dst =
+  Nkmon.Registry.incr sh.ctr.c_switched;
   if Nkmon.tracing t.mon then
     Nkmon.event t.mon
       (Nkmon.Trace.Nqe_switch
@@ -134,7 +213,9 @@ let dump_conn_table t =
   Buffer.contents buf
 
 (* All connection-table mutations go through these two so the per-NSM entry
-   counts (the drain-completion signal) can never desynchronize. *)
+   counts (the drain-completion signal) can never desynchronize. Mutations
+   from a shard that is not the VM's home shard pay the cross-shard cost
+   ([sh] is absent on control-plane paths, which run on no CE core). *)
 let conn_counter t nsm_id =
   match Hashtbl.find_opt t.nsm_conns nsm_id with
   | Some r -> r
@@ -143,17 +224,23 @@ let conn_counter t nsm_id =
       Hashtbl.replace t.nsm_conns nsm_id r;
       r
 
-let table_add t key route =
+let table_add ?sh t key route =
+  (match sh with
+  | Some sh when vm_home_idx t (fst key) <> sh.idx -> charge_xshard t sh
+  | _ -> ());
   (match Hashtbl.find_opt t.conn_table key with
   | Some prev -> decr (conn_counter t prev.nsm_id)
   | None -> ());
   Hashtbl.replace t.conn_table key route;
   incr (conn_counter t route.nsm_id)
 
-let table_remove t key =
+let table_remove ?sh t key =
   match Hashtbl.find_opt t.conn_table key with
   | None -> ()
   | Some r ->
+      (match sh with
+      | Some sh when vm_home_idx t (fst key) <> sh.idx -> charge_xshard t sh
+      | _ -> ());
       Hashtbl.remove t.conn_table key;
       decr (conn_counter t r.nsm_id)
 
@@ -209,8 +296,10 @@ let wake t dev qset =
     (Engine.schedule t.engine ~delay:t.costs.Nk_costs.wake_latency (fun () ->
          Nk_device.kick_owner dev qset))
 
-(* Push an inbound NQE into [dev]'s queue [q] of [qset]; false if full. *)
-let push_inbound t dev ~qset q raw =
+(* Push an inbound NQE into [dev]'s queue [q] of [qset]; false if full. A
+   destination queue set owned by another shard is a cross-shard handoff
+   and pays [ce_xshard] on the pushing shard. *)
+let push_inbound t (sh : shard) dev ~qset q raw =
   let s = Nk_device.qset dev qset in
   let ring =
     match q with
@@ -219,6 +308,7 @@ let push_inbound t dev ~qset q raw =
     | `Send -> s.Queue_set.send
     | `Receive -> s.Queue_set.receive
   in
+  if owner_idx t ~dev_id:(Nk_device.id dev) ~qset <> sh.idx then charge_xshard t sh;
   if Ring.push ring raw then begin
     wake t dev qset;
     true
@@ -227,14 +317,14 @@ let push_inbound t dev ~qset q raw =
 
 (* With SmartNIC offload only table misses consume CE cycles (§7.8): the
    hardware switches known connections by itself. *)
-let charge_table_miss t =
+let charge_table_miss t (sh : shard) =
   if t.costs.Nk_costs.ce_hw_offload then
-    Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_switch
+    Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_switch
 
-let route_nsm_to_vm t ~src_nsm ~src_qset (nqe : Nqe.t) raw =
+let route_nsm_to_vm t (sh : shard) ~src_nsm ~src_qset (nqe : Nqe.t) raw =
   match Hashtbl.find_opt t.vms nqe.Nqe.vm_id with
   | None ->
-      drop t (Some nqe) "vm_gone";
+      drop sh t (Some nqe) "vm_gone";
       true
   | Some dev ->
       let n = Nk_device.n_qsets dev in
@@ -262,44 +352,56 @@ let route_nsm_to_vm t ~src_nsm ~src_qset (nqe : Nqe.t) raw =
         Hashtbl.mem t.nsms src_nsm
         && not (Hashtbl.mem t.conn_table (nqe.Nqe.vm_id, table_sock))
       then
-        table_add t (nqe.Nqe.vm_id, table_sock) { nsm_id = src_nsm; nsm_qset = src_qset };
-      if nqe.Nqe.op = Nqe.Comp_close then table_remove t (nqe.Nqe.vm_id, nqe.Nqe.sock);
+        table_add ~sh t (nqe.Nqe.vm_id, table_sock) { nsm_id = src_nsm; nsm_qset = src_qset };
+      if nqe.Nqe.op = Nqe.Comp_close then table_remove ~sh t (nqe.Nqe.vm_id, nqe.Nqe.sock);
       let q =
         match nqe.Nqe.op with
         | Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof -> `Receive
         | _ -> `Completion
       in
-      if push_inbound t dev ~qset q raw then begin
-        switched t nqe (Printf.sprintf "vm%d" nqe.Nqe.vm_id);
+      if push_inbound t sh dev ~qset q raw then begin
+        switched sh t nqe (Printf.sprintf "vm%d" nqe.Nqe.vm_id);
         true
       end
       else false
 
-let deferred_queue t vm_id =
-  match Hashtbl.find_opt t.deferred vm_id with
+let deferred_queue (sh : shard) vm_id =
+  match Hashtbl.find_opt sh.deferred vm_id with
   | Some q -> q
   | None ->
-      let q = Queue.create () in
-      Hashtbl.replace t.deferred vm_id q;
+      let q = { entries = Queue.create (); to_vm_pending = 0; to_nsm_pending = 0 } in
+      Hashtbl.replace sh.deferred vm_id q;
       q
 
-let rec schedule_release t delay =
-  if not t.release_scheduled then begin
-    t.release_scheduled <- true;
+let dq_add (dq : dq) entry =
+  Queue.add entry dq.entries;
+  match entry with
+  | To_vm _ -> dq.to_vm_pending <- dq.to_vm_pending + 1
+  | To_nsm _ -> dq.to_nsm_pending <- dq.to_nsm_pending + 1
+
+(* Drop the head entry (the caller just routed or discarded it). *)
+let dq_pop_head (dq : dq) =
+  match Queue.pop dq.entries with
+  | To_vm _ -> dq.to_vm_pending <- dq.to_vm_pending - 1
+  | To_nsm _ -> dq.to_nsm_pending <- dq.to_nsm_pending - 1
+
+let rec schedule_release t (sh : shard) delay =
+  if not sh.release_scheduled then begin
+    sh.release_scheduled <- true;
     ignore
       (Engine.schedule t.engine ~delay (fun () ->
-           t.release_scheduled <- false;
-           drain_deferred t))
+           sh.release_scheduled <- false;
+           drain_deferred t sh))
   end
 
-and drain_deferred t =
+and drain_deferred t (sh : shard) =
   let next_delay = ref infinity in
   (* VM-id order: which VM's parked traffic gets tokens / ring space first
      must not depend on hash-bucket layout. *)
   Nkutil.Det_tbl.iter ~cmp:Int.compare
-    (fun vm_id q ->
+    (fun vm_id dq ->
       let rec loop () =
-        match Queue.peek_opt q with
+        match Queue.peek_opt dq.entries with
         | None -> ()
         | Some entry -> (
             let raw =
@@ -307,18 +409,20 @@ and drain_deferred t =
             in
             match Nqe.decode raw with
             | Error _ ->
-                ignore (Queue.pop q);
-                drop t None "decode";
+                dq_pop_head dq;
+                drop sh t None "decode";
                 loop ()
             | Ok nqe -> (
                 match entry with
                 | To_vm { src_nsm; src_qset; _ } ->
-                    if route_nsm_to_vm t ~src_nsm ~src_qset nqe raw then begin
-                      ignore (Queue.pop q);
-                      Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_switch;
+                    if route_nsm_to_vm t sh ~src_nsm ~src_qset nqe raw then begin
+                      dq_pop_head dq;
+                      Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_switch;
                       loop ()
                     end
-                    else next_delay := Float.min !next_delay 5e-6
+                    else
+                      next_delay :=
+                        Float.min !next_delay t.costs.Nk_costs.ce_ring_release_delay
                 | To_nsm _ ->
                     let tokens_ok =
                       match (nqe.Nqe.op, Hashtbl.find_opt t.buckets vm_id) with
@@ -335,36 +439,34 @@ and drain_deferred t =
                       | _, _ -> true
                     in
                     if tokens_ok then
-                      if route_vm_to_nsm t nqe raw then begin
-                        ignore (Queue.pop q);
-                        Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_switch;
+                      if route_vm_to_nsm t sh nqe raw then begin
+                        dq_pop_head dq;
+                        Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_switch;
                         loop ()
                       end
-                      else next_delay := Float.min !next_delay 5e-6))
+                      else
+                        next_delay :=
+                          Float.min !next_delay t.costs.Nk_costs.ce_ring_release_delay))
       in
       loop ())
-    t.deferred;
-  if !next_delay < infinity then schedule_release t (Float.max 1e-6 !next_delay)
+    sh.deferred;
+  if !next_delay < infinity then schedule_release t sh (Float.max 1e-6 !next_delay)
 
 (* Deliver a CE-synthesized NSM->VM NQE, parking it with the VM's deferred
    traffic when the inbound ring is full (same ordering rules as dispatch). *)
-and deliver_to_vm t ~src_nsm ~src_qset (nqe : Nqe.t) raw =
-  let dq = deferred_queue t nqe.Nqe.vm_id in
-  let has_deferred_to_vm =
-    Queue.fold
-      (fun acc e -> acc || match e with To_vm _ -> true | To_nsm _ -> false)
-      false dq
-  in
-  if has_deferred_to_vm || not (route_nsm_to_vm t ~src_nsm ~src_qset nqe raw) then begin
-    Queue.add (To_vm { src_nsm; src_qset; raw }) dq;
-    schedule_release t 5e-6
+and deliver_to_vm t (sh : shard) ~src_nsm ~src_qset (nqe : Nqe.t) raw =
+  let dq = deferred_queue sh nqe.Nqe.vm_id in
+  if dq.to_vm_pending > 0 || not (route_nsm_to_vm t sh ~src_nsm ~src_qset nqe raw)
+  then begin
+    dq_add dq (To_vm { src_nsm; src_qset; raw });
+    schedule_release t sh t.costs.Nk_costs.ce_ring_release_delay
   end
 
 (* The socket's NSM is gone (crash or deregistration): complete the job NQE
    with an error instead of dropping it, so GuestLib never hangs on a reply
    that cannot come. Close acknowledges success — the socket is gone either
    way; Send keeps data_ptr/size so the VM reclaims the payload extent. *)
-and reply_error t (nqe : Nqe.t) err =
+and reply_error t (sh : shard) (nqe : Nqe.t) err =
   let comp =
     match nqe.Nqe.op with
     | Nqe.Socket -> Some Nqe.Comp_socket
@@ -378,28 +480,29 @@ and reply_error t (nqe : Nqe.t) err =
   match comp with
   | None -> ()
   | Some op ->
-      Nkmon.Registry.incr t.ctr.c_error_completions;
+      Nkmon.Registry.incr sh.ctr.c_error_completions;
       let op_data = if op = Nqe.Comp_close then Nqe.ok_code else Nqe.err_code err in
       let reply =
         Nqe.make ~op ~vm_id:nqe.Nqe.vm_id ~qset:nqe.Nqe.qset ~sock:nqe.Nqe.sock ~op_data
           ~data_ptr:nqe.Nqe.data_ptr ~size:nqe.Nqe.size ()
       in
-      deliver_to_vm t ~src_nsm:(-1) ~src_qset:0 reply (Nqe.encode reply)
+      deliver_to_vm t sh ~src_nsm:(-1) ~src_qset:0 reply (Nqe.encode reply)
 
-and route_vm_to_nsm t (nqe : Nqe.t) raw =
+and route_vm_to_nsm t (sh : shard) (nqe : Nqe.t) raw =
   match Hashtbl.find_opt t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock) with
   | Some r -> (
       match Hashtbl.find_opt t.nsms r.nsm_id with
       | None ->
-          table_remove t (nqe.Nqe.vm_id, nqe.Nqe.sock);
-          drop t (Some nqe) "nsm_gone";
-          reply_error t nqe Types.Econnreset;
+          table_remove ~sh t (nqe.Nqe.vm_id, nqe.Nqe.sock);
+          drop sh t (Some nqe) "nsm_gone";
+          reply_error t sh nqe Types.Econnreset;
           true
       | Some dev ->
           let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
-          if nqe.Nqe.op = Nqe.Close then table_remove t (nqe.Nqe.vm_id, nqe.Nqe.sock);
-          if push_inbound t dev ~qset:r.nsm_qset q raw then begin
-            switched t nqe (Printf.sprintf "nsm%d" r.nsm_id);
+          if nqe.Nqe.op = Nqe.Close then
+            table_remove ~sh t (nqe.Nqe.vm_id, nqe.Nqe.sock);
+          if push_inbound t sh dev ~qset:r.nsm_qset q raw then begin
+            switched sh t nqe (Printf.sprintf "nsm%d" r.nsm_id);
             true
           end
           else false)
@@ -410,11 +513,11 @@ and route_vm_to_nsm t (nqe : Nqe.t) raw =
          yields a deterministic error path). *)
       match Hashtbl.find_opt t.assignment nqe.Nqe.vm_id with
       | None ->
-          drop t (Some nqe) "no_nsm_assignment";
-          reply_error t nqe Types.Econnreset;
+          drop sh t (Some nqe) "no_nsm_assignment";
+          reply_error t sh nqe Types.Econnreset;
           true
       | Some (nsms, rr) -> (
-          charge_table_miss t;
+          charge_table_miss t sh;
           let n = Array.length nsms in
           let base = !rr in
           incr rr;
@@ -430,24 +533,27 @@ and route_vm_to_nsm t (nqe : Nqe.t) raw =
           in
           match Hashtbl.find_opt t.nsms nsm_id with
           | None ->
-              drop t (Some nqe) "nsm_gone";
-              reply_error t nqe Types.Econnreset;
+              drop sh t (Some nqe) "nsm_gone";
+              reply_error t sh nqe Types.Econnreset;
               true
           | Some dev ->
               let nsm_qset =
                 nqe.Nqe.sock * 2654435761 land max_int mod Nk_device.n_qsets dev
               in
-              table_add t (nqe.Nqe.vm_id, nqe.Nqe.sock) { nsm_id; nsm_qset };
+              table_add ~sh t (nqe.Nqe.vm_id, nqe.Nqe.sock) { nsm_id; nsm_qset };
               let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
-              if push_inbound t dev ~qset:nsm_qset q raw then begin
-                switched t nqe (Printf.sprintf "nsm%d" nsm_id);
+              if push_inbound t sh dev ~qset:nsm_qset q raw then begin
+                switched sh t nqe (Printf.sprintf "nsm%d" nsm_id);
                 true
               end
               else false))
 
-(* One full sweep over all devices, popping at most [ce_batch] NQEs per
-   outbound ring. Returns the work list. *)
-let sweep t =
+(* One full sweep by shard [sh] over the queue sets it owns, popping at most
+   [ce_batch] NQEs per outbound ring. Queue sets of the same devices owned
+   by other shards are cross-kicked when they have pending outbound NQEs
+   (e.g. overflow entries this shard just flushed into their rings).
+   Returns the work list. *)
+let rec sweep t (sh : shard) =
   let batch = t.costs.Nk_costs.ce_batch in
   let work = ref [] in
   let take src ring =
@@ -463,51 +569,56 @@ let sweep t =
   in
   List.iter
     (fun (dev, side) ->
-      Nk_device.flush_overflow dev;
-      for i = 0 to Nk_device.n_qsets dev - 1 do
-        let s = Nk_device.qset dev i in
-        match side with
-        | `Vm ->
-            take (`Vm dev) s.Queue_set.job;
-            take (`Vm dev) s.Queue_set.send
-        | `Nsm ->
-            take (`Nsm (dev, i)) s.Queue_set.completion;
-            take (`Nsm (dev, i)) s.Queue_set.receive
-      done)
+      let dev_id = Nk_device.id dev in
+      let nq = Nk_device.n_qsets dev in
+      let owns_any = ref false in
+      for i = 0 to nq - 1 do
+        if owner_idx t ~dev_id ~qset:i = sh.idx then owns_any := true
+      done;
+      if !owns_any then begin
+        Nk_device.flush_overflow dev;
+        for i = 0 to nq - 1 do
+          if owner_idx t ~dev_id ~qset:i = sh.idx then begin
+            let s = Nk_device.qset dev i in
+            match side with
+            | `Vm ->
+                take (`Vm dev) s.Queue_set.job;
+                take (`Vm dev) s.Queue_set.send
+            | `Nsm ->
+                take (`Nsm (dev, i)) s.Queue_set.completion;
+                take (`Nsm (dev, i)) s.Queue_set.receive
+          end
+          else if Nk_device.outbound_pending dev ~qset:i > 0 then
+            kick_shard t t.shards.(owner_idx t ~dev_id ~qset:i)
+        done
+      end)
     t.device_order;
   List.rev !work
 
-let dispatch t (src, raw) =
+and dispatch t (sh : shard) (src, raw) =
   match Nqe.decode raw with
-  | Error _ -> drop t None "decode"
+  | Error _ -> drop sh t None "decode"
   | Ok nqe -> (
       match src with
       | `Nsm (dev, src_qset) ->
           (* NSM->VM results must not jump ahead of deferred ones for the
              same VM, and a full VM ring parks them too. *)
-          let dq = deferred_queue t nqe.Nqe.vm_id in
-          let has_deferred_to_vm =
-            Queue.fold
-              (fun acc e -> acc || match e with To_vm _ -> true | To_nsm _ -> false)
-              false dq
-          in
+          let dq = deferred_queue sh nqe.Nqe.vm_id in
           if
-            has_deferred_to_vm
-            || not (route_nsm_to_vm t ~src_nsm:(Nk_device.id dev) ~src_qset nqe raw)
+            dq.to_vm_pending > 0
+            || not (route_nsm_to_vm t sh ~src_nsm:(Nk_device.id dev) ~src_qset nqe raw)
           then begin
-            Nkmon.Registry.incr t.ctr.c_ring_deferred;
+            Nkmon.Registry.incr sh.ctr.c_ring_deferred;
             if Nkmon.tracing t.mon then
               Nkmon.event t.mon (Nkmon.Trace.Ring_defer { vm_id = nqe.Nqe.vm_id });
-            Queue.add (To_vm { src_nsm = Nk_device.id dev; src_qset; raw }) dq;
-            schedule_release t 5e-6
+            dq_add dq (To_vm { src_nsm = Nk_device.id dev; src_qset; raw });
+            schedule_release t sh t.costs.Nk_costs.ce_ring_release_delay
           end
       | `Vm _dev ->
           let vm_id = nqe.Nqe.vm_id in
-          let dq = deferred_queue t vm_id in
+          let dq = deferred_queue sh vm_id in
           let must_defer =
-            Queue.fold
-              (fun acc e -> acc || match e with To_nsm _ -> true | To_vm _ -> false)
-              false dq
+            dq.to_nsm_pending > 0
             ||
             match (nqe.Nqe.op, Hashtbl.find_opt t.buckets vm_id) with
             | Nqe.Send, Some bucket ->
@@ -517,29 +628,29 @@ let dispatch t (src, raw) =
             | _, _ -> false
           in
           if must_defer then begin
-            Nkmon.Registry.incr t.ctr.c_rate_deferred;
+            Nkmon.Registry.incr sh.ctr.c_rate_deferred;
             if Nkmon.tracing t.mon then
               Nkmon.event t.mon
                 (Nkmon.Trace.Rate_limit_defer { vm_id; bytes = nqe.Nqe.size });
-            Queue.add (To_nsm raw) dq;
-            schedule_release t 1e-5
+            dq_add dq (To_nsm raw);
+            schedule_release t sh t.costs.Nk_costs.ce_rate_recheck_delay
           end
-          else if not (route_vm_to_nsm t nqe raw) then begin
-            Nkmon.Registry.incr t.ctr.c_ring_deferred;
+          else if not (route_vm_to_nsm t sh nqe raw) then begin
+            Nkmon.Registry.incr sh.ctr.c_ring_deferred;
             if Nkmon.tracing t.mon then
               Nkmon.event t.mon (Nkmon.Trace.Ring_defer { vm_id });
-            Queue.add (To_nsm raw) dq;
-            schedule_release t 5e-6
+            dq_add dq (To_nsm raw);
+            schedule_release t sh t.costs.Nk_costs.ce_ring_release_delay
           end)
 
-let rec process t =
-  match sweep t with
+and process t (sh : shard) =
+  match sweep t sh with
   | [] ->
-      t.running <- false;
-      Cpu.charge t.ce_core ~cycles:t.costs.Nk_costs.ce_poll_iter
+      sh.running <- false;
+      Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_poll_iter
   | work ->
-      Nkmon.Registry.incr t.ctr.c_sweeps;
-      Nkutil.Histogram.record t.sweep_batch (float_of_int (List.length work));
+      Nkmon.Registry.incr sh.ctr.c_sweeps;
+      Nkutil.Histogram.record sh.sweep_batch (float_of_int (List.length work));
       let per_nqe, per_sweep =
         (* hardware-offloaded switching leaves only a residual descriptor
            cost on the CE core — no software queue sweeps either; table
@@ -548,18 +659,41 @@ let rec process t =
         else (t.costs.Nk_costs.ce_switch, t.costs.Nk_costs.ce_poll_iter)
       in
       let cycles = per_sweep +. (float_of_int (List.length work) *. per_nqe) in
-      Cpu.exec t.ce_core ~cycles (fun () ->
-          List.iter (dispatch t) work;
-          process t)
+      Cpu.exec sh.cpu ~cycles (fun () ->
+          List.iter (dispatch t sh) work;
+          process t sh)
 
-let kick t =
-  if not t.running then begin
-    t.running <- true;
-    ignore (Engine.schedule t.engine ~delay:t.costs.Nk_costs.ce_poll_latency (fun () -> process t))
+and kick_shard t (sh : shard) =
+  if not sh.running then begin
+    sh.running <- true;
+    ignore
+      (Engine.schedule t.engine ~delay:t.costs.Nk_costs.ce_poll_latency (fun () ->
+           process t sh))
   end
 
+let kick t = Array.iter (fun sh -> kick_shard t sh) t.shards
+
+(* Add fresh switching shards (CE scale-out): the affinity function is
+   recomputed over the larger shard count, so queue-set ownership
+   redistributes deterministically. Traffic already parked on an existing
+   shard drains where it is (its release timers and the global tables are
+   shard-agnostic); every shard is kicked so rings land with their new
+   owners. *)
+let scale_out t ~cores =
+  if Array.length cores = 0 then invalid_arg "Coreengine.scale_out: need at least one core";
+  let n0 = Array.length t.shards in
+  let fresh =
+    Array.mapi
+      (fun i cpu -> make_shard t.mon ~instance:t.instance ~solo:false ~idx:(n0 + i) cpu)
+      cores
+  in
+  t.shards <- Array.append t.shards fresh;
+  ctl_event t "scale_out"
+    (Printf.sprintf "shards=%d->%d" n0 (Array.length t.shards));
+  kick t
+
 let register_common t dev side =
-  Nk_device.set_kick_ce dev (fun () -> kick t);
+  Nk_device.set_kick_ce dev (fun qset -> kick_shard t (owner_shard t dev qset));
   t.device_order <- t.device_order @ [ (dev, side) ]
 
 let register_vm t dev =
@@ -579,7 +713,7 @@ let deregister_vm t ~vm_id =
   Hashtbl.remove t.vms vm_id;
   Hashtbl.remove t.assignment vm_id;
   Hashtbl.remove t.buckets vm_id;
-  Hashtbl.remove t.deferred vm_id;
+  Array.iter (fun sh -> Hashtbl.remove sh.deferred vm_id) t.shards;
   let keys =
     Nkutil.Det_tbl.fold ~cmp:conn_key_cmp
       (fun key _ acc -> if fst key = vm_id then key :: acc else acc)
@@ -623,13 +757,15 @@ let crash_nsm t ~nsm_id =
   in
   deregister_nsm t ~nsm_id;
   (* Every socket the dead NSM served gets a reset event — an error, never
-     a hang — so GuestLib can fail pending accepts/connects/reads. *)
+     a hang — so GuestLib can fail pending accepts/connects/reads. The
+     synthesized event is injected on the VM's home shard. *)
   List.iter
     (fun (vm_id, sock) ->
       let nqe =
         Nqe.make ~op:Nqe.Ev_err ~vm_id ~qset:Nqe.qset_unassigned ~sock
           ~op_data:(Nqe.err_code Types.Econnreset) ()
       in
-      deliver_to_vm t ~src_nsm:(-1) ~src_qset:0 nqe (Nqe.encode nqe))
+      deliver_to_vm t (vm_home_shard t vm_id) ~src_nsm:(-1) ~src_qset:0 nqe
+        (Nqe.encode nqe))
     victims;
   ctl_event t "crash_nsm" (Printf.sprintf "nsm=%d sockets=%d" nsm_id (List.length victims))

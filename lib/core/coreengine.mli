@@ -1,26 +1,55 @@
 (** CoreEngine: the hypervisor-side NQE software switch (paper §4.3–§4.4).
 
-    Runs on a dedicated core. Polls every registered NK device's outbound
-    queues round-robin in batches, switches each NQE to its destination
-    device using the connection table ⟨VM id, socket id⟩ → ⟨NSM id,
-    queue-set id⟩, and wakes the consumer. Control-plane duties: device
-    registration, VM→NSM assignment (static or round-robin across several
-    NSMs, §7.5), and per-VM egress isolation with token buckets (§7.6).
+    Runs on one or more dedicated cores, each driving one switching
+    {e shard}. Every queue set of every registered NK device is owned by
+    exactly one shard — the deterministic affinity function
+    [(device id + queue-set index) mod n_shards] — so each SPSC ring keeps
+    a single CE-side producer/consumer no matter how many shards run. A
+    shard polls the outbound queues it owns round-robin in batches,
+    switches each NQE to its destination device using the connection table
+    ⟨VM id, socket id⟩ → ⟨NSM id, queue-set id⟩, and wakes the consumer.
+    The connection table, NSM assignment and token buckets stay logically
+    global; a shard touching state homed on another shard (or pushing into
+    a ring another shard owns) is charged the cross-shard handoff cost
+    [ce_xshard]. With a single core the engine is exactly the paper's
+    single-core CoreEngine — same schedule, same cycle accounting, same
+    metric names. Control-plane duties: device registration, VM→NSM
+    assignment (static or round-robin across several NSMs, §7.5), and
+    per-VM egress isolation with token buckets (§7.6).
 
     Polling is emulated event-wise: producers [kick] the engine, which then
-    drains until all queues are empty, charging its core for every
-    iteration and switch — so the dedicated CE core's cycle counter
-    reflects the real switching work (Table 6/7 overhead accounting). *)
+    drains until all queues are empty, charging the owning shard's core for
+    every iteration and switch — so the CE cores' cycle counters reflect
+    the real switching work (Table 6/7 overhead accounting). *)
 
 type t
 
 val create :
-  engine:Sim.Engine.t -> core:Sim.Cpu.t -> ?mon:Nkmon.t -> ?instance:string -> Nk_costs.t -> t
-(** [mon] is the world's observability handle (metrics under
-    [coreengine/<instance>/...], switch/defer/drop trace events);
-    [instance] defaults to ["ce"]. *)
+  engine:Sim.Engine.t ->
+  cores:Sim.Cpu.t array ->
+  ?mon:Nkmon.t ->
+  ?instance:string ->
+  Nk_costs.t ->
+  t
+(** One shard per element of [cores] (at least one, else [Invalid_argument]).
+    [mon] is the world's observability handle (metrics under
+    [coreengine/<instance>/...] for a single shard, or
+    [coreengine/<instance>.shard<k>/...] per shard otherwise; switch/defer/
+    drop trace events); [instance] defaults to ["ce"]. *)
 
 val core : t -> Sim.Cpu.t
+(** Shard 0's core (the only core of a single-shard engine). *)
+
+val cores : t -> Sim.Cpu.t array
+(** Every shard's core, in shard order. *)
+
+val n_shards : t -> int
+
+val scale_out : t -> cores:Sim.Cpu.t array -> unit
+(** Append one fresh shard per core (CE scale-out, the Nkctl autoscaling
+    verb). Queue-set ownership redistributes under the affinity function
+    with the new shard count; already-parked deferred traffic drains on the
+    shard that parked it. *)
 
 val register_vm : t -> Nk_device.t -> unit
 
@@ -86,7 +115,12 @@ type stats = {
 }
 
 val stats : t -> stats
-(** Immutable snapshot of the registry-backed counters. *)
+(** Immutable snapshot of the registry-backed counters, summed across
+    shards. *)
+
+val shard_stats : t -> stats array
+(** Per-shard snapshots, in shard order (each shard also reports the same
+    numbers under its own [coreengine/<instance>.shard<k>] metrics). *)
 
 val conn_table_size : t -> int
 

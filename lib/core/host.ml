@@ -10,7 +10,7 @@ type t = {
   vswitch : Vswitch.t;
   mon : Nkmon.t;
   mutable ce : Coreengine.t option;
-  mutable ce_core : Sim.Cpu.t option;
+  mutable ce_cores : Sim.Cpu.t array;
   mutable next_vm_id : int;
   mutable next_nsm_id : int;
 }
@@ -26,7 +26,7 @@ let create ~engine ~fabric ~registry ~rng ~costs ~name ?mon () =
   Fabric.attach fabric nic;
   let vswitch = Vswitch.create engine ~nic () in
   { engine; fabric; registry; master_rng = rng; costs; name; pressure; nic; vswitch;
-    mon; ce = None; ce_core = None; next_vm_id = 1; next_nsm_id = 1 }
+    mon; ce = None; ce_cores = [||]; next_vm_id = 1; next_nsm_id = 1 }
 
 let name t = t.name
 let engine t = t.engine
@@ -43,15 +43,25 @@ let own_ip t ip = Fabric.add_route t.fabric ip t.nic
 let new_cores t ~name ~n =
   Sim.Cpu.Set.create t.engine ~name:(t.name ^ "." ^ name) ~n ()
 
-let enable_netkernel t =
+(* Core 0 keeps the historic name so single-core cycle accounting (and any
+   tooling keyed on it) is unchanged; extra shard cores are numbered. *)
+let ce_core_name t k =
+  if k = 0 then t.name ^ ".coreengine" else Printf.sprintf "%s.coreengine%d" t.name k
+
+let enable_netkernel ?(ce_cores = 1) t =
   match t.ce with
   | Some _ -> ()
   | None ->
-      let core = Sim.Cpu.create t.engine ~name:(t.name ^ ".coreengine") () in
-      t.ce_core <- Some core;
+      if ce_cores < 1 then
+        invalid_arg (t.name ^ ": need at least one CoreEngine core");
+      let cores =
+        Array.init ce_cores (fun k ->
+            Sim.Cpu.create t.engine ~name:(ce_core_name t k) ())
+      in
+      t.ce_cores <- cores;
       t.ce <-
         Some
-          (Coreengine.create ~engine:t.engine ~core ~mon:t.mon
+          (Coreengine.create ~engine:t.engine ~cores ~mon:t.mon
              ~instance:(t.name ^ ".ce") t.costs)
 
 let coreengine t =
@@ -62,9 +72,24 @@ let coreengine t =
 let netkernel_enabled t = t.ce <> None
 
 let ce_core t =
-  match t.ce_core with
-  | Some c -> c
-  | None -> invalid_arg (t.name ^ ": NetKernel is not enabled on this host")
+  if Array.length t.ce_cores = 0 then
+    invalid_arg (t.name ^ ": NetKernel is not enabled on this host")
+  else t.ce_cores.(0)
+
+let ce_cores t =
+  if Array.length t.ce_cores = 0 then
+    invalid_arg (t.name ^ ": NetKernel is not enabled on this host")
+  else Array.copy t.ce_cores
+
+let scale_ce t ~add =
+  let ce = coreengine t in
+  if add < 1 then invalid_arg (t.name ^ ": scale_ce needs add >= 1");
+  let n0 = Array.length t.ce_cores in
+  let fresh =
+    Array.init add (fun i -> Sim.Cpu.create t.engine ~name:(ce_core_name t (n0 + i)) ())
+  in
+  t.ce_cores <- Array.append t.ce_cores fresh;
+  Coreengine.scale_out ce ~cores:fresh
 
 let fresh_vm_id t =
   let id = t.next_vm_id in

@@ -41,9 +41,11 @@ val own_ip : t -> Addr.ip -> unit
 
 val new_cores : t -> name:string -> n:int -> Sim.Cpu.Set.t
 
-val enable_netkernel : t -> unit
-(** Allocate the dedicated CoreEngine core and start the CoreEngine
-    (idempotent). *)
+val enable_netkernel : ?ce_cores:int -> t -> unit
+(** Allocate [ce_cores] dedicated CoreEngine cores (default 1, one switching
+    shard per core) and start the CoreEngine. Idempotent: once enabled,
+    later calls — whatever their [ce_cores] — are no-ops; grow a live engine
+    with {!scale_ce} instead. *)
 
 val coreengine : t -> Coreengine.t
 (** Raises [Invalid_argument] if NetKernel was not enabled. *)
@@ -51,6 +53,14 @@ val coreengine : t -> Coreengine.t
 val netkernel_enabled : t -> bool
 
 val ce_core : t -> Sim.Cpu.t
+(** Shard 0's core (the CE core of a single-core engine). *)
+
+val ce_cores : t -> Sim.Cpu.t array
+(** All CoreEngine cores in shard order. *)
+
+val scale_ce : t -> add:int -> unit
+(** Allocate [add] fresh cores and hand them to the CoreEngine as new
+    switching shards ({!Coreengine.scale_out}). *)
 
 val fresh_vm_id : t -> int
 

@@ -64,19 +64,29 @@ let free t e =
       if Nkmon.tracing t.mon then
         Nkmon.event t.mon
           (Nkmon.Trace.Hugepage_free { region = t.region; offset = e.offset; len = e.len });
-      (* Insert sorted by offset, then coalesce adjacent holes. *)
-      let rec insert = function
-        | [] -> [ (e.offset, rounded) ]
+      (* Insert sorted by offset, then coalesce adjacent holes. Both passes
+         are tail-recursive: a long-lived fragmented region accumulates
+         thousands of holes, and freeing must not grow the OCaml stack with
+         the free list. *)
+      let rec insert acc = function
+        | [] -> List.rev ((e.offset, rounded) :: acc)
         | (off, len) :: rest ->
-            if e.offset < off then (e.offset, rounded) :: (off, len) :: rest
-            else (off, len) :: insert rest
+            if e.offset < off then
+              List.rev_append acc ((e.offset, rounded) :: (off, len) :: rest)
+            else insert ((off, len) :: acc) rest
       in
-      let rec coalesce = function
-        | (o1, l1) :: (o2, l2) :: rest when o1 + l1 = o2 -> coalesce ((o1, l1 + l2) :: rest)
-        | hole :: rest -> hole :: coalesce rest
-        | [] -> []
+      let coalesce holes =
+        let merged =
+          List.fold_left
+            (fun acc (o2, l2) ->
+              match acc with
+              | (o1, l1) :: tl when o1 + l1 = o2 -> (o1, l1 + l2) :: tl
+              | _ -> (o2, l2) :: acc)
+            [] holes
+        in
+        List.rev merged
       in
-      t.free_list <- coalesce (insert t.free_list)
+      t.free_list <- coalesce (insert [] t.free_list)
 
 let write_payload t e payload =
   let len = Tcpstack.Types.payload_len payload in

@@ -8,7 +8,10 @@ type t = {
   guest_idle_window : float;
   ce_poll_iter : float;
   ce_switch : float;
+  ce_xshard : float;
   ce_poll_latency : float;
+  ce_ring_release_delay : float;
+  ce_rate_recheck_delay : float;
   service_poll : float;
   hugepage_alloc : float;
   hugepage_copy_base : float;
@@ -32,7 +35,10 @@ let default =
     guest_idle_window = 20e-6;
     ce_poll_iter = 120.0;
     ce_switch = 170.0;
+    ce_xshard = 60.0;
     ce_poll_latency = 2e-7;
+    ce_ring_release_delay = 5e-6;
+    ce_rate_recheck_delay = 1e-5;
     service_poll = 80.0;
     hugepage_alloc = 100.0;
     hugepage_copy_base = 0.02;

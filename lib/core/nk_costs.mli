@@ -30,7 +30,18 @@ type t = {
           paper) *)
   ce_poll_iter : float;  (** CoreEngine polling iteration *)
   ce_switch : float;  (** CoreEngine per-NQE switch: lookup + two copies *)
+  ce_xshard : float;
+      (** cross-shard handoff on a multi-core CoreEngine: pushing an NQE
+          into a queue set owned by another switching shard, or mutating a
+          connection-table entry owned by another shard's VM (the cacheline
+          transfer between CE cores); never charged with one shard *)
   ce_poll_latency : float;  (** producer kick to CE processing *)
+  ce_ring_release_delay : float;
+      (** re-dispatch delay after parking an NQE on a full inbound ring *)
+  ce_rate_recheck_delay : float;
+      (** re-dispatch delay after parking a send that found an empty token
+          bucket (the bucket itself supplies the exact refill wait; this is
+          the scheduling granularity) *)
   service_poll : float;  (** ServiceLib poll, per inbound batch *)
   hugepage_alloc : float;  (** allocate/free an extent *)
   hugepage_copy_base : float;  (** per-byte copy in/out of hugepages *)

@@ -8,7 +8,7 @@ type t = {
   qsets : Queue_set.t array;
   hugepages : Hugepages.t;
   overflow : overflow Queue.t;
-  mutable kick_ce : (unit -> unit) option;
+  mutable kick_ce : (int -> unit) option;
   mutable kick_owner : (int -> unit) option;
   mon : Nkmon.t;
   c_posted : Nkmon.Registry.counter;
@@ -92,7 +92,7 @@ let post t ~qset q nqe =
         (Nkmon.Trace.Ring_full { device = t.id; qset; queue = trace_queue q });
     Queue.add { q; qset; nqe } t.overflow
   end;
-  match t.kick_ce with None -> () | Some f -> f ()
+  match t.kick_ce with None -> () | Some f -> f qset
 
 let outbound_pending t ~qset =
   let s = t.qsets.(qset) in

@@ -36,8 +36,10 @@ val qset : t -> int -> Queue_set.t
 
 val hugepages : t -> Hugepages.t
 
-val set_kick_ce : t -> (unit -> unit) -> unit
-(** Installed by CoreEngine at registration. *)
+val set_kick_ce : t -> (int -> unit) -> unit
+(** Installed by CoreEngine at registration; the argument is the queue-set
+    index the owner posted on, so a sharded CoreEngine wakes only the
+    switching shard that owns that queue set. *)
 
 val set_kick_owner : t -> (int -> unit) -> unit
 (** Installed by GuestLib / ServiceLib; argument is the queue-set index. *)

@@ -68,6 +68,8 @@ let run ?(quick = false) () =
           min_nsms = 1;
           max_nsms = 4;
           cooldown = 1.0;
+          ce_scale_watermark = infinity;
+          max_ce_shards = 4;
         }
       ~spawn:(fun i -> spawn (i + 1))
       ()

@@ -6,7 +6,7 @@
 
 let vcpu_points = [ 1; 2; 3; 4; 8 ]
 
-let figure ~id ~title ~direction ~duration ~notes =
+let figure ~id ~title ~direction ~duration ~ce_cores ~notes =
   let rows =
     List.map
       (fun vcpus ->
@@ -17,7 +17,7 @@ let figure ~id ~title ~direction ~duration ~notes =
           | `Recv -> Worlds.measure_recv_throughput w ~streams:8 ~msg_size:8192 ~duration ()
         in
         let nk =
-          let w = Worlds.netkernel ~vcpus ~nsm_cores:vcpus () in
+          let w = Worlds.netkernel ~vcpus ~nsm_cores:vcpus ~ce_cores () in
           match direction with
           | `Send -> Worlds.measure_send_throughput w ~streams:8 ~msg_size:8192 ~duration ()
           | `Recv -> Worlds.measure_recv_throughput w ~streams:8 ~msg_size:8192 ~duration ()
@@ -27,14 +27,16 @@ let figure ~id ~title ~direction ~duration ~notes =
   in
   Report.make ~id ~title ~headers:[ "vCPUs"; "Baseline Gb/s"; "NetKernel Gb/s" ] ~notes rows
 
-let run_fig18 ?(quick = false) () =
+let run_fig18 ?(quick = false) ?(ce_cores = 1) () =
   figure ~id:"fig18" ~title:"Send throughput scaling, 8 streams x 8KB"
     ~direction:`Send
     ~duration:(if quick then 0.3 else 1.0)
+    ~ce_cores
     ~notes:[ "paper: line rate (~94 Gb/s after framing) from 3 vCPUs; NK == Baseline" ]
 
-let run_fig19 ?(quick = false) () =
+let run_fig19 ?(quick = false) ?(ce_cores = 1) () =
   figure ~id:"fig19" ~title:"Receive throughput scaling, 8 streams x 8KB"
     ~direction:`Recv
     ~duration:(if quick then 0.3 else 1.0)
+    ~ce_cores
     ~notes:[ "paper: 91 Gb/s at 8 vCPUs, near-linear scaling; NK == Baseline" ]

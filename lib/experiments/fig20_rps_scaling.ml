@@ -5,7 +5,7 @@
    Paper: Baseline == NetKernel(kernel) reaching ~400K rps at 8 vCPUs
    (5.7x one core); mTCP: 190K / 366K / 652K / 1.1M rps. *)
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(ce_cores = 1) () =
   let total n = (if quick then 4_000 else 20_000) * n in
   let kernel_points = [ 1; 2; 3; 4; 8 ] in
   let mtcp_points = [ 1; 2; 4; 8 ] in
@@ -14,7 +14,7 @@ let run ?(quick = false) () =
     (Worlds.measure_rps w ~concurrency:1000 ~total:(total vcpus) ()).Worlds.rps
   in
   let measure_nk kind vcpus =
-    let w = Worlds.netkernel ~vcpus ~nsm_cores:vcpus ~nsm_kind:kind () in
+    let w = Worlds.netkernel ~vcpus ~nsm_cores:vcpus ~nsm_kind:kind ~ce_cores () in
     (Worlds.measure_rps w ~concurrency:1000 ~total:(total vcpus) ()).Worlds.rps
   in
   let rows =

@@ -43,7 +43,7 @@ let cycles_at w ~gbps ~duration =
   let achieved = Nkapps.Stream.sink_throughput_gbps sink in
   (vm +. nsm, achieved)
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(ce_cores = 1) () =
   let duration = if quick then 0.5 else 1.0 in
   let rows =
     List.map
@@ -52,7 +52,7 @@ let run ?(quick = false) () =
           cycles_at (Worlds.baseline ~vcpus:4 ()) ~gbps ~duration
         in
         let nk_cycles, nk_achieved =
-          cycles_at (Worlds.netkernel ~vcpus:4 ~nsm_cores:4 ()) ~gbps ~duration
+          cycles_at (Worlds.netkernel ~vcpus:4 ~nsm_cores:4 ~ce_cores ()) ~gbps ~duration
         in
         [
           Printf.sprintf "%.0fG" gbps;

@@ -32,10 +32,13 @@ let baseline ?(vcpus = 1) ?server_config ?(seed = 42) ?costs () =
   { tb; server_host; client_host; server_vm; client_vm; nsms = [] }
 
 let netkernel ?(vcpus = 1) ?(nsm_cores = 1) ?(nsm_kind = `Kernel) ?(n_nsms = 1) ?cc_factory
-    ?(seed = 42) ?costs () =
+    ?(ce_cores = 1) ?(seed = 42) ?costs () =
   let tb = Testbed.create ~seed ?costs () in
   let server_host = Testbed.add_host tb ~name:"hostA" in
   let client_host = Testbed.add_host tb ~name:"hostB" in
+  (* First enabler wins the shard count (NSM/VM creation enables it
+     idempotently with the default single core). *)
+  Host.enable_netkernel ~ce_cores server_host;
   let nsms =
     List.init n_nsms (fun i ->
         let name = Printf.sprintf "nsm%d" i in
@@ -121,8 +124,17 @@ let start_loadgen w ?(delay = 1e-3) ?on_done cfg =
 let nsm_cycles w = List.fold_left (fun acc nsm -> acc +. Nsm.busy_cycles nsm) 0.0 w.nsms
 
 let ce_cycles w =
-  if Host.netkernel_enabled w.server_host then Sim.Cpu.busy_cycles (Host.ce_core w.server_host)
+  if Host.netkernel_enabled w.server_host then
+    Array.fold_left
+      (fun acc c -> acc +. Sim.Cpu.busy_cycles c)
+      0.0
+      (Host.ce_cores w.server_host)
   else 0.0
+
+let ce_shard_cycles w =
+  if Host.netkernel_enabled w.server_host then
+    Array.map Sim.Cpu.busy_cycles (Host.ce_cores w.server_host)
+  else [||]
 
 let measure_rps w ?(concurrency = 100) ?(total = 50_000) ?(msg_size = 64)
     ?(app_cycles = 0.0) ?(backlog = 8192) ?proto () =

@@ -28,12 +28,13 @@ val netkernel :
   ?nsm_kind:[ `Kernel | `Mtcp ] ->
   ?n_nsms:int ->
   ?cc_factory:Tcpstack.Cc.factory ->
+  ?ce_cores:int ->
   ?seed:int ->
   ?costs:Nk_costs.t ->
   unit ->
   world
 (** NetKernel: VM with GuestLib + NSM(s) on the server host, CoreEngine on
-    its dedicated core. *)
+    [ce_cores] dedicated cores (default 1, one switching shard each). *)
 
 (** {1 Measurement drivers} *)
 
@@ -53,6 +54,14 @@ type rps_result = {
   nsm_cycles : float;  (** NSM cores' (0 for baseline) *)
   ce_cycles : float;
 }
+
+val ce_cycles : world -> float
+(** Total busy cycles across every CoreEngine shard core (0 when NetKernel
+    is off). *)
+
+val ce_shard_cycles : world -> float array
+(** Per-shard CE core busy cycles, in shard order (empty when NetKernel is
+    off). *)
 
 val measure_rps :
   world ->

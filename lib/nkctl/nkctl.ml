@@ -11,6 +11,8 @@ module Policy = struct
     min_nsms : int;
     max_nsms : int;
     cooldown : float;
+    ce_scale_watermark : float;
+    max_ce_shards : int;
   }
 
   let default =
@@ -21,6 +23,10 @@ module Policy = struct
       min_nsms = 1;
       max_nsms = 8;
       cooldown = 1.0;
+      (* CE scale-out is opt-in: infinity means the busiest shard can never
+         cross the watermark, so the default policy only manages NSMs. *)
+      ce_scale_watermark = infinity;
+      max_ce_shards = 4;
     }
 end
 
@@ -40,6 +46,8 @@ type sample = {
   s_draining : int;
   s_utilization : float;
   s_conns : int;
+  s_ce_utilization : float;
+      (* busiest CoreEngine shard's core utilization over the period *)
 }
 
 type stats = {
@@ -48,6 +56,7 @@ type stats = {
   mutable handovers : int;
   mutable failovers : int;
   mutable drains_completed : int;
+  mutable ce_scale_outs : int;
 }
 
 type t = {
@@ -60,6 +69,8 @@ type t = {
   mutable samples_rev : sample list;
   stats : stats;
   mutable last_scale : float;
+  mutable last_ce_scale : float;
+  mutable ce_last_busy : float array; (* per-shard busy cycles at last sample *)
   mutable last_sample_time : float;
   mutable running : bool;
   c_scale_up : Nkmon.Registry.counter;
@@ -67,6 +78,7 @@ type t = {
   c_handover : Nkmon.Registry.counter;
   c_failover : Nkmon.Registry.counter;
   c_drain_done : Nkmon.Registry.counter;
+  c_ce_scale : Nkmon.Registry.counter;
   g_active : Nkmon.Registry.gauge;
   g_draining : Nkmon.Registry.gauge;
 }
@@ -90,8 +102,13 @@ let create host ?(policy = Policy.default) ~spawn () =
     samples_rev = [];
     stats =
       { scale_ups = 0; scale_downs = 0; handovers = 0; failovers = 0;
-        drains_completed = 0 };
+        drains_completed = 0; ce_scale_outs = 0 };
     last_scale = -.infinity;
+    last_ce_scale = -.infinity;
+    ce_last_busy =
+      (if Host.netkernel_enabled host then
+         Array.map Cpu.busy_cycles (Host.ce_cores host)
+       else [||]);
     last_sample_time = Engine.now (Host.engine host);
     running = false;
     c_scale_up = c "scale_ups";
@@ -99,6 +116,7 @@ let create host ?(policy = Policy.default) ~spawn () =
     c_handover = c "handovers";
     c_failover = c "failovers";
     c_drain_done = c "drains_completed";
+    c_ce_scale = c "ce_scale_outs";
     g_active = g "active_nsms";
     g_draining = g "draining_nsms";
   }
@@ -289,6 +307,31 @@ let take_sample t =
       (fun acc m -> acc + Coreengine.nsm_conn_count ce ~nsm_id:(Nsm.id m.nsm))
       0 t.pool
   in
+  (* The CE signal is the *busiest* shard, not the mean: the affinity
+     function can leave one shard hot while others idle, and only the hot
+     shard's saturation throttles switching. Shards added by a scale-out
+     start with delta 0 (their busy at appearance becomes the baseline). *)
+  let ce_util =
+    if not (Host.netkernel_enabled t.host) || elapsed <= 0.0 then 0.0
+    else begin
+      let cores = Host.ce_cores t.host in
+      if Array.length t.ce_last_busy < Array.length cores then begin
+        let grown =
+          Array.init (Array.length cores) (fun i ->
+              if i < Array.length t.ce_last_busy then t.ce_last_busy.(i)
+              else Cpu.busy_cycles cores.(i))
+        in
+        t.ce_last_busy <- grown
+      end;
+      Array.to_list cores
+      |> List.mapi (fun i core ->
+             let busy = Cpu.busy_cycles core in
+             let delta = busy -. t.ce_last_busy.(i) in
+             t.ce_last_busy.(i) <- busy;
+             delta /. (Cpu.freq_hz core *. elapsed))
+      |> List.fold_left Float.max 0.0
+    end
+  in
   let s =
     {
       s_time = now;
@@ -296,6 +339,7 @@ let take_sample t =
       s_draining = List.length t.pool - List.length act;
       s_utilization = mean;
       s_conns = conns;
+      s_ce_utilization = ce_util;
     }
   in
   t.samples_rev <- s :: t.samples_rev;
@@ -330,10 +374,30 @@ let rebalance t =
         end
   done
 
-(* 4. Watermark decisions, rate-limited by the cooldown. *)
+let scale_out_ce t ~add =
+  Host.scale_ce t.host ~add;
+  t.stats.ce_scale_outs <- t.stats.ce_scale_outs + 1;
+  Nkmon.Registry.incr t.c_ce_scale;
+  ctl_event t "ce_scale_out"
+    (Printf.sprintf "add=%d shards=%d" add
+       (Coreengine.n_shards (Host.coreengine t.host)))
+
+(* 4. Watermark decisions, rate-limited by the cooldown. NSM and CE
+   scale-outs are gated by independent cooldowns: a host whose CE saturates
+   while its NSMs also run hot needs both grown, and neither decision
+   should starve the other. *)
 let scale t (s : sample) =
   let now = Engine.now (Host.engine t.host) in
   let n_active = s.s_active in
+  if
+    Host.netkernel_enabled t.host
+    && s.s_ce_utilization > t.policy.ce_scale_watermark
+    && Coreengine.n_shards (Host.coreengine t.host) < t.policy.max_ce_shards
+    && now -. t.last_ce_scale >= t.policy.cooldown
+  then begin
+    scale_out_ce t ~add:1;
+    t.last_ce_scale <- now
+  end;
   if now -. t.last_scale >= t.policy.cooldown then
     if s.s_utilization > t.policy.high_watermark && n_active < t.policy.max_nsms
     then begin

@@ -37,11 +37,18 @@ module Policy : sig
     max_nsms : int;  (** never spawn above this many active NSMs *)
     cooldown : float;
         (** seconds of virtual time between consecutive scale decisions *)
+    ce_scale_watermark : float;
+        (** busiest-CoreEngine-shard core utilization above which to add a
+            switching shard ({!Host.scale_ce}); [infinity] disables CE
+            scale-out. Gated by its own [cooldown] window, independent of
+            NSM decisions. *)
+    max_ce_shards : int;  (** never grow the CoreEngine past this many shards *)
   }
 
   val default : t
   (** [{ period = 0.5; high_watermark = 0.7; low_watermark = 0.25;
-        min_nsms = 1; max_nsms = 8; cooldown = 1.0 }] *)
+        min_nsms = 1; max_nsms = 8; cooldown = 1.0;
+        ce_scale_watermark = infinity; max_ce_shards = 4 }] *)
 end
 
 type t
@@ -52,6 +59,9 @@ type sample = {
   s_draining : int;
   s_utilization : float;  (** mean vCPU utilization across active NSMs *)
   s_conns : int;  (** CoreEngine connection-table entries across the pool *)
+  s_ce_utilization : float;
+      (** busiest CoreEngine shard's core utilization over the period
+          (0.0 when NetKernel is not enabled on the host) *)
 }
 
 type stats = {
@@ -60,6 +70,7 @@ type stats = {
   mutable handovers : int;  (** VM re-homings (operator- or scale-driven) *)
   mutable failovers : int;  (** crashed NSMs detected and replaced *)
   mutable drains_completed : int;  (** drained NSMs retired at zero conns *)
+  mutable ce_scale_outs : int;  (** CoreEngine shards added by the policy *)
 }
 
 val create :
@@ -82,6 +93,11 @@ val handover : t -> vm:Vm.t -> target:Nsm.t -> unit
     by the policy loop when its connection count reaches zero. Listening
     sockets are closed on the source and transparently re-created on
     [target] without the application noticing. *)
+
+val scale_out_ce : t -> add:int -> unit
+(** Grow the host's CoreEngine by [add] switching shards ({!Host.scale_ce})
+    and record the action. The policy loop calls this when the busiest shard
+    crosses [ce_scale_watermark]; operators may call it directly. *)
 
 val start : t -> unit
 (** Begin the periodic policy loop (idempotent). *)

@@ -11,6 +11,7 @@ let () =
       ("apps", Test_apps.tests);
       ("nqe-hugepages", Test_nqe.tests);
       ("coreengine", Test_coreengine.tests);
+      ("ce-shards", Test_ce_shards.tests);
       ("stack-units", Test_stack_units.tests);
       ("determinism", Test_determinism.tests);
       ("netkernel-e2e", Test_netkernel.tests);

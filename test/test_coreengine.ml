@@ -8,7 +8,7 @@ module Ring = Nkutil.Spsc_ring
 let mk_world () =
   let engine = E.create () in
   let core = Sim.Cpu.create engine ~name:"ce" () in
-  let ce = Coreengine.create ~engine ~core Nk_costs.default in
+  let ce = Coreengine.create ~engine ~cores:[| core |] Nk_costs.default in
   (engine, ce)
 
 let mk_device ~id ~role ~qsets =

@@ -68,6 +68,8 @@ let autoscale_up_then_down () =
           min_nsms = 1;
           max_nsms = 3;
           cooldown = 0.5;
+          ce_scale_watermark = infinity;
+          max_ce_shards = 4;
         }
       ~spawn:(fun i -> spawn (i + 1))
       ()
@@ -238,6 +240,80 @@ let crash_failover_integrity () =
   Alcotest.(check int) "one failover recorded" 1 (Nkctl.stats ctl).Nkctl.failovers;
   Alcotest.(check int) "dead NSM left the pool" 1 (Nkctl.pool_size ctl)
 
+(* CE autoscaling: with a finite ce_scale_watermark, load on the switching
+   path must make the policy loop add CoreEngine shards — and stop at the
+   max_ce_shards cap regardless of how hot the shards stay. *)
+let ce_autoscale_under_load () =
+  let tb = Testbed.create () in
+  let hosta = Testbed.add_host tb ~name:"hostA" in
+  let hostb = Testbed.add_host tb ~name:"hostB" in
+  let nsm = Nsm.create_kernel hosta ~name:"nsm" ~vcpus:2 () in
+  let ctl =
+    Nkctl.create hosta
+      ~policy:
+        {
+          Nkctl.Policy.period = 0.1;
+          (* NSM watermarks out of reach: this test isolates the CE path. *)
+          high_watermark = 2.0;
+          low_watermark = 0.0;
+          min_nsms = 1;
+          max_nsms = 1;
+          cooldown = 0.2;
+          (* Any sustained switching activity crosses this. *)
+          ce_scale_watermark = 0.01;
+          max_ce_shards = 2;
+        }
+      ~spawn:no_spawn ()
+  in
+  Nkctl.manage ctl nsm;
+  let vm = Vm.create_nk hosta ~name:"vm" ~vcpus:2 ~ips:[ 10 ] ~nsms:[ nsm ] () in
+  Nkctl.add_vm ctl vm ~home:nsm;
+  let client =
+    Vm.create_baseline hostb ~name:"client" ~vcpus:4 ~ips:[ 20 ]
+      ~profile:Sim.Cost_profile.ideal ()
+  in
+  let proto = Nkapps.Proto.Fixed { request = 64; response = 64; keepalive = false } in
+  (match
+     Nkapps.Epoll_server.start ~engine:tb.Testbed.engine ~api:(Vm.api vm)
+       (Nkapps.Epoll_server.config ~proto (Addr.make 10 80))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "server: %s" (Types.err_to_string e));
+  let lg = ref None in
+  ignore
+    (E.schedule tb.Testbed.engine ~delay:1e-3 (fun () ->
+         lg :=
+           Some
+             (Nkapps.Loadgen.start ~engine:tb.Testbed.engine ~api:(Vm.api client)
+                {
+                  Nkapps.Loadgen.server = Addr.make 10 80;
+                  proto;
+                  mode =
+                    Nkapps.Loadgen.Closed
+                      { concurrency = 32; total = None; duration = Some 2.0 };
+                  warmup = 0.0;
+                })));
+  Alcotest.(check int) "starts with one shard" 1
+    (Coreengine.n_shards (Host.coreengine hosta));
+  Nkctl.start ctl;
+  Testbed.run tb ~until:2.5;
+  Nkctl.stop ctl;
+  let s = Nkctl.stats ctl in
+  Alcotest.(check int) "grew to the shard cap and stopped" 2
+    (Coreengine.n_shards (Host.coreengine hosta));
+  Alcotest.(check int) "exactly one CE scale-out recorded" 1 s.Nkctl.ce_scale_outs;
+  let peak_ce =
+    List.fold_left
+      (fun acc x -> Float.max acc x.Nkctl.s_ce_utilization)
+      0.0 (Nkctl.samples ctl)
+  in
+  if peak_ce <= 0.01 then
+    Alcotest.failf "sampled CE utilization should exceed the watermark (%.4f)" peak_ce;
+  Alcotest.(check int) "no NSM scale-ups" 0 s.Nkctl.scale_ups;
+  let r = Nkapps.Loadgen.results (Option.get !lg) in
+  if r.Nkapps.Loadgen.completed = 0 then Alcotest.fail "no requests completed";
+  Alcotest.(check int) "no errors across the scale-out" 0 r.Nkapps.Loadgen.errors
+
 let tests =
   [
     Alcotest.test_case "deregister_nsm reclaims conn-table routes" `Quick
@@ -246,4 +322,6 @@ let tests =
       autoscale_up_then_down;
     Alcotest.test_case "crash failover: errors not hangs, data intact" `Quick
       crash_failover_integrity;
+    Alcotest.test_case "CE autoscale: watermark adds shards up to the cap" `Quick
+      ce_autoscale_under_load;
   ]

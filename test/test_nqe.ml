@@ -156,6 +156,29 @@ let qcheck_allocator =
       List.iter (Hugepages.free hp) !live;
       !ok && Hugepages.bytes_in_use hp = 0)
 
+let hp_fragmentation_stress () =
+  (* Thousands of interleaved extents: freeing every second one first
+     leaves ~n/2 disjoint holes, so each remaining free walks a maximally
+     fragmented free list (this overflowed the stack when insert/coalesce
+     were not tail-recursive). *)
+  let n = 8192 in
+  let hp = Hugepages.create ~page_size:(2 * 1024 * 1024) ~pages:(n / 2) () in
+  let extents = Array.init n (fun _ -> Option.get (Hugepages.alloc hp 64)) in
+  for i = 0 to n - 1 do
+    if i mod 2 = 0 then Hugepages.free hp extents.(i)
+  done;
+  Alcotest.(check int) "live after even frees" (n / 2) (Hugepages.allocations hp);
+  for i = 0 to n - 1 do
+    if i mod 2 = 1 then Hugepages.free hp extents.(i)
+  done;
+  Alcotest.(check int) "all returned" 0 (Hugepages.bytes_in_use hp);
+  Alcotest.(check int) "nothing live" 0 (Hugepages.allocations hp);
+  (* Holes coalesced back into one region: the full capacity is allocatable
+     again in a single extent. *)
+  match Hugepages.alloc hp (Hugepages.capacity hp) with
+  | Some e -> Hugepages.free hp e
+  | None -> Alcotest.fail "free list did not coalesce back to one hole"
+
 let tests =
   [
     Alcotest.test_case "roundtrip all ops" `Quick roundtrip_all_ops;
@@ -167,5 +190,6 @@ let tests =
     Alcotest.test_case "hugepages double free" `Quick hp_double_free;
     Alcotest.test_case "hugepages exhaustion" `Quick hp_exhaustion;
     Alcotest.test_case "hugepages payload roundtrip" `Quick hp_payload_roundtrip;
+    Alcotest.test_case "hugepages fragmentation stress" `Quick hp_fragmentation_stress;
     QCheck_alcotest.to_alcotest qcheck_allocator;
   ]

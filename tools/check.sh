@@ -8,6 +8,19 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 dune build @lint
+# Determinism smoke: the sharded CoreEngine must give byte-identical results
+# run-to-run, so the quick CE-scaling sweep is executed twice and the CSVs
+# diffed. Any divergence means nondeterminism leaked into the datapath.
+out1=$(mktemp) out2=$(mktemp)
+trap 'rm -f "$out1" "$out2"' EXIT
+dune exec bin/nk.exe -- run ce-scale --quick --csv > "$out1"
+dune exec bin/nk.exe -- run ce-scale --quick --csv > "$out2"
+if ! diff -q "$out1" "$out2" >/dev/null; then
+  echo "check.sh: ce-scale runs diverged (nondeterminism in the sharded CE):" >&2
+  diff "$out1" "$out2" >&2 || true
+  exit 1
+fi
+echo "check.sh: ce-scale determinism smoke OK"
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt
 else
