@@ -106,16 +106,32 @@ let ce_cores_arg =
 
 let stats_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
-  let run csv ce_cores =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("csv", `Csv); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: table, csv or json.")
+  in
+  let filter =
+    Arg.(
+      value & opt string ""
+      & info [ "filter" ] ~docv:"PREFIX"
+          ~doc:"Keep only metrics whose component name starts with $(docv).")
+  in
+  let run csv format filter ce_cores =
     let mon = observed_world ~trace:false ~ce_cores in
-    print_report ~csv (Experiments.Mon_report.table mon)
+    let report = Experiments.Mon_report.table ~filter mon in
+    match (if csv then `Csv else format) with
+    | `Table -> print_report ~csv:false report
+    | `Csv -> print_endline (Experiments.Report.to_csv report)
+    | `Json -> print_endline (Experiments.Report.to_json report)
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run a small NetKernel workload and print every Nkmon metric \
           (component/instance/metric) it produced")
-    Term.(const run $ csv $ ce_cores_arg)
+    Term.(const run $ csv $ format $ filter $ ce_cores_arg)
 
 let trace_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of JSON.") in
@@ -123,7 +139,14 @@ let trace_cmd =
     let mon = observed_world ~trace:true ~ce_cores in
     let tr = Nkmon.trace mon in
     if csv then print_string (Nkmon.Trace.to_csv tr)
-    else print_string (Nkmon.Trace.to_json tr)
+    else print_string (Nkmon.Trace.to_json tr);
+    let dropped = Nkmon.Trace.dropped tr in
+    if dropped > 0 then
+      Printf.eprintf
+        "nk trace: warning: %d events dropped (ring capacity %d); rerun with a \
+         larger trace ring to keep them\n"
+        dropped
+        (Nkmon.Trace.capacity tr)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -131,6 +154,102 @@ let trace_cmd =
          "Run a small NetKernel workload with event tracing enabled and dump \
           the virtual-time trace (JSON by default)")
     Term.(const run $ csv $ ce_cores_arg)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.eprintf "nk: wrote %s\n" path
+
+let span_cmd =
+  let experiment =
+    Arg.(
+      value & opt string "latency-breakdown"
+      & info [ "experiment" ] ~docv:"ID"
+          ~doc:"Workload to trace (currently only latency-breakdown).")
+  in
+  let every =
+    Arg.(
+      value & opt int 16
+      & info [ "every" ] ~docv:"N" ~doc:"Sample one request span in every $(docv).")
+  in
+  let quick = Arg.(value & flag & info [ "quick"; "q" ] ~doc:"Shorter run.") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  let catapult =
+    Arg.(
+      value & opt (some string) None
+      & info [ "catapult" ] ~docv:"FILE"
+          ~doc:
+            "Also write the spans as Chrome trace-event JSON (load in \
+             chrome://tracing or Perfetto).")
+  in
+  let run experiment every quick csv catapult ce_cores =
+    if experiment <> "latency-breakdown" then begin
+      Printf.eprintf "nk span: unknown experiment %S (try latency-breakdown)\n" experiment;
+      exit 2
+    end;
+    if every < 1 then begin
+      Printf.eprintf "nk span: --every must be >= 1\n";
+      exit 2
+    end;
+    let report, spans =
+      Experiments.Latency_breakdown.run_world ~quick ~span_every:every ~ce_cores ()
+    in
+    print_report ~csv report;
+    (match catapult with
+    | Some path -> write_file path (Nkspan.to_catapult spans)
+    | None -> ());
+    if Nkspan.dropped spans > 0 then
+      Printf.eprintf "nk span: warning: %d spans dropped (capacity)\n"
+        (Nkspan.dropped spans)
+  in
+  Cmd.v
+    (Cmd.info "span"
+       ~doc:
+         "Trace sampled requests end to end through the NetKernel datapath \
+          and print the per-stage latency breakdown")
+    Term.(const run $ experiment $ every $ quick $ csv $ catapult $ ce_cores_arg)
+
+let profile_cmd =
+  let quick = Arg.(value & flag & info [ "quick"; "q" ] ~doc:"Shorter run.") in
+  let collapsed =
+    Arg.(
+      value & opt (some string) None
+      & info [ "collapsed" ] ~docv:"FILE"
+          ~doc:
+            "Also write flamegraph.pl-compatible collapsed stacks \
+             (component;stage cycles).")
+  in
+  let run quick collapsed ce_cores =
+    let w = Experiments.Worlds.netkernel ~ce_cores () in
+    let tb = w.Experiments.Worlds.tb in
+    let spans = tb.Nkcore.Testbed.spans in
+    Nkspan.enable_profiler spans tb.Nkcore.Testbed.engine;
+    let total = if quick then 2_000 else 10_000 in
+    let r = Experiments.Worlds.measure_rps w ~concurrency:32 ~total () in
+    let cells = Nkspan.profile_table spans in
+    let all = Nkspan.total_cycles spans in
+    Printf.printf "cycle profile (%d requests, %.1fK rps, %.0f cycles attributed):\n\n"
+      total
+      (r.Experiments.Worlds.rps /. 1e3)
+      all;
+    Printf.printf "  %-14s %-12s %14s %7s\n" "component" "stage" "self-cycles" "share";
+    List.iter
+      (fun (c : Nkspan.cell) ->
+        Printf.printf "  %-14s %-12s %14.0f %6.1f%%\n" c.Nkspan.p_comp c.Nkspan.p_stage
+          c.Nkspan.p_cycles
+          (if all > 0.0 then 100.0 *. c.Nkspan.p_cycles /. all else 0.0))
+      cells;
+    match collapsed with
+    | Some path -> write_file path (Nkspan.to_collapsed spans)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a NetKernel workload with the cycle profiler on and print the \
+          per-(component, stage) self-cycles table")
+    Term.(const run $ quick $ collapsed $ ce_cores_arg)
 
 let orchestrate_cmd =
   (* The control plane live: two NetKernel VMs under closed-loop load, the
@@ -256,4 +375,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "nk" ~version:"1.0.0" ~doc)
-          [ run_cmd; list_cmd; demo_cmd; stats_cmd; trace_cmd; orchestrate_cmd ]))
+          [
+            run_cmd; list_cmd; demo_cmd; stats_cmd; trace_cmd; span_cmd; profile_cmd;
+            orchestrate_cmd;
+          ]))

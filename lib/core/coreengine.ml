@@ -48,6 +48,7 @@ type counters = {
    one consuming (outbound) / producing (inbound) shard. *)
 type shard = {
   idx : int;
+  sinstance : string; (* "ce" or "ce.shard<k>", also the span component *)
   cpu : Cpu.t;
   mutable running : bool;
   mutable release_scheduled : bool;
@@ -69,6 +70,7 @@ type t = {
   draining : (int, unit) Hashtbl.t; (* NSMs excluded from new assignments *)
   buckets : (int, Nkutil.Token_bucket.t) Hashtbl.t;
   mon : Nkmon.t;
+  spans : Nkspan.t;
   instance : string;
 }
 
@@ -94,6 +96,7 @@ let make_shard mon ~instance ~solo ~idx cpu =
   let instance = shard_instance ~instance ~solo idx in
   {
     idx;
+    sinstance = instance;
     cpu;
     running = false;
     release_scheduled = false;
@@ -103,7 +106,8 @@ let make_shard mon ~instance ~solo ~idx cpu =
       Nkmon.histogram mon ~component:"coreengine" ~instance ~name:"sweep_batch";
   }
 
-let create ~engine ~cores ?(mon = Nkmon.null ()) ?(instance = "ce") costs =
+let create ~engine ~cores ?(mon = Nkmon.null ()) ?(spans = Nkspan.null ())
+    ?(instance = "ce") costs =
   let n = Array.length cores in
   if n = 0 then invalid_arg "Coreengine.create: need at least one CE core";
   let solo = n = 1 in
@@ -121,6 +125,7 @@ let create ~engine ~cores ?(mon = Nkmon.null ()) ?(instance = "ce") costs =
       draining = Hashtbl.create 4;
       buckets = Hashtbl.create 16;
       mon;
+      spans;
       instance;
     }
   in
@@ -189,6 +194,10 @@ let drop (sh : shard) t (nqe : Nqe.t option) reason =
     Nkmon.event t.mon (Nkmon.Trace.Nqe_drop { vm_id; sock; reason })
 
 let switched (sh : shard) t (nqe : Nqe.t) dst =
+  (* The ce-switch stage opened when the owning shard popped the NQE; any
+     deferral retries in between kept it open, so parked time counts as
+     switching latency. *)
+  Nkspan.end_stage t.spans ~id:nqe.Nqe.span "ce-switch";
   Nkmon.Registry.incr sh.ctr.c_switched;
   if Nkmon.tracing t.mon then
     Nkmon.event t.mon
@@ -395,6 +404,10 @@ let rec schedule_release t (sh : shard) delay =
   end
 
 and drain_deferred t (sh : shard) =
+  Nkspan.frame t.spans ~component:sh.sinstance ~stage:"drain" (fun () ->
+      drain_deferred_framed t sh)
+
+and drain_deferred_framed t (sh : shard) =
   let next_delay = ref infinity in
   (* VM-id order: which VM's parked traffic gets tokens / ring space first
      must not depend on hash-bucket layout. *)
@@ -484,7 +497,7 @@ and reply_error t (sh : shard) (nqe : Nqe.t) err =
       let op_data = if op = Nqe.Comp_close then Nqe.ok_code else Nqe.err_code err in
       let reply =
         Nqe.make ~op ~vm_id:nqe.Nqe.vm_id ~qset:nqe.Nqe.qset ~sock:nqe.Nqe.sock ~op_data
-          ~data_ptr:nqe.Nqe.data_ptr ~size:nqe.Nqe.size ()
+          ~data_ptr:nqe.Nqe.data_ptr ~size:nqe.Nqe.size ~span:nqe.Nqe.span ()
       in
       deliver_to_vm t sh ~src_nsm:(-1) ~src_qset:0 reply (Nqe.encode reply)
 
@@ -647,10 +660,21 @@ and process t (sh : shard) =
   match sweep t sh with
   | [] ->
       sh.running <- false;
-      Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_poll_iter
+      Nkspan.frame t.spans ~component:sh.sinstance ~stage:"poll" (fun () ->
+          Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_poll_iter)
   | work ->
       Nkmon.Registry.incr sh.ctr.c_sweeps;
       Nkutil.Histogram.record sh.sweep_batch (float_of_int (List.length work));
+      (* Traced NQEs enter this shard's switch here: the ce-switch stage
+         runs from ring pop until [switched] delivers them (including any
+         time parked in the deferred queues). *)
+      if Nkspan.enabled t.spans then
+        List.iter
+          (fun (_, raw) ->
+            let span = Nqe.span_of_raw raw in
+            Nkspan.end_stage t.spans ~id:span "ring";
+            Nkspan.begin_stage t.spans ~id:span ~component:sh.sinstance "ce-switch")
+          work;
       let per_nqe, per_sweep =
         (* hardware-offloaded switching leaves only a residual descriptor
            cost on the CE core — no software queue sweeps either; table
@@ -659,9 +683,10 @@ and process t (sh : shard) =
         else (t.costs.Nk_costs.ce_switch, t.costs.Nk_costs.ce_poll_iter)
       in
       let cycles = per_sweep +. (float_of_int (List.length work) *. per_nqe) in
-      Cpu.exec sh.cpu ~cycles (fun () ->
-          List.iter (dispatch t sh) work;
-          process t sh)
+      Nkspan.frame t.spans ~component:sh.sinstance ~stage:"switch" (fun () ->
+          Cpu.exec sh.cpu ~cycles (fun () ->
+              List.iter (dispatch t sh) work;
+              process t sh))
 
 and kick_shard t (sh : shard) =
   if not sh.running then begin

@@ -28,6 +28,7 @@ val create :
   engine:Sim.Engine.t ->
   cores:Sim.Cpu.t array ->
   ?mon:Nkmon.t ->
+  ?spans:Nkspan.t ->
   ?instance:string ->
   Nk_costs.t ->
   t
@@ -35,7 +36,8 @@ val create :
     [mon] is the world's observability handle (metrics under
     [coreengine/<instance>/...] for a single shard, or
     [coreengine/<instance>.shard<k>/...] per shard otherwise; switch/defer/
-    drop trace events); [instance] defaults to ["ce"]. *)
+    drop trace events); [spans] records the ce-switch stage of sampled
+    requests on the owning shard; [instance] defaults to ["ce"]. *)
 
 val core : t -> Sim.Cpu.t
 (** Shard 0's core (the only core of a single-shard engine). *)

@@ -58,6 +58,8 @@ type t = {
   memberships : (Socket_api.sock, Socket_api.epoll list ref) Hashtbl.t;
   qstates : qset_state array;
   mon : Nkmon.t;
+  spans : Nkspan.t;
+  instance : string; (* "vm<id>", the span/metric component instance *)
   ctr : counters;
   mutable next_gid : int;
   mutable next_ep : int;
@@ -135,11 +137,11 @@ let post t gs queue (nqe : Nqe.t) =
          });
   Nk_device.post t.device ~qset:gs.qset queue (Nqe.encode nqe)
 
-let post_op t gs op ?op_data ?data_ptr ?size ?synthetic () =
+let post_op t gs op ?op_data ?data_ptr ?size ?synthetic ?span () =
   post t gs
     (match op with Nqe.Send -> `Send | _ -> `Job)
     (Nqe.make ~op ~vm_id:t.vm_id ~qset:gs.qset ~sock:gs.gid ?op_data ?data_ptr ?size
-       ?synthetic ())
+       ?synthetic ?span ())
 
 (* ---- inbound NQE processing ---------------------------------------------- *)
 
@@ -185,6 +187,8 @@ let apply t (nqe : Nqe.t) =
           notify_epolls t gs.gid)
   | Nqe.Comp_send -> (
       free_send_extent t nqe;
+      Nkspan.end_stage t.spans ~id:nqe.Nqe.span "completion";
+      Nkspan.finish t.spans ~id:nqe.Nqe.span;
       match find t nqe.Nqe.sock with
       | None -> ()
       | Some gs ->
@@ -308,12 +312,23 @@ let rec process_qset t qi =
       t.costs.Nk_costs.guest_poll +. wake_extra
       +. (float_of_int (n1 + n2) *. t.costs.Nk_costs.nqe_decode)
     in
-    Cpu.exec (Cpu.Set.core t.cores qi) ~cycles (fun () ->
-        List.iter
-          (fun raw -> match Nqe.decode raw with Error _ -> () | Ok nqe -> apply t nqe)
-          batch;
-        qs.last_active <- Engine.now t.engine;
-        process_qset t qi)
+    (* Traced completions leave the ring here: everything from now until
+       [apply] runs (poll + decode + core queueing) is the completion
+       stage. Only Comp_send NQEs carry a span id, the rest peek as 0. *)
+    if Nkspan.enabled t.spans then
+      List.iter
+        (fun raw ->
+          let span = Nqe.span_of_raw raw in
+          Nkspan.end_stage t.spans ~id:span "ring";
+          Nkspan.begin_stage t.spans ~id:span ~component:t.instance "completion")
+        batch;
+    Nkspan.frame t.spans ~component:t.instance ~stage:"poll" (fun () ->
+        Cpu.exec (Cpu.Set.core t.cores qi) ~cycles (fun () ->
+            List.iter
+              (fun raw -> match Nqe.decode raw with Error _ -> () | Ok nqe -> apply t nqe)
+              batch;
+            qs.last_active <- Engine.now t.engine;
+            process_qset t qi))
   end
 
 let on_kick t qi =
@@ -434,16 +449,23 @@ let api t =
                     +. (float_of_int n *. t.profile.Sim.Cost_profile.per_byte_user_copy)
                   in
                   gs.sendbuf_used <- gs.sendbuf_used + n;
-                  Cpu.exec (core_for t gs) ~cycles (fun () ->
-                      (match payload with
-                      | Types.Data s ->
-                          Hugepages.write_payload (Nk_device.hugepages t.device) extent
-                            (Types.Data (if String.length s = n then s else String.sub s 0 n))
-                      | Types.Zeros _ -> ());
-                      Nkmon.Registry.add t.ctr.c_bytes_sent n;
-                      post_op t gs Nqe.Send ~data_ptr:extent.Hugepages.offset ~size:n
-                        ~synthetic ();
-                      k (Ok n)))
+                  (* Span birth: the request is stamped here and the span id
+                     rides the NQE through the whole datapath. *)
+                  let span = Nkspan.sample t.spans ~vm:t.instance in
+                  Nkspan.begin_stage t.spans ~id:span ~component:t.instance "guestlib";
+                  Nkspan.frame t.spans ~component:t.instance ~stage:"send" (fun () ->
+                      Cpu.exec (core_for t gs) ~cycles (fun () ->
+                          (match payload with
+                          | Types.Data s ->
+                              Hugepages.write_payload (Nk_device.hugepages t.device) extent
+                                (Types.Data
+                                   (if String.length s = n then s else String.sub s 0 n))
+                          | Types.Zeros _ -> ());
+                          Nkmon.Registry.add t.ctr.c_bytes_sent n;
+                          Nkspan.end_stage t.spans ~id:span "guestlib";
+                          post_op t gs Nqe.Send ~data_ptr:extent.Hugepages.offset ~size:n
+                            ~synthetic ~span ();
+                          k (Ok n))))
         | (Gfresh | Gconnecting | Glistening | Gclosed), None -> k (Error Types.Enotconn))
   in
   let recv gid ~max ~mode ~k =
@@ -616,10 +638,10 @@ let remigrate_listeners t =
       | _ -> ())
     (listening_socks t)
 
-let create ~engine ~vm_id ~cores ~device ~costs ~profile ?(mon = Nkmon.null ()) () =
-  let c name =
-    Nkmon.counter mon ~component:"guestlib" ~instance:(Printf.sprintf "vm%d" vm_id) ~name
-  in
+let create ~engine ~vm_id ~cores ~device ~costs ~profile ?(mon = Nkmon.null ())
+    ?(spans = Nkspan.null ()) () =
+  let instance = Printf.sprintf "vm%d" vm_id in
+  let c name = Nkmon.counter mon ~component:"guestlib" ~instance ~name in
   let t =
     {
       engine;
@@ -635,6 +657,8 @@ let create ~engine ~vm_id ~cores ~device ~costs ~profile ?(mon = Nkmon.null ()) 
         Array.init (Nk_device.n_qsets device) (fun _ ->
             { scheduled = false; last_active = 0.0 });
       mon;
+      spans;
+      instance;
       ctr =
         {
           c_nqes_tx = c "nqes_tx";

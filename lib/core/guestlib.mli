@@ -23,10 +23,14 @@ val create :
   costs:Nk_costs.t ->
   profile:Sim.Cost_profile.t ->
   ?mon:Nkmon.t ->
+  ?spans:Nkspan.t ->
   unit ->
   t
 (** [device] must have one queue set per core in [cores]. [profile] is the
-    guest kernel's cost profile (syscall entry, copies, epoll wake). *)
+    guest kernel's cost profile (syscall entry, copies, epoll wake).
+    [spans] (default a disabled {!Nkspan.null}) makes [send] the span birth
+    point: sampled requests get a span id stamped into their NQE and the
+    guestlib/completion stages recorded here. *)
 
 val api : t -> Tcpstack.Socket_api.t
 

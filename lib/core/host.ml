@@ -9,13 +9,14 @@ type t = {
   nic : Nic.t;
   vswitch : Vswitch.t;
   mon : Nkmon.t;
+  spans : Nkspan.t;
   mutable ce : Coreengine.t option;
   mutable ce_cores : Sim.Cpu.t array;
   mutable next_vm_id : int;
   mutable next_nsm_id : int;
 }
 
-let create ~engine ~fabric ~registry ~rng ~costs ~name ?mon () =
+let create ~engine ~fabric ~registry ~rng ~costs ~name ?mon ?(spans = Nkspan.null ()) () =
   let mon =
     match mon with
     | Some m -> m
@@ -26,7 +27,7 @@ let create ~engine ~fabric ~registry ~rng ~costs ~name ?mon () =
   Fabric.attach fabric nic;
   let vswitch = Vswitch.create engine ~nic () in
   { engine; fabric; registry; master_rng = rng; costs; name; pressure; nic; vswitch;
-    mon; ce = None; ce_cores = [||]; next_vm_id = 1; next_nsm_id = 1 }
+    mon; spans; ce = None; ce_cores = [||]; next_vm_id = 1; next_nsm_id = 1 }
 
 let name t = t.name
 let engine t = t.engine
@@ -37,6 +38,7 @@ let registry t = t.registry
 let rng t = Nkutil.Rng.split t.master_rng
 let costs t = t.costs
 let mon t = t.mon
+let spans t = t.spans
 
 let own_ip t ip = Fabric.add_route t.fabric ip t.nic
 
@@ -61,7 +63,7 @@ let enable_netkernel ?(ce_cores = 1) t =
       t.ce_cores <- cores;
       t.ce <-
         Some
-          (Coreengine.create ~engine:t.engine ~cores ~mon:t.mon
+          (Coreengine.create ~engine:t.engine ~cores ~mon:t.mon ~spans:t.spans
              ~instance:(t.name ^ ".ce") t.costs)
 
 let coreengine t =

@@ -11,11 +11,13 @@ val create :
   costs:Nk_costs.t ->
   name:string ->
   ?mon:Nkmon.t ->
+  ?spans:Nkspan.t ->
   unit ->
   t
 (** Attaches a NIC to the fabric and builds the host vswitch. [mon] is the
     observability handle shared with every component built on this host;
-    defaults to a fresh handle clocked by [engine] (tracing off). *)
+    defaults to a fresh handle clocked by [engine] (tracing off). [spans]
+    is the request-span recorder shared the same way (default disabled). *)
 
 val name : t -> string
 
@@ -35,6 +37,8 @@ val rng : t -> Nkutil.Rng.t
 val costs : t -> Nk_costs.t
 
 val mon : t -> Nkmon.t
+
+val spans : t -> Nkspan.t
 
 val own_ip : t -> Addr.ip -> unit
 (** Route [ip] to this host in the fabric. *)

@@ -11,11 +11,14 @@ type t = {
   mutable kick_ce : (int -> unit) option;
   mutable kick_owner : (int -> unit) option;
   mon : Nkmon.t;
+  spans : Nkspan.t;
+  instance : string;
   c_posted : Nkmon.Registry.counter;
   c_ring_full : Nkmon.Registry.counter;
 }
 
-let create ~id ~role ~qsets ?capacity ~hugepages ?(mon = Nkmon.null ()) () =
+let create ~id ~role ~qsets ?capacity ~hugepages ?(mon = Nkmon.null ())
+    ?(spans = Nkspan.null ()) () =
   if qsets < 1 then invalid_arg "Nk_device.create: need at least one queue set";
   let instance = Printf.sprintf "dev%d" id in
   let t =
@@ -28,6 +31,8 @@ let create ~id ~role ~qsets ?capacity ~hugepages ?(mon = Nkmon.null ()) () =
       kick_ce = None;
       kick_owner = None;
       mon;
+      spans;
+      instance;
       c_posted = Nkmon.counter mon ~component:"nk_device" ~instance ~name:"posted";
       c_ring_full = Nkmon.counter mon ~component:"nk_device" ~instance ~name:"ring_full";
     }
@@ -83,6 +88,16 @@ let trace_queue = function
 let post t ~qset q nqe =
   flush_overflow t;
   Nkmon.Registry.incr t.c_posted;
+  (* Device enqueue opens the ring stage of a traced request; whichever
+     component dequeues it closes the stage, so ring time covers the SPSC
+     wait plus any overflow spill. *)
+  if Nkspan.enabled t.spans then begin
+    let span = Nqe.span_of_raw nqe in
+    if span > 0 then
+      Nkspan.begin_stage t.spans ~id:span
+        ~component:(t.instance ^ "." ^ Queue_set.queue_name q)
+        "ring"
+  end;
   if
     (not (Queue.is_empty t.overflow)) || not (Nkutil.Spsc_ring.push (ring t ~qset q) nqe)
   then begin

@@ -21,10 +21,12 @@ val create :
   ?capacity:int ->
   hugepages:Hugepages.t ->
   ?mon:Nkmon.t ->
+  ?spans:Nkspan.t ->
   unit ->
   t
 (** [mon] records [nk_device/dev<id>/...] metrics (posted NQEs, ring-full
-    spills, queued depth) and [Ring_full] trace events. *)
+    spills, queued depth) and [Ring_full] trace events. [spans] lets the
+    device mark the ring stage of traced requests at enqueue time. *)
 
 val id : t -> int
 

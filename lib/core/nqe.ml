@@ -84,6 +84,7 @@ type t = {
   data_ptr : int;
   size : int;
   synthetic : bool;
+  span : int;
 }
 
 let qset_unassigned = 0xFF
@@ -93,8 +94,8 @@ let nsm_sock_bit = 1 lsl 30
 let size_bytes = 32
 
 let make ~op ~vm_id ~qset ~sock ?(op_data = 0L) ?(data_ptr = 0) ?(size = 0)
-    ?(synthetic = false) () =
-  { op; vm_id; qset; sock; op_data; data_ptr; size; synthetic }
+    ?(synthetic = false) ?(span = 0) () =
+  { op; vm_id; qset; sock; op_data; data_ptr; size; synthetic; span }
 
 let encode_into t buf ~pos =
   if pos < 0 || pos + size_bytes > Bytes.length buf then
@@ -107,7 +108,7 @@ let encode_into t buf ~pos =
   Bytes.set_int64_le buf (pos + 15) (Int64.of_int t.data_ptr);
   Bytes.set_int32_le buf (pos + 23) (Int32.of_int t.size);
   Bytes.set_uint8 buf (pos + 27) (if t.synthetic then 1 else 0);
-  Bytes.set_int32_le buf (pos + 28) 0l
+  Bytes.set_int32_le buf (pos + 28) (Int32.of_int t.span)
 
 let encode t =
   let buf = Bytes.create size_bytes in
@@ -130,9 +131,14 @@ let decode_from buf ~pos =
             data_ptr = Int64.to_int (Bytes.get_int64_le buf (pos + 15));
             size = Int32.to_int (Bytes.get_int32_le buf (pos + 23)) land 0xFFFFFFFF;
             synthetic = Bytes.get_uint8 buf (pos + 27) land 1 = 1;
+            span = Int32.to_int (Bytes.get_int32_le buf (pos + 28)) land 0xFFFFFFFF;
           }
 
 let decode buf = decode_from buf ~pos:0
+
+let span_of_raw buf =
+  if Bytes.length buf < size_bytes then 0
+  else Int32.to_int (Bytes.get_int32_le buf 28) land 0xFFFFFFFF
 
 let pack_addr (a : Addr.t) =
   Int64.logor

@@ -17,7 +17,7 @@
      15   8  data pointer (hugepage offset)
      23   4  size
      27   1  flags (bit 0: synthetic payload)
-     28   4  reserved
+     28   4  span id (Nkspan sample; 0 = untraced)
     v} *)
 
 type op =
@@ -52,6 +52,7 @@ type t = {
   data_ptr : int;  (** hugepage offset for Send / Ev_data *)
   size : int;
   synthetic : bool;  (** payload is content-free filler *)
+  span : int;  (** Nkspan span id carried end-to-end; 0 = untraced *)
 }
 
 val qset_unassigned : int
@@ -67,7 +68,7 @@ val size_bytes : int
 
 val make :
   op:op -> vm_id:int -> qset:int -> sock:int -> ?op_data:int64 -> ?data_ptr:int ->
-  ?size:int -> ?synthetic:bool -> unit -> t
+  ?size:int -> ?synthetic:bool -> ?span:int -> unit -> t
 
 val encode : t -> bytes
 (** Always returns a fresh 32-byte buffer. *)
@@ -77,6 +78,11 @@ val encode_into : t -> bytes -> pos:int -> unit
 val decode : bytes -> (t, string) result
 
 val decode_from : bytes -> pos:int -> (t, string) result
+
+val span_of_raw : bytes -> int
+(** Peek the span id of an encoded NQE without a full decode (for
+    batch-dispatch loops that only need to open a stage). 0 on short
+    buffers. *)
 
 (** {1 Field packing helpers} *)
 

@@ -25,7 +25,7 @@ let make_device host ~nsm_id ~vcpus =
      in the per-VM hugepages (so the dummy region stays unmonitored). *)
   Nk_device.create ~id:nsm_id ~role:Nk_device.Nsm_side ~qsets:vcpus
     ~hugepages:(Hugepages.create ~page_size:4096 ~pages:1 ())
-    ~mon:(Host.mon host) ()
+    ~mon:(Host.mon host) ~spans:(Host.spans host) ()
 
 let finish host ~name ~cores ~device ~backend ~nsm_id =
   Host.enable_netkernel host;
@@ -55,12 +55,13 @@ let create_kernel host ~name ~vcpus ?(profile = Sim.Cost_profile.linux_kernel) ?
   in
   let stack =
     Tcpstack.Stack.create ~engine:(Host.engine host) ~name ~cores ~vswitch:(Host.vswitch host)
-      ~registry:(Host.registry host) ~rng:(Host.rng host) ~mon:(Host.mon host) cfg
+      ~registry:(Host.registry host) ~rng:(Host.rng host) ~mon:(Host.mon host)
+      ~spans:(Host.spans host) cfg
   in
   let service =
     Servicelib.create ~engine:(Host.engine host) ~device
       ~ops:(Tcpstack.Stack_ops.of_stack stack) ~cores ~costs:(Host.costs host)
-      ~pressure:(Host.pressure host) ~mon:(Host.mon host) ()
+      ~pressure:(Host.pressure host) ~mon:(Host.mon host) ~spans:(Host.spans host) ()
   in
   finish host ~name ~cores ~device ~backend:(Tcp { service; stacks = [ stack ] }) ~nsm_id
 
@@ -75,7 +76,8 @@ let create_mtcp host ~name ~vcpus ?cc_factory ?tcb () =
   in
   let service =
     Servicelib.create ~engine:(Host.engine host) ~device ~ops:(Mtcpstack.Mtcp.ops mtcp)
-      ~cores ~costs:(Host.costs host) ~pressure:(Host.pressure host) ~mon:(Host.mon host) ()
+      ~cores ~costs:(Host.costs host) ~pressure:(Host.pressure host) ~mon:(Host.mon host)
+      ~spans:(Host.spans host) ()
   in
   finish host ~name ~cores ~device
     ~backend:(Tcp { service; stacks = Array.to_list (Mtcpstack.Mtcp.shards mtcp) })
@@ -87,7 +89,7 @@ let create_shmem host ~name ~vcpus ?copy_cycles_per_byte () =
   let device = make_device host ~nsm_id ~vcpus in
   let shm =
     Nsm_shmem.create ~engine:(Host.engine host) ~device ~cores ~costs:(Host.costs host)
-      ?copy_cycles_per_byte ~mon:(Host.mon host) ()
+      ?copy_cycles_per_byte ~mon:(Host.mon host) ~spans:(Host.spans host) ()
   in
   finish host ~name ~cores ~device ~backend:(Shm shm) ~nsm_id
 

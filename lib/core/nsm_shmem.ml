@@ -5,7 +5,7 @@ module Ring = Nkutil.Spsc_ring
 
 type vm_ctx = { vm_id : int; hugepages : Hugepages.t; mutable next_gid : int }
 
-type pending = { extent : Hugepages.extent; synthetic : bool }
+type pending = { extent : Hugepages.extent; synthetic : bool; pd_span : int }
 
 type endpoint = {
   ep_vm : vm_ctx;
@@ -49,6 +49,8 @@ type t = {
   socks : (int * int, endpoint) Hashtbl.t; (* (vm_id, gid) -> endpoint *)
   listeners : listener Endpoint_table.t;
   qstates : qset_state array;
+  spans : Nkspan.t;
+  instance : string;
   ctr : counters;
 }
 
@@ -67,7 +69,7 @@ let deregister_vm t ~vm_id = Hashtbl.remove t.vms vm_id
 
 (* ---- replies ------------------------------------------------------------- *)
 
-let post t (ep : endpoint) op ?op_data ?data_ptr ?size ?synthetic () =
+let post t (ep : endpoint) op ?op_data ?data_ptr ?size ?synthetic ?span () =
   Cpu.charge (Cpu.Set.core t.cores ep.nsm_qset) ~cycles:t.costs.Nk_costs.nqe_encode;
   let queue =
     match op with Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof -> `Receive | _ -> `Completion
@@ -75,7 +77,7 @@ let post t (ep : endpoint) op ?op_data ?data_ptr ?size ?synthetic () =
   Nk_device.post t.device ~qset:ep.nsm_qset queue
     (Nqe.encode
        (Nqe.make ~op ~vm_id:ep.ep_vm.vm_id ~qset:ep.vm_qset ~sock:ep.ep_gid ?op_data
-          ?data_ptr ?size ?synthetic ()))
+          ?data_ptr ?size ?synthetic ?span ()))
 
 let post_result t ep op err =
   post t ep op ~op_data:(match err with None -> Nqe.ok_code | Some e -> Nqe.err_code e) ()
@@ -96,7 +98,8 @@ let rec drain t (src : endpoint) (dst : endpoint) =
         (* Peer is gone: return the extents to the sender. *)
         ignore (Queue.pop src.outbox);
         post t src Nqe.Comp_send ~data_ptr:p.extent.Hugepages.offset
-          ~size:p.extent.Hugepages.len ();
+          ~size:p.extent.Hugepages.len ~span:p.pd_span ();
+        Nkspan.end_stage t.spans ~id:p.pd_span "servicelib";
         drain t src dst
       end
       else begin
@@ -119,7 +122,9 @@ let rec drain t (src : endpoint) (dst : endpoint) =
               dst.credit_used <- dst.credit_used + len;
               post t dst Nqe.Ev_data ~data_ptr:dst_extent.Hugepages.offset ~size:len
                 ~synthetic:p.synthetic ();
-              post t src Nqe.Comp_send ~data_ptr:p.extent.Hugepages.offset ~size:len ();
+              post t src Nqe.Comp_send ~data_ptr:p.extent.Hugepages.offset ~size:len
+                ~span:p.pd_span ();
+              Nkspan.end_stage t.spans ~id:p.pd_span "servicelib";
               drain t src dst
       end
 
@@ -212,6 +217,7 @@ let apply t ~qset_idx (nqe : Nqe.t) =
                 {
                   extent = { Hugepages.offset = nqe.Nqe.data_ptr; len = nqe.Nqe.size };
                   synthetic = nqe.Nqe.synthetic;
+                  pd_span = nqe.Nqe.span;
                 }
                 ep.outbox;
               match ep.peer with Some peer -> drain t ep peer | None -> ())
@@ -233,7 +239,8 @@ let apply t ~qset_idx (nqe : Nqe.t) =
                   Queue.iter
                     (fun p ->
                       post t peer Nqe.Comp_send ~data_ptr:p.extent.Hugepages.offset
-                        ~size:p.extent.Hugepages.len ())
+                        ~size:p.extent.Hugepages.len ~span:p.pd_span ();
+                      Nkspan.end_stage t.spans ~id:p.pd_span "servicelib")
                     peer.outbox;
                   Queue.clear peer.outbox
               | None -> ());
@@ -262,15 +269,25 @@ let rec process_qset t qi =
   let qs = t.qstates.(qi) in
   if batch = [] then qs.scheduled <- false
   else begin
+    if Nkspan.enabled t.spans then
+      List.iter
+        (fun raw ->
+          let span = Nqe.span_of_raw raw in
+          Nkspan.end_stage t.spans ~id:span "ring";
+          Nkspan.begin_stage t.spans ~id:span ~component:t.instance "servicelib")
+        batch;
     let cycles =
       t.costs.Nk_costs.service_poll +. (float_of_int n *. t.costs.Nk_costs.nqe_decode)
     in
-    Cpu.exec (Cpu.Set.core t.cores qi) ~cycles (fun () ->
-        List.iter
-          (fun raw ->
-            match Nqe.decode raw with Error _ -> () | Ok nqe -> apply t ~qset_idx:qi nqe)
-          batch;
-        process_qset t qi)
+    Nkspan.frame t.spans ~component:t.instance ~stage:"dispatch" (fun () ->
+        Cpu.exec (Cpu.Set.core t.cores qi) ~cycles (fun () ->
+            List.iter
+              (fun raw ->
+                match Nqe.decode raw with
+                | Error _ -> ()
+                | Ok nqe -> apply t ~qset_idx:qi nqe)
+              batch;
+            process_qset t qi))
   end
 
 let on_kick t qi =
@@ -280,13 +297,10 @@ let on_kick t qi =
     process_qset t qi
   end
 
-let create ~engine ~device ~cores ~costs ?(copy_cycles_per_byte = 0.3) ?(mon = Nkmon.null ()) () =
-  let c name =
-    Nkmon.counter mon
-      ~component:"nsm_shmem"
-      ~instance:(Printf.sprintf "nsm%d" (Nk_device.id device))
-      ~name
-  in
+let create ~engine ~device ~cores ~costs ?(copy_cycles_per_byte = 0.3) ?(mon = Nkmon.null ())
+    ?(spans = Nkspan.null ()) () =
+  let instance = Printf.sprintf "nsm%d" (Nk_device.id device) in
+  let c name = Nkmon.counter mon ~component:"nsm_shmem" ~instance ~name in
   let t =
     {
       engine;
@@ -298,6 +312,8 @@ let create ~engine ~device ~cores ~costs ?(copy_cycles_per_byte = 0.3) ?(mon = N
       socks = Hashtbl.create 256;
       listeners = Endpoint_table.create 16;
       qstates = Array.init (Nk_device.n_qsets device) (fun _ -> { scheduled = false });
+      spans;
+      instance;
       ctr = { c_bytes_copied = c "bytes_copied"; c_conns = c "conns" };
     }
   in

@@ -15,11 +15,13 @@ val create :
   costs:Nk_costs.t ->
   ?copy_cycles_per_byte:float ->
   ?mon:Nkmon.t ->
+  ?spans:Nkspan.t ->
   unit ->
   t
 (** [copy_cycles_per_byte] is the cross-region memcpy cost (default 0.3,
     calibrated so a 2-core shared-memory NSM sustains ~100 Gb/s as in the
-    paper's Fig 10). *)
+    paper's Fig 10). [spans] records the servicelib stage of sampled
+    requests (there is no stack stage on the shared-memory path). *)
 
 val register_vm : t -> vm_id:int -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
 (** The VM's IPs become resolvable for colocated connects. *)

@@ -15,6 +15,12 @@ let create ?(capacity = 8192) () =
     receive = Nkutil.Spsc_ring.create ~capacity;
   }
 
+let queue_name = function
+  | `Job -> "job"
+  | `Completion -> "completion"
+  | `Send -> "send"
+  | `Receive -> "receive"
+
 let total_queued t =
   Nkutil.Spsc_ring.length t.job
   + Nkutil.Spsc_ring.length t.completion

@@ -18,6 +18,10 @@ type t = {
 val create : ?capacity:int -> unit -> t
 (** [capacity] per ring, default 8192. *)
 
+val queue_name : [ `Job | `Completion | `Send | `Receive ] -> string
+(** Canonical lowercase ring name, used by Nkmon labels and Nkspan ring-stage
+    component tags. *)
+
 val total_queued : t -> int
 
 val depths : t -> int * int * int * int

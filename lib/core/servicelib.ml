@@ -4,7 +4,12 @@ module Types = Tcpstack.Types
 module Stack_ops = Tcpstack.Stack_ops
 module Ring = Nkutil.Spsc_ring
 
-type pending_send = { extent : Hugepages.extent; mutable off : int; p_synthetic : bool }
+type pending_send = {
+  extent : Hugepages.extent;
+  mutable off : int;
+  p_synthetic : bool;
+  p_span : int; (* span id echoed on the eventual Comp_send *)
+}
 
 type vm_ctx = {
   vm_id : int;
@@ -58,6 +63,7 @@ type t = {
   vms : (int, vm_ctx) Hashtbl.t;
   qstates : qset_state array;
   mon : Nkmon.t;
+  spans : Nkspan.t;
   instance : string;
   ctr : counters;
   mutable dead : bool; (* crashed: no NQEs in or out, ever again *)
@@ -83,7 +89,7 @@ let core_index t core =
 
 (* ---- NQE replies --------------------------------------------------------- *)
 
-let post t (ss : ssock) op ?op_data ?data_ptr ?size ?synthetic () =
+let post t (ss : ssock) op ?op_data ?data_ptr ?size ?synthetic ?span () =
   if not t.dead then begin
     Nkmon.Registry.incr t.ctr.c_nqes_tx;
     Cpu.charge (Cpu.Set.core t.cores ss.nsm_qset) ~cycles:t.costs.Nk_costs.nqe_encode;
@@ -93,7 +99,7 @@ let post t (ss : ssock) op ?op_data ?data_ptr ?size ?synthetic () =
     Nk_device.post t.device ~qset:ss.nsm_qset queue
       (Nqe.encode
          (Nqe.make ~op ~vm_id:ss.vm.vm_id ~qset:ss.vm_qset ~sock:ss.gid ?op_data ?data_ptr
-            ?size ?synthetic ()))
+            ?size ?synthetic ?span ()))
   end
 
 let post_result t ss op err =
@@ -124,9 +130,17 @@ let rec pump_send t ss =
                   Hugepages.read_payload ss.vm.hugepages p.extent ~pos:p.off ~len
                     ~synthetic:false
               in
+              (* The request crosses into the TCP stack here. Eagain leaves
+                 the stack stage open, so time blocked on the send buffer
+                 accrues to the stack, not ServiceLib. *)
+              Nkspan.end_stage t.spans ~id:p.p_span "servicelib";
+              Nkspan.begin_stage t.spans ~id:p.p_span ~component:t.instance "stack";
               t.ops.Stack_ops.send conn payload ~k:(fun r ->
                   match r with
                   | Ok n ->
+                      Nkspan.end_stage t.spans ~id:p.p_span "stack";
+                      Nkspan.begin_stage t.spans ~id:p.p_span ~component:t.instance
+                        "servicelib";
                       (* The "extra copy" from hugepages into the NSM stack
                          (paper Table 6), charged with memory pressure. *)
                       Cpu.charge
@@ -137,7 +151,8 @@ let rec pump_send t ss =
                       if p.off >= p.extent.Hugepages.len then begin
                         ignore (Queue.pop ss.sendq);
                         post t ss Nqe.Comp_send ~data_ptr:p.extent.Hugepages.offset
-                          ~size:p.extent.Hugepages.len ()
+                          ~size:p.extent.Hugepages.len ~span:p.p_span ();
+                        Nkspan.end_stage t.spans ~id:p.p_span "servicelib"
                       end;
                       go ()
                   | Error Types.Eagain -> ss.send_pumping <- false
@@ -155,7 +170,7 @@ and flush_sendq t ss =
     | exception Queue.Empty -> ()
     | p ->
         post t ss Nqe.Comp_send ~data_ptr:p.extent.Hugepages.offset
-          ~size:p.extent.Hugepages.len ();
+          ~size:p.extent.Hugepages.len ~span:p.p_span ();
         loop ()
   in
   loop ()
@@ -350,7 +365,8 @@ let apply t ~qset_idx (nqe : Nqe.t) =
             Nk_device.post t.device ~qset:qset_idx `Completion
               (Nqe.encode
                  (Nqe.make ~op ~vm_id:nqe.Nqe.vm_id ~qset:nqe.Nqe.qset ~sock:nqe.Nqe.sock
-                    ~op_data ~data_ptr:nqe.Nqe.data_ptr ~size:nqe.Nqe.size ()))
+                    ~op_data ~data_ptr:nqe.Nqe.data_ptr ~size:nqe.Nqe.size
+                    ~span:nqe.Nqe.span ()))
           in
           match nqe.Nqe.op with
           | Nqe.Send -> reply Nqe.Comp_send ~op_data:(Nqe.err_code Types.Econnreset)
@@ -394,6 +410,7 @@ let apply t ~qset_idx (nqe : Nqe.t) =
                   extent = { Hugepages.offset = nqe.Nqe.data_ptr; len = nqe.Nqe.size };
                   off = 0;
                   p_synthetic = nqe.Nqe.synthetic;
+                  p_span = nqe.Nqe.span;
                 }
                 ss.sendq;
               pump_send t ss
@@ -436,15 +453,26 @@ and process_qset_live t qi =
   let qs = t.qstates.(qi) in
   if batch = [] then qs.scheduled <- false
   else begin
+    (* Traced sends leave the NSM-side ring here: poll + decode + core
+       queueing accrue to the servicelib stage (only Send NQEs carry a
+       span id). *)
+    if Nkspan.enabled t.spans then
+      List.iter
+        (fun raw ->
+          let span = Nqe.span_of_raw raw in
+          Nkspan.end_stage t.spans ~id:span "ring";
+          Nkspan.begin_stage t.spans ~id:span ~component:t.instance "servicelib")
+        batch;
     let cycles =
       t.costs.Nk_costs.service_poll +. (float_of_int n2 *. t.costs.Nk_costs.nqe_decode)
     in
-    Cpu.exec (Cpu.Set.core t.cores qi) ~cycles (fun () ->
-        List.iter
-          (fun raw ->
-            match Nqe.decode raw with Error _ -> () | Ok nqe -> apply t ~qset_idx:qi nqe)
-          batch;
-        process_qset t qi)
+    Nkspan.frame t.spans ~component:t.instance ~stage:"dispatch" (fun () ->
+        Cpu.exec (Cpu.Set.core t.cores qi) ~cycles (fun () ->
+            List.iter
+              (fun raw ->
+                match Nqe.decode raw with Error _ -> () | Ok nqe -> apply t ~qset_idx:qi nqe)
+              batch;
+            process_qset t qi))
   end
 
 let on_kick t qi =
@@ -456,7 +484,8 @@ let on_kick t qi =
 
 (* ---- construction -------------------------------------------------------------------- *)
 
-let create ~engine ~device ~ops ~cores ~costs ~pressure ?(mon = Nkmon.null ()) () =
+let create ~engine ~device ~ops ~cores ~costs ~pressure ?(mon = Nkmon.null ())
+    ?(spans = Nkspan.null ()) () =
   let instance = Printf.sprintf "nsm%d" (Nk_device.id device) in
   let c name = Nkmon.counter mon ~component:"servicelib" ~instance ~name in
   let t =
@@ -470,6 +499,7 @@ let create ~engine ~device ~ops ~cores ~costs ~pressure ?(mon = Nkmon.null ()) (
       vms = Hashtbl.create 8;
       qstates = Array.init (Nk_device.n_qsets device) (fun _ -> { scheduled = false });
       mon;
+      spans;
       instance;
       dead = false;
       ctr =

@@ -27,9 +27,11 @@ val create :
   costs:Nk_costs.t ->
   pressure:Sim.Pressure.t ->
   ?mon:Nkmon.t ->
+  ?spans:Nkspan.t ->
   unit ->
   t
-(** [device] is the NSM's NK device (one queue set per core in [cores]). *)
+(** [device] is the NSM's NK device (one queue set per core in [cores]).
+    [spans] records the servicelib/stack stages of sampled requests. *)
 
 val register_vm : t -> vm_id:int -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
 (** Serve [vm_id]: its payloads live in [hugepages]; the NSM stack takes

@@ -5,10 +5,12 @@ type t = {
   rng : Nkutil.Rng.t;
   costs : Nk_costs.t;
   mon : Nkmon.t;
+  spans : Nkspan.t;
 }
 
 let create ?(rate_gbps = 100.0) ?(delay = 20e-6) ?buffer_bytes ?ecn_threshold_bytes
-    ?(seed = 42) ?(costs = Nk_costs.default) ?trace_capacity ?trace_enabled () =
+    ?(seed = 42) ?(costs = Nk_costs.default) ?trace_capacity ?trace_enabled
+    ?(span_every = 0) () =
   let engine = Sim.Engine.create () in
   let fabric =
     Fabric.create engine ~rate_bps:(rate_gbps *. 1e9) ~delay ?buffer_bytes
@@ -19,12 +21,13 @@ let create ?(rate_gbps = 100.0) ?(delay = 20e-6) ?buffer_bytes ?ecn_threshold_by
       ~now:(fun () -> Sim.Engine.now engine)
       ()
   in
+  let spans = Nkspan.create ~span_every ~now:(fun () -> Sim.Engine.now engine) () in
   { engine; registry = Tcpstack.Conn_registry.create (); fabric;
-    rng = Nkutil.Rng.create ~seed; costs; mon }
+    rng = Nkutil.Rng.create ~seed; costs; mon; spans }
 
 let add_host t ~name =
   Host.create ~engine:t.engine ~fabric:t.fabric ~registry:t.registry
-    ~rng:(Nkutil.Rng.split t.rng) ~costs:t.costs ~name ~mon:t.mon ()
+    ~rng:(Nkutil.Rng.split t.rng) ~costs:t.costs ~name ~mon:t.mon ~spans:t.spans ()
 
 let run ?until t = Sim.Engine.run ?until t.engine
 

@@ -11,6 +11,7 @@ type t = {
   rng : Nkutil.Rng.t;
   costs : Nk_costs.t;
   mon : Nkmon.t;  (** shared observability handle for the whole world *)
+  spans : Nkspan.t;  (** shared request-span recorder (disabled by default) *)
 }
 
 val create :
@@ -22,12 +23,15 @@ val create :
   ?costs:Nk_costs.t ->
   ?trace_capacity:int ->
   ?trace_enabled:bool ->
+  ?span_every:int ->
   unit ->
   t
 (** Defaults: 100 Gb/s ports, 20 us one-way delay, seed 42. Every host
     added to the testbed shares [mon], so all component metrics land in one
     registry; [trace_enabled] (default false) turns on event tracing with a
-    ring of [trace_capacity] records. *)
+    ring of [trace_capacity] records. [span_every] (default 0 = spans off)
+    samples one request span per that many GuestLib sends, shared across
+    hosts like [mon]. *)
 
 val add_host : t -> name:string -> Host.t
 

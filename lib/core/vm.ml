@@ -49,7 +49,7 @@ let create_baseline host ~name ~vcpus ~ips ?(profile = Sim.Cost_profile.linux_ke
   let stack =
     Tcpstack.Stack.create ~engine:(Host.engine host) ~name ~cores
       ~vswitch:(Host.vswitch host) ~registry:(Host.registry host) ~rng:(Host.rng host)
-      ~mon:(Host.mon host) cfg
+      ~mon:(Host.mon host) ~spans:(Host.spans host) cfg
   in
   List.iter
     (fun ip ->
@@ -69,12 +69,14 @@ let create_nk host ~name ~vcpus ~ips ~nsms ?(profile = Sim.Cost_profile.linux_ke
   let hugepages =
     Hugepages.create ~pages:hugepage_pages ~mon ~region:(Printf.sprintf "vm%d" vm_id) ()
   in
+  let spans = Host.spans host in
   let device =
-    Nk_device.create ~id:vm_id ~role:Nk_device.Vm_side ~qsets:vcpus ~hugepages ~mon ()
+    Nk_device.create ~id:vm_id ~role:Nk_device.Vm_side ~qsets:vcpus ~hugepages ~mon
+      ~spans ()
   in
   let guestlib =
     Guestlib.create ~engine:(Host.engine host) ~vm_id ~cores ~device
-      ~costs:(Host.costs host) ~profile ~mon ()
+      ~costs:(Host.costs host) ~profile ~mon ~spans ()
   in
   let ce = Host.coreengine host in
   Coreengine.register_vm ce device;

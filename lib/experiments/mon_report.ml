@@ -1,3 +1,15 @@
-let table ?(id = "stats") ?(title = "Nkmon metrics") mon =
-  Report.make ~id ~title ~headers:Nkmon.Registry.row_headers
-    (Nkmon.Registry.to_rows (Nkmon.registry mon))
+let table ?(id = "stats") ?(title = "Nkmon metrics") ?(filter = "") mon =
+  let rows = Nkmon.Registry.to_rows (Nkmon.registry mon) in
+  let rows =
+    if filter = "" then rows
+    else
+      List.filter
+        (fun row ->
+          match row with
+          | component :: _ ->
+              String.length component >= String.length filter
+              && String.equal (String.sub component 0 (String.length filter)) filter
+          | [] -> false)
+        rows
+  in
+  Report.make ~id ~title ~headers:Nkmon.Registry.row_headers rows

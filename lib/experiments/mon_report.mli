@@ -1,7 +1,8 @@
 (** Render an {!Nkmon} registry as a {!Report} table, so observability
     snapshots print and export exactly like experiment results. *)
 
-val table : ?id:string -> ?title:string -> Nkmon.t -> Report.t
+val table : ?id:string -> ?title:string -> ?filter:string -> Nkmon.t -> Report.t
 (** One row per registered metric in deterministic
     [component/instance/metric] order; histograms and time series are
-    summarised into the value cell. *)
+    summarised into the value cell. [filter] keeps only rows whose
+    component name starts with it (default "": keep everything). *)

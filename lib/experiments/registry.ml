@@ -30,6 +30,8 @@ let all =
     { id = "table4"; title = "Multi-NSM scalability"; run = Table4_multi_nsm.run };
     { id = "fig21"; title = "Isolation time series"; run = Fig21_isolation.run };
     { id = "table5"; title = "Latency distribution"; run = Table5_latency.run };
+    { id = "latency-breakdown"; title = "Per-stage latency decomposition (Nkspan)";
+      run = (fun ?quick () -> Latency_breakdown.run ?quick ()) };
     { id = "table6"; title = "CPU overhead, throughput";
       run = (fun ?quick () -> Table6_overhead_tput.run ?quick ()) };
     { id = "table7"; title = "CPU overhead, RPS"; run = Table7_overhead_rps.run };

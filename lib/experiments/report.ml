@@ -1,12 +1,26 @@
+type pctl = {
+  p_label : string;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+}
+
 type t = {
   id : string;
   title : string;
   headers : string list;
   rows : string list list;
   notes : string list;
+  percentiles : pctl list;
 }
 
-let make ~id ~title ~headers ?(notes = []) rows = { id; title; headers; rows; notes }
+let make ~id ~title ~headers ?(notes = []) ?(percentiles = []) rows =
+  { id; title; headers; rows; notes; percentiles }
+
+let percentiles_of ~label h =
+  let p q = Nkutil.Histogram.percentile h q *. 1e3 in
+  { p_label = label; p50_ms = p 50.0; p90_ms = p 90.0; p99_ms = p 99.0; p999_ms = p 99.9 }
 
 let print fmt t =
   let all = t.headers :: t.rows in
@@ -70,16 +84,27 @@ let to_json t =
   let str s = "\"" ^ escape s ^ "\"" in
   let arr items = "[" ^ String.concat ", " items ^ "]" in
   let row r = arr (List.map str r) in
+  (* Fixed decimals keep the rendering deterministic across runs. *)
+  let pctl p =
+    Printf.sprintf
+      "{\"label\": %s, \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f, \
+       \"p999_ms\": %.4f}"
+      (str p.p_label) p.p50_ms p.p90_ms p.p99_ms p.p999_ms
+  in
   String.concat "\n"
-    [
-      "{";
-      Printf.sprintf "  \"id\": %s," (str t.id);
-      Printf.sprintf "  \"title\": %s," (str t.title);
-      Printf.sprintf "  \"headers\": %s," (row t.headers);
-      Printf.sprintf "  \"rows\": %s," (arr (List.map row t.rows));
-      Printf.sprintf "  \"notes\": %s" (row t.notes);
-      "}";
-    ]
+    ([
+       "{";
+       Printf.sprintf "  \"id\": %s," (str t.id);
+       Printf.sprintf "  \"title\": %s," (str t.title);
+       Printf.sprintf "  \"headers\": %s," (row t.headers);
+       Printf.sprintf "  \"rows\": %s," (arr (List.map row t.rows));
+     ]
+    @ (if t.percentiles = [] then []
+       else
+         [
+           Printf.sprintf "  \"percentiles\": %s," (arr (List.map pctl t.percentiles));
+         ])
+    @ [ Printf.sprintf "  \"notes\": %s" (row t.notes); "}" ])
 
 let cell_f ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
 

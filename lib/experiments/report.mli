@@ -3,6 +3,14 @@
     Every table/figure reproduction returns one of these; the bench driver
     prints them all, and EXPERIMENTS.md records paper-vs-measured. *)
 
+type pctl = {
+  p_label : string;  (** e.g. "e2e" or a span stage name *)
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+}
+
 type t = {
   id : string;  (** e.g. "fig18" or "table4" *)
   title : string;
@@ -10,11 +18,17 @@ type t = {
   rows : string list list;
   notes : string list;
       (** paper reference points, substitutions, scale-down factors *)
+  percentiles : pctl list;
+      (** optional latency percentile summary, emitted by {!to_json} *)
 }
 
 val make :
   id:string -> title:string -> headers:string list -> ?notes:string list ->
-  string list list -> t
+  ?percentiles:pctl list -> string list list -> t
+
+val percentiles_of : label:string -> Nkutil.Histogram.t -> pctl
+(** Summarise a histogram of latencies in seconds as milliseconds at
+    p50/p90/p99/p99.9. *)
 
 val print : Format.formatter -> t -> unit
 (** Render with aligned columns, the id/title banner and notes. *)

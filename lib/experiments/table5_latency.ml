@@ -30,16 +30,19 @@ let run ?(quick = false) () =
   let measure ?backlog w =
     (Worlds.measure_rps w ~concurrency:1000 ~total ?backlog ()).Worlds.latency
   in
-  let rows =
+  let latencies =
     [
-      row "Baseline" (measure ~backlog:128 (Worlds.baseline ()));
-      row "NetKernel" (measure ~backlog:128 (Worlds.netkernel ()));
-      row "NetKernel, mTCP NSM" (measure (Worlds.netkernel ~nsm_kind:`Mtcp ()));
+      ("Baseline", measure ~backlog:128 (Worlds.baseline ()));
+      ("NetKernel", measure ~backlog:128 (Worlds.netkernel ()));
+      ("NetKernel, mTCP NSM", measure (Worlds.netkernel ~nsm_kind:`Mtcp ()));
     ]
   in
+  let rows = List.map (fun (name, h) -> row name h) latencies in
   Report.make ~id:"table5"
     ~title:"Response time distribution (ms), 64B messages, concurrency 1000"
     ~headers:[ "system"; "min"; "mean"; "stddev"; "median"; "max" ]
+    ~percentiles:
+      (List.map (fun (name, h) -> Report.percentiles_of ~label:name h) latencies)
     ~notes:
       [
         "paper: Baseline/NetKernel mean 16, median 2, max 7019; mTCP mean 4, stddev 0.23, \

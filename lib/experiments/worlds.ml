@@ -20,8 +20,8 @@ let make_client host =
   Vm.create_baseline host ~name:"client" ~vcpus:16 ~ips:client_ips
     ~profile:Sim.Cost_profile.ideal ()
 
-let baseline ?(vcpus = 1) ?server_config ?(seed = 42) ?costs () =
-  let tb = Testbed.create ~seed ?costs () in
+let baseline ?(vcpus = 1) ?server_config ?(seed = 42) ?costs ?span_every () =
+  let tb = Testbed.create ~seed ?costs ?span_every () in
   let server_host = Testbed.add_host tb ~name:"hostA" in
   let client_host = Testbed.add_host tb ~name:"hostB" in
   let server_vm =
@@ -32,8 +32,8 @@ let baseline ?(vcpus = 1) ?server_config ?(seed = 42) ?costs () =
   { tb; server_host; client_host; server_vm; client_vm; nsms = [] }
 
 let netkernel ?(vcpus = 1) ?(nsm_cores = 1) ?(nsm_kind = `Kernel) ?(n_nsms = 1) ?cc_factory
-    ?(ce_cores = 1) ?(seed = 42) ?costs () =
-  let tb = Testbed.create ~seed ?costs () in
+    ?(ce_cores = 1) ?(seed = 42) ?costs ?span_every () =
+  let tb = Testbed.create ~seed ?costs ?span_every () in
   let server_host = Testbed.add_host tb ~name:"hostA" in
   let client_host = Testbed.add_host tb ~name:"hostB" in
   (* First enabler wins the shard count (NSM/VM creation enables it

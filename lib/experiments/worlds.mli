@@ -18,9 +18,10 @@ val client_ip : Addr.ip
 
 val baseline :
   ?vcpus:int -> ?server_config:Tcpstack.Stack.config -> ?seed:int ->
-  ?costs:Nk_costs.t -> unit -> world
+  ?costs:Nk_costs.t -> ?span_every:int -> unit -> world
 (** Status quo: the VM runs its own kernel stack; the remote client machine
-    is an ideal-profile 16-core load generator. *)
+    is an ideal-profile 16-core load generator. [span_every] enables Nkspan
+    request sampling on the testbed (default off). *)
 
 val netkernel :
   ?vcpus:int ->
@@ -31,10 +32,12 @@ val netkernel :
   ?ce_cores:int ->
   ?seed:int ->
   ?costs:Nk_costs.t ->
+  ?span_every:int ->
   unit ->
   world
 (** NetKernel: VM with GuestLib + NSM(s) on the server host, CoreEngine on
-    [ce_cores] dedicated cores (default 1, one switching shard each). *)
+    [ce_cores] dedicated cores (default 1, one switching shard each).
+    [span_every] enables Nkspan request sampling (default off). *)
 
 (** {1 Measurement drivers} *)
 

@@ -4,10 +4,13 @@ module Trace = Trace
 type t = { registry : Registry.t; trace : Trace.t }
 
 let create ?trace_capacity ?trace_enabled ~now () =
-  {
-    registry = Registry.create ();
-    trace = Trace.create ?capacity:trace_capacity ?enabled:trace_enabled ~now ();
-  }
+  let registry = Registry.create () in
+  let trace = Trace.create ?capacity:trace_capacity ?enabled:trace_enabled ~now () in
+  (* Overwritten-event count as a first-class metric, so ring undersizing
+     shows up in `nk stats` instead of silently truncating traces. *)
+  Registry.sampler registry ~component:"nkmon" ~instance:"trace" ~name:"dropped_events"
+    (fun () -> float_of_int (Trace.dropped trace));
+  { registry; trace }
 
 let null () =
   {

@@ -196,4 +196,8 @@ let to_csv t =
         (Printf.sprintf "%d,%s,%s,\"%s\"\n" r.seq (fmt_time r.time) (event_type r.event)
            args))
     (records t);
+  if dropped t > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "# dropped %d events (ring capacity %d; oldest overwritten)\n"
+         (dropped t) (capacity t));
   Buffer.contents buf

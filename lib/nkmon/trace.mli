@@ -85,4 +85,5 @@ val to_json : t -> string
 
 val to_csv : t -> string
 (** Header [seq,time,type,args]; [args] is a semicolon-separated
-    [key=value] list. *)
+    [key=value] list. When events were dropped (ring wraparound) a trailing
+    ["# dropped ..."] comment line warns about the truncation. *)

@@ -22,6 +22,7 @@ let exec t ~cycles k =
   let finish = start +. (cycles /. t.freq) in
   t.free_at <- finish;
   t.busy_cycles <- t.busy_cycles +. cycles;
+  Engine.emit_cycles t.engine ~core:t.name cycles;
   ignore (Engine.schedule_at t.engine ~at:finish k)
 
 let charge t ~cycles =
@@ -29,7 +30,8 @@ let charge t ~cycles =
   let now = Engine.now t.engine in
   let start = Float.max now t.free_at in
   t.free_at <- start +. (cycles /. t.freq);
-  t.busy_cycles <- t.busy_cycles +. cycles
+  t.busy_cycles <- t.busy_cycles +. cycles;
+  Engine.emit_cycles t.engine ~core:t.name cycles
 
 let free_at t = t.free_at
 

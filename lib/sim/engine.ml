@@ -12,6 +12,7 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable executed : int;
+  mutable cycle_hook : (string -> float -> unit) option;
 }
 
 let leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
@@ -24,7 +25,13 @@ let create () =
     clock = 0.0;
     next_seq = 0;
     executed = 0;
+    cycle_hook = None;
   }
+
+let set_cycle_hook t hook = t.cycle_hook <- hook
+
+let emit_cycles t ~core cycles =
+  match t.cycle_hook with None -> () | Some hook -> hook core cycles
 
 let now t = t.clock
 

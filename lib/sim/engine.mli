@@ -45,3 +45,12 @@ val events_executed : t -> int
 val pending : t -> int
 (** Number of events currently queued (including cancelled ones not yet
     discarded). *)
+
+val set_cycle_hook : t -> (string -> float -> unit) option -> unit
+(** [set_cycle_hook t (Some f)] makes every [Cpu.exec]/[Cpu.charge] call
+    [f core_name cycles] at charge time. Observation only — the hook must
+    not schedule events or mutate simulation state; it exists for the
+    Nkspan cycle profiler. [None] (the default) disables it. *)
+
+val emit_cycles : t -> core:string -> float -> unit
+(** Invoke the cycle hook, if any. Used by [Cpu]; not for components. *)

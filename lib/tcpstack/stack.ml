@@ -132,6 +132,7 @@ type t = {
   listeners : sock Endpoint_table.t;
   rx : rx_queue array;
   mon : Nkmon.t;
+  spans : Nkspan.t;
   ctr : counters;
   mutable next_sid : int;
   mutable next_port : int;
@@ -447,11 +448,12 @@ let rec drain_interrupt t qi =
         else 0.0
       in
       q.batch_left <- q.batch_left - 1;
-      Cpu.exec core
-        ~cycles:(interrupt_share +. seg_rx_cycles t seg)
-        (fun () ->
-          deliver t seg;
-          drain_interrupt t qi)
+      Nkspan.frame t.spans ~component:t.name ~stage:"rx" (fun () ->
+          Cpu.exec core
+            ~cycles:(interrupt_share +. seg_rx_cycles t seg)
+            (fun () ->
+              deliver t seg;
+              drain_interrupt t qi))
 
 let rec poll_loop t qi =
   let q = t.rx.(qi) in
@@ -461,16 +463,19 @@ let rec poll_loop t qi =
   | [] ->
       ignore
         (Engine.schedule t.engine ~delay:t.cfg.poll_idle_delay (fun () ->
-             Cpu.exec core ~cycles:t.cfg.profile.poll_iter (fun () -> poll_loop t qi)))
+             Nkspan.frame t.spans ~component:t.name ~stage:"poll" (fun () ->
+                 Cpu.exec core ~cycles:t.cfg.profile.poll_iter (fun () ->
+                     poll_loop t qi))))
   | segs ->
       let cycles =
         List.fold_left
           (fun acc seg -> acc +. seg_rx_cycles t seg)
           t.cfg.profile.poll_iter segs
       in
-      Cpu.exec core ~cycles (fun () ->
-          List.iter (deliver t) segs;
-          poll_loop t qi)
+      Nkspan.frame t.spans ~component:t.name ~stage:"rx" (fun () ->
+          Cpu.exec core ~cycles (fun () ->
+              List.iter (deliver t) segs;
+              poll_loop t qi))
 
 let input t (seg : Segment.t) =
   Nkmon.Registry.incr t.ctr.c_segs_rx;
@@ -495,7 +500,8 @@ let input t (seg : Segment.t) =
 
 (* ---- construction ------------------------------------------------------- *)
 
-let create ~engine ~name ~cores ~vswitch ~registry ~rng ?(mon = Nkmon.null ()) cfg =
+let create ~engine ~name ~cores ~vswitch ~registry ~rng ?(mon = Nkmon.null ())
+    ?(spans = Nkspan.null ()) cfg =
   let ctr =
     let c metric = Nkmon.counter mon ~component:"tcpstack" ~instance:name ~name:metric in
     {
@@ -530,6 +536,7 @@ let create ~engine ~name ~cores ~vswitch ~registry ~rng ?(mon = Nkmon.null ()) c
       listeners = Endpoint_table.create 16;
       rx;
       mon;
+      spans;
       ctr;
       next_sid = 1;
       next_port = fst cfg.ephemeral_range;

@@ -53,11 +53,14 @@ val create :
   registry:Conn_registry.t ->
   rng:Nkutil.Rng.t ->
   ?mon:Nkmon.t ->
+  ?spans:Nkspan.t ->
   config ->
   t
 (** [mon] is the world's observability handle; counters land under
     [tcpstack/<name>/...] and state transitions trace as [Tcp_state]
-    events. Defaults to a detached {!Nkmon.null} sink. *)
+    events. Defaults to a detached {!Nkmon.null} sink. [spans] feeds the
+    cycle profiler (rx/poll frames); request stages on the stack are
+    recorded by ServiceLib around its stack calls. *)
 
 val name : t -> string
 

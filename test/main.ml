@@ -18,5 +18,6 @@ let () =
       ("nk-faults", Test_nk_faults.tests);
       ("extensions", Test_extensions.tests);
       ("nkctl", Test_nkctl.tests);
+      ("nkspan", Test_nkspan.tests);
       ("nklint", Test_nklint.tests);
     ]

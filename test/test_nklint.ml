@@ -118,6 +118,41 @@ let p1_real_codec () =
   | Error e -> Alcotest.failf "decode: %s" e
   | Ok d -> Alcotest.(check bool) "round-trip" true (d = nqe)
 
+(* ---- S1: span stage begin/end pairing --------------------------------- *)
+
+let s1_uses ~path src = L.stage_uses_of_source ~path src
+
+let s1_span_pairing () =
+  let begins, ends =
+    s1_uses ~path:"lib/core/a.ml"
+      "let f spans id = Nkspan.begin_stage spans ~id ~component:\"dev\" \"ring\""
+  in
+  let begins2, ends2 =
+    s1_uses ~path:"lib/core/b.ml" "let g spans id = Nkspan.end_stage spans ~id \"ring\""
+  in
+  (* Opener and closer in different files: aggregation pairs them up. *)
+  Alcotest.(check (list (pair string int)))
+    "cross-file pairing is silent" []
+    (List.map
+       (fun d -> (d.L.rule, d.L.line))
+       (L.span_pairing ~begins:(begins @ begins2) ~ends:(ends @ ends2)));
+  (* The same opener with no closer anywhere fires once, at the begin site. *)
+  Alcotest.(check (list (pair string int)))
+    "unmatched begin_stage fires S1"
+    [ ("S1", 1) ]
+    (List.map (fun d -> (d.L.rule, d.L.line)) (L.span_pairing ~begins ~ends));
+  (* A closer with no opener is just as suspicious. *)
+  Alcotest.(check (list (pair string int)))
+    "unmatched end_stage fires S1"
+    [ ("S1", 1) ]
+    (List.map
+       (fun d -> (d.L.rule, d.L.line))
+       (L.span_pairing ~begins:[] ~ends:ends2));
+  (* Non-literal stage arguments are outside the syntactic rule's scope. *)
+  let b3, e3 = s1_uses ~path:"lib/core/c.ml" "let h spans id s = Nkspan.begin_stage spans ~id ~component:\"x\" s" in
+  Alcotest.(check (pair int int)) "non-literal stage ignored" (0, 0)
+    (List.length b3, List.length e3)
+
 (* ---- whole-system determinism regression ------------------------------ *)
 
 let conn_dump_once ~seed =
@@ -170,5 +205,6 @@ let tests =
     Alcotest.test_case "D4 exception swallowing" `Quick d4_swallow;
     Alcotest.test_case "P1 NQE wire invariants" `Quick p1_wire;
     Alcotest.test_case "P1 holds on the real codec" `Quick p1_real_codec;
+    Alcotest.test_case "S1 span stage pairing" `Quick s1_span_pairing;
     Alcotest.test_case "conn-table dump determinism" `Quick conn_table_dump_deterministic;
   ]

@@ -1,0 +1,135 @@
+(* Nkspan request-path tracing (DESIGN.md par.12): span id uniqueness and
+   stage ordering through a real multi-shard datapath, HDR percentile
+   accuracy against an exact-sort oracle, and byte-identical catapult
+   export across identical seeded runs. *)
+
+module W = Experiments.Worlds
+module H = Nkutil.Histogram
+
+let run_world ~seed ~ce_cores ~span_every =
+  let w = W.netkernel ~ce_cores ~seed ~span_every () in
+  let r = W.measure_rps w ~concurrency:16 ~total:1_500 () in
+  Alcotest.(check int) "no request errors" 0 r.W.errors;
+  w.W.tb.Nkcore.Testbed.spans
+
+(* ---- span id uniqueness + stage ordering ------------------------------- *)
+
+let check_spans ~ce_cores () =
+  let spans = run_world ~seed:42 ~ce_cores ~span_every:4 in
+  let finished = Nkspan.finished_spans spans in
+  Alcotest.(check bool)
+    (Printf.sprintf "spans collected at %d shards" ce_cores)
+    true
+    (List.length finished > 50);
+  (* Ids are positive and unique (creation order is strictly increasing). *)
+  let ids = List.map Nkspan.span_id finished in
+  List.iter (fun id -> Alcotest.(check bool) "id > 0" true (id > 0)) ids;
+  let rec strictly_increasing = function
+    | a :: (b :: _ as tl) -> a < b && strictly_increasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "ids unique and ordered" true (strictly_increasing ids);
+  (* Every span's segments are chronological, non-overlapping, inside the
+     span's lifetime, and drawn from the canonical taxonomy; the request
+     path starts in guestlib, crosses the CE at least once, and ends with
+     completion delivery. *)
+  List.iter
+    (fun sp ->
+      let segs = Nkspan.span_segs sp in
+      Alcotest.(check bool) "span has segments" true (segs <> []);
+      let birth = Nkspan.span_birth sp and fin = Nkspan.span_finish sp in
+      Alcotest.(check bool) "finish after birth" true (fin > birth);
+      let eps = 1e-12 in
+      let rec walk prev_t1 = function
+        | [] -> ()
+        | s :: tl ->
+            Alcotest.(check bool)
+              ("known stage: " ^ s.Nkspan.g_stage)
+              true
+              (List.mem s.Nkspan.g_stage Nkspan.stage_order);
+            Alcotest.(check bool) "seg interval well-formed" true
+              (s.Nkspan.g_t1 +. eps >= s.Nkspan.g_t0);
+            Alcotest.(check bool) "segs non-overlapping, chronological" true
+              (s.Nkspan.g_t0 +. eps >= prev_t1);
+            Alcotest.(check bool) "seg inside span lifetime" true
+              (s.Nkspan.g_t0 +. eps >= birth && fin +. eps >= s.Nkspan.g_t1);
+            walk s.Nkspan.g_t1 tl
+      in
+      walk birth segs;
+      let stages = List.map (fun s -> s.Nkspan.g_stage) segs in
+      Alcotest.(check string) "path starts in guestlib" "guestlib" (List.hd stages);
+      Alcotest.(check bool) "path crosses the CE" true (List.mem "ce-switch" stages);
+      Alcotest.(check string) "path ends with completion delivery" "completion"
+        (List.nth stages (List.length stages - 1)))
+    finished;
+  (* Reconciliation: per-stage means sum exactly to the end-to-end mean —
+     the ring bucket absorbs every unclaimed instant by construction. *)
+  let b = Nkspan.breakdown spans in
+  let e2e = H.mean b.Nkspan.b_e2e in
+  let stage_sum =
+    List.fold_left (fun acc (_, h) -> acc +. H.mean h) 0.0 b.Nkspan.b_stages
+  in
+  Alcotest.(check bool) "stage means reconcile with e2e" true
+    (Float.abs (stage_sum -. e2e) <= 1e-9 *. Float.max 1.0 e2e);
+  Alcotest.(check int) "no spans dropped" 0 (Nkspan.dropped spans)
+
+let spans_2_shards () = check_spans ~ce_cores:2 ()
+
+let spans_4_shards () = check_spans ~ce_cores:4 ()
+
+(* ---- HDR percentile accuracy vs exact-sort oracle ---------------------- *)
+
+let percentile_accuracy () =
+  (* A deterministic heavy-tailed sample: mostly microseconds, a tail of
+     milliseconds — the shape request latencies actually have. *)
+  let rng = Nkutil.Rng.create ~seed:7 in
+  let n = 20_000 in
+  let values =
+    Array.init n (fun _ ->
+        let u = Nkutil.Rng.float rng in
+        1e-6 *. (1.0 +. (999.0 *. (u ** 4.0))))
+  in
+  let h = H.create () in
+  Array.iter (H.record h) values;
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  let oracle p =
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(Int.max 0 (Int.min (n - 1) rank))
+  in
+  List.iter
+    (fun p ->
+      let exact = oracle p and approx = H.percentile h p in
+      let rel = Float.abs (approx -. exact) /. exact in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within 10%% of exact (got %.3g vs %.3g)" p approx exact)
+        true (rel <= 0.10))
+    [ 50.0; 90.0; 99.0; 99.9 ]
+
+(* ---- catapult export determinism --------------------------------------- *)
+
+let catapult_deterministic () =
+  let dump () = Nkspan.to_catapult (run_world ~seed:4242 ~ce_cores:2 ~span_every:8) in
+  let a = dump () in
+  let b = dump () in
+  Alcotest.(check bool) "catapult non-trivial" true (String.length a > 1000);
+  Alcotest.(check string) "catapult byte-identical across same-seed runs" a b
+
+(* ---- sampling + default-off -------------------------------------------- *)
+
+let disabled_by_default () =
+  let w = W.netkernel ~seed:42 () in
+  let spans = w.W.tb.Nkcore.Testbed.spans in
+  Alcotest.(check bool) "spans disabled without span_every" false
+    (Nkspan.enabled spans);
+  ignore (W.measure_rps w ~concurrency:8 ~total:500 ());
+  Alcotest.(check int) "no spans collected when disabled" 0 (Nkspan.span_count spans)
+
+let tests =
+  [
+    Alcotest.test_case "spans at 2 CE shards" `Quick spans_2_shards;
+    Alcotest.test_case "spans at 4 CE shards" `Quick spans_4_shards;
+    Alcotest.test_case "percentiles vs exact oracle" `Quick percentile_accuracy;
+    Alcotest.test_case "catapult export deterministic" `Quick catapult_deterministic;
+    Alcotest.test_case "spans off by default" `Quick disabled_by_default;
+  ]

@@ -21,6 +21,19 @@ if ! diff -q "$out1" "$out2" >/dev/null; then
   exit 1
 fi
 echo "check.sh: ce-scale determinism smoke OK"
+# Span tracing smoke: the quick latency-breakdown run is executed twice and
+# the catapult JSON exports diffed — Nkspan derives every timestamp from
+# virtual time, so same-seed traces must be byte-identical.
+cat1=$(mktemp) cat2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$cat1" "$cat2"' EXIT
+dune exec bin/nk.exe -- span --quick --catapult "$cat1" > /dev/null
+dune exec bin/nk.exe -- span --quick --catapult "$cat2" > /dev/null
+if ! diff -q "$cat1" "$cat2" >/dev/null; then
+  echo "check.sh: latency-breakdown catapult exports diverged (nondeterminism in Nkspan):" >&2
+  diff "$cat1" "$cat2" >&2 || true
+  exit 1
+fi
+echo "check.sh: latency-breakdown catapult determinism smoke OK"
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt
 else

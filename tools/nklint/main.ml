@@ -24,7 +24,17 @@ let () =
         exit 2
   in
   let files = List.rev (List.fold_left (fun acc r -> walk r acc) [] roots) in
-  let diags = List.concat_map Nklint_rules.lint_file files in
+  let per_file = List.concat_map Nklint_rules.lint_file files in
+  (* S1 aggregates across every lib/ file in this invocation: the opener and
+     closer of a span stage live in different components by design. *)
+  let begins, ends =
+    List.fold_left
+      (fun (bs, es) f ->
+        let b, e = Nklint_rules.stage_uses_file f in
+        (bs @ b, es @ e))
+      ([], []) files
+  in
+  let diags = per_file @ Nklint_rules.span_pairing ~begins ~ends in
   List.iter (fun d -> print_endline (Nklint_rules.to_string d)) diags;
   Printf.eprintf "nklint: %d files checked, %d diagnostic%s\n%!" (List.length files)
     (List.length diags)

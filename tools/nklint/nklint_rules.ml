@@ -376,11 +376,89 @@ let lint_source ~path src =
         in
         List.filter (fun d -> not (waived d)) diags |> List.sort compare_diag
 
-let lint_file path =
+let read_file path =
   let ic = open_in_bin path in
-  let src =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_source ~path (read_file path)
+
+(* ---- S1: span stage begin/end pairing ---------------------------------- *)
+
+(* Every stage a lib/ component opens with [Nkspan.begin_stage] must be
+   closed by a matching [end_stage] literal somewhere under lib/ — a begun
+   stage with no closer anywhere would only ever be closed implicitly (by a
+   later begin_stage or by finish), which silently reshapes the latency
+   breakdown. The check is aggregated across the whole invocation (the root
+   [@lint] alias runs one nklint over lib/ bin/ bench/ test/), because the
+   opener and the closer legitimately live in different components:
+   Nk_device opens "ring", GuestLib/CoreEngine/ServiceLib close it. *)
+
+type stage_use = { su_file : string; su_line : int; su_stage : string }
+
+let stage_uses_of_source ~path src =
+  (* ([begin_stage] literals, [end_stage] literals) in the given source;
+     syntactic, like every other rule here. *)
+  match parse_structure ~path src with
+  | exception _ -> ([], [])
+  | ast ->
+      let begins = ref [] and ends = ref [] in
+      let default = Ast_iterator.default_iterator in
+      let expr self e =
+        (match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+            match last (Longident.flatten txt) with
+            | Some (("begin_stage" | "end_stage") as fn) ->
+                List.iter
+                  (fun (label, arg) ->
+                    match (label, arg.pexp_desc) with
+                    | Asttypes.Nolabel, Pexp_constant (Pconst_string (s, _, _)) ->
+                        let use =
+                          { su_file = path; su_line = loc_line arg.pexp_loc; su_stage = s }
+                        in
+                        if fn = "begin_stage" then begins := use :: !begins
+                        else ends := use :: !ends
+                    | _ -> ())
+                  args
+            | _ -> ())
+        | _ -> ());
+        default.expr self e
+      in
+      let it = { default with expr } in
+      it.structure it ast;
+      (List.rev !begins, List.rev !ends)
+
+let stage_uses_file path =
+  if Filename.check_suffix path ".ml" && in_lib path then
+    stage_uses_of_source ~path (read_file path)
+  else ([], [])
+
+let span_pairing ~begins ~ends =
+  (* One diagnostic per unmatched stage literal, anchored at its first use. *)
+  let stages uses =
+    List.sort_uniq String.compare (List.map (fun u -> u.su_stage) uses)
   in
-  lint_source ~path src
+  let first stage uses = List.find (fun u -> String.equal u.su_stage stage) uses in
+  let unmatched uses others fn other_fn =
+    List.filter_map
+      (fun stage ->
+        if List.exists (fun u -> String.equal u.su_stage stage) others then None
+        else
+          let u = first stage uses in
+          Some
+            {
+              file = u.su_file;
+              line = u.su_line;
+              col = 0;
+              rule = "S1";
+              msg =
+                Printf.sprintf
+                  "%s %S has no matching %s literal anywhere under lib/" fn stage
+                  other_fn;
+            })
+      (stages uses)
+  in
+  List.sort compare_diag
+    (unmatched begins ends "begin_stage" "end_stage"
+    @ unmatched ends begins "end_stage" "begin_stage")
