@@ -111,14 +111,17 @@ let bechamel_suite () =
                Nkcore.Hugepages.write_payload hp e (Tcpstack.Types.Data msg);
                Nkcore.Hugepages.free hp e))
   in
-  let heap = Nkutil.Heap.create ~dummy:0.0 ~leq:(fun (a : float) b -> a <= b) () in
+  (* Engine timer hot path: two schedules into the wheel, one cancelled
+     lazily, then both drained — the sequence every datapath wakeup pays. *)
+  let engine = Sim.Engine.create () in
   let heap_ops =
-    Test.make ~name:"event heap add+pop"
+    Test.make ~name:"engine timer schedule+fire"
       (Staged.stage (fun () ->
-           Nkutil.Heap.add heap 1.0;
-           Nkutil.Heap.add heap 0.5;
-           ignore (Nkutil.Heap.pop_min heap);
-           ignore (Nkutil.Heap.pop_min heap)))
+           let a = Sim.Engine.schedule engine ~delay:1e-6 ignore in
+           ignore (Sim.Engine.schedule engine ~delay:2e-6 ignore);
+           Sim.Engine.Timer.cancel a;
+           ignore (Sim.Engine.step engine);
+           ignore (Sim.Engine.step engine)))
   in
   let tests =
     Test.make_grouped ~name:"netkernel-primitives"

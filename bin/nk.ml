@@ -3,6 +3,14 @@
 
 open Cmdliner
 
+(* The simulations allocate short-lived NQE buffers and event closures at
+   a rate that thrashes the default 256K-word minor heap (~2500 minor
+   collections per quick ce-scale run). A bigger minor heap is pure
+   wall-clock: it changes no simulated behaviour. 1M words (8 MB) was the
+   sweet spot in a sweep — larger heaps only trade minor-GC time for
+   page-fault time. *)
+let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 20 }
+
 let print_report ~csv report =
   if csv then print_endline (Experiments.Report.to_csv report)
   else Experiments.Report.print Format.std_formatter report;
@@ -48,6 +56,103 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available experiments") Term.(const run $ const ())
 
+let bench_cmd =
+  let default_ids = [ "ce-scale"; "latency-breakdown" ] in
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiments to snapshot (default: ce-scale latency-breakdown).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the snapshot JSON to $(docv).")
+  in
+  let compare_files =
+    Arg.(
+      value & opt (some (pair ~sep:',' string string)) None
+      & info [ "compare" ] ~docv:"OLD,NEW"
+          ~doc:
+            "Instead of running, diff two snapshot files: simulated metrics \
+             within --tolerance, wall-clock reported as a ratio only. Exits \
+             1 on drift.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.001
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Relative tolerance for numeric cells under --compare (default \
+             0.001; the simulated tables are deterministic, so drift beyond \
+             rendering noise is a real behaviour change).")
+  in
+  let read_snapshot path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Experiments.Bench.of_json s with
+    | Ok entries -> entries
+    | Error msg ->
+        Printf.eprintf "nk bench: cannot parse %s: %s\n" path msg;
+        exit 2
+  in
+  let run ids out compare_files tolerance =
+    match compare_files with
+    | Some (old_path, new_path) ->
+        let baseline = read_snapshot old_path and fresh = read_snapshot new_path in
+        let mismatches = Experiments.Bench.compare_entries ~tolerance ~baseline ~fresh in
+        List.iter
+          (fun (id, old_w, new_w, ratio) ->
+            Printf.printf "%-18s wall %.2fs -> %.2fs (x%.2f, informational)\n" id old_w
+              new_w ratio)
+          (Experiments.Bench.wall_ratios ~baseline ~fresh);
+        if mismatches = [] then print_endline "bench compare: OK (simulated metrics match)"
+        else begin
+          List.iter
+            (fun (m : Experiments.Bench.mismatch) ->
+              Printf.printf "DRIFT %-18s %-20s %s -> %s\n" m.Experiments.Bench.m_id
+                m.Experiments.Bench.m_where m.Experiments.Bench.m_old
+                m.Experiments.Bench.m_new)
+            mismatches;
+          Printf.printf "bench compare: %d mismatches beyond tolerance %.4f\n"
+            (List.length mismatches) tolerance;
+          exit 1
+        end
+    | None ->
+        let ids = if ids = [] then default_ids else ids in
+        let entries =
+          List.map
+            (fun id ->
+              match Experiments.Registry.find id with
+              | None ->
+                  Printf.eprintf "nk bench: unknown experiment %S; try `nk list`\n" id;
+                  exit 2
+              | Some e ->
+                  Printf.eprintf "benchmarking %s (quick)...\n%!" id;
+                  let t0 = Unix.gettimeofday () in
+                  let report = e.Experiments.Registry.run ~quick:true () in
+                  let wall_s = Unix.gettimeofday () -. t0 in
+                  Experiments.Bench.of_report ~wall_s report)
+            ids
+        in
+        let json = Experiments.Bench.to_json entries in
+        (match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc json;
+            close_out oc;
+            Printf.eprintf "nk bench: wrote %s\n" path
+        | None -> print_string json)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Snapshot quick-mode experiment results (simulated metrics + \
+          wall-clock) as JSON, or --compare two snapshots")
+    Term.(const run $ ids $ out $ compare_files $ tolerance)
+
 let demo_cmd =
   (* A tiny live demo: kv store in a NetKernel VM, queried from another
      machine. *)
@@ -89,8 +194,8 @@ let demo_cmd =
 (* A small representative NetKernel workload (kernel-stack NSM, epoll
    server in the VM, closed-loop load) whose Nkmon handle the stats and
    trace subcommands inspect afterwards. *)
-let observed_world ~trace ~ce_cores =
-  let w = Experiments.Worlds.netkernel ~ce_cores () in
+let observed_world ~trace ~config =
+  let w = Experiments.Worlds.netkernel ~config () in
   let mon = w.Experiments.Worlds.tb.Nkcore.Testbed.mon in
   if trace then Nkmon.Trace.set_enabled (Nkmon.trace mon) true;
   ignore (Experiments.Worlds.measure_rps w ~concurrency:32 ~total:2_000 ());
@@ -103,6 +208,25 @@ let ce_cores_arg =
         ~doc:
           "Number of CoreEngine switching shards (dedicated cores); with \
            more than one, per-shard metrics appear as ce.shard<k>.")
+
+(* The world knobs the workload subcommands expose, assembled straight
+   into a [Worlds.Config.t] so a new knob is one field + one flag here
+   rather than another optional argument through every signature. *)
+let world_config_term =
+  let vcpus_arg =
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc:"Server-VM vCPUs.")
+  in
+  let nsm_cores_arg =
+    Arg.(value & opt int 1 & info [ "nsm-cores" ] ~docv:"N" ~doc:"Cores per NSM.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Testbed RNG seed.")
+  in
+  let build ce_cores vcpus nsm_cores seed =
+    Experiments.Worlds.Config.with_seed seed
+      { Experiments.Worlds.Config.default with ce_cores; vcpus; nsm_cores }
+  in
+  Term.(const build $ ce_cores_arg $ vcpus_arg $ nsm_cores_arg $ seed_arg)
 
 let stats_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
@@ -118,8 +242,8 @@ let stats_cmd =
       & info [ "filter" ] ~docv:"PREFIX"
           ~doc:"Keep only metrics whose component name starts with $(docv).")
   in
-  let run csv format filter ce_cores =
-    let mon = observed_world ~trace:false ~ce_cores in
+  let run csv format filter config =
+    let mon = observed_world ~trace:false ~config in
     let report = Experiments.Mon_report.table ~filter mon in
     match (if csv then `Csv else format) with
     | `Table -> print_report ~csv:false report
@@ -131,12 +255,12 @@ let stats_cmd =
        ~doc:
          "Run a small NetKernel workload and print every Nkmon metric \
           (component/instance/metric) it produced")
-    Term.(const run $ csv $ format $ filter $ ce_cores_arg)
+    Term.(const run $ csv $ format $ filter $ world_config_term)
 
 let trace_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of JSON.") in
-  let run csv ce_cores =
-    let mon = observed_world ~trace:true ~ce_cores in
+  let run csv config =
+    let mon = observed_world ~trace:true ~config in
     let tr = Nkmon.trace mon in
     if csv then print_string (Nkmon.Trace.to_csv tr)
     else print_string (Nkmon.Trace.to_json tr);
@@ -153,7 +277,7 @@ let trace_cmd =
        ~doc:
          "Run a small NetKernel workload with event tracing enabled and dump \
           the virtual-time trace (JSON by default)")
-    Term.(const run $ csv $ ce_cores_arg)
+    Term.(const run $ csv $ world_config_term)
 
 let write_file path contents =
   let oc = open_out path in
@@ -220,8 +344,8 @@ let profile_cmd =
             "Also write flamegraph.pl-compatible collapsed stacks \
              (component;stage cycles).")
   in
-  let run quick collapsed ce_cores =
-    let w = Experiments.Worlds.netkernel ~ce_cores () in
+  let run quick collapsed config =
+    let w = Experiments.Worlds.netkernel ~config () in
     let tb = w.Experiments.Worlds.tb in
     let spans = tb.Nkcore.Testbed.spans in
     Nkspan.enable_profiler spans tb.Nkcore.Testbed.engine;
@@ -249,7 +373,7 @@ let profile_cmd =
        ~doc:
          "Run a NetKernel workload with the cycle profiler on and print the \
           per-(component, stage) self-cycles table")
-    Term.(const run $ quick $ collapsed $ ce_cores_arg)
+    Term.(const run $ quick $ collapsed $ world_config_term)
 
 let orchestrate_cmd =
   (* The control plane live: two NetKernel VMs under closed-loop load, the
@@ -264,7 +388,15 @@ let orchestrate_cmd =
   in
   let run crash_at duration =
     let open Nkcore in
-    let tb = Testbed.create ~trace_enabled:true ~trace_capacity:(1 lsl 20) () in
+    let tb =
+      Testbed.create
+        ~config:
+          { Testbed.Config.default with
+            trace_enabled = true;
+            trace_capacity = Some (1 lsl 20)
+          }
+        ()
+    in
     let hosta = Testbed.add_host tb ~name:"hostA" in
     let hostb = Testbed.add_host tb ~name:"hostB" in
     let spawn i = Nsm.create_kernel hosta ~name:(Printf.sprintf "nsm%d" i) ~vcpus:1 () in
@@ -376,6 +508,6 @@ let () =
        (Cmd.group
           (Cmd.info "nk" ~version:"1.0.0" ~doc)
           [
-            run_cmd; list_cmd; demo_cmd; stats_cmd; trace_cmd; span_cmd; profile_cmd;
-            orchestrate_cmd;
+            run_cmd; list_cmd; bench_cmd; demo_cmd; stats_cmd; trace_cmd; span_cmd;
+            profile_cmd; orchestrate_cmd;
           ]))

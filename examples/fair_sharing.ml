@@ -11,7 +11,10 @@ open Nkcore
 module T = Tcpstack
 
 let run ~label ~mk_vm =
-  let tb = Testbed.create ~rate_gbps:10.0 ~buffer_bytes:(1024 * 1024) () in
+  let tb = Testbed.create
+      ~config:
+        { Testbed.Config.default with rate_gbps = 10.0; buffer_bytes = Some (1024 * 1024) }
+      () in
   let host_a = Testbed.add_host tb ~name:"hostA" in
   let host_b = Testbed.add_host tb ~name:"hostB" in
   let vm1 = mk_vm host_a "fair-vm" 10 in

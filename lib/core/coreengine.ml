@@ -55,6 +55,14 @@ type shard = {
   deferred : (int, dq) Hashtbl.t; (* vm_id -> parked traffic *)
   ctr : counters;
   sweep_batch : Nkutil.Histogram.t;
+  (* Reusable sweep work buffers (parallel arrays). A record's source is
+     packed into one int: -1 for VM-originated, else
+     [(nsm_dev_id lsl 16) lor src_qset]. Safe to reuse per shard: the
+     deferred dispatch closure always runs before the next sweep of this
+     shard ([running] stays true until a sweep comes back empty). *)
+  mutable sweep_src : int array;
+  mutable sweep_raw : bytes array;
+  mutable sweep_len : int;
 }
 
 type t = {
@@ -104,6 +112,9 @@ let make_shard mon ~instance ~solo ~idx cpu =
     ctr = make_counters mon ~instance;
     sweep_batch =
       Nkmon.histogram mon ~component:"coreengine" ~instance ~name:"sweep_batch";
+    sweep_src = Array.make 64 (-1);
+    sweep_raw = Array.make 64 Bytes.empty;
+    sweep_len = 0;
   }
 
 let create ~engine ~cores ?(mon = Nkmon.null ()) ?(spans = Nkspan.null ())
@@ -185,27 +196,34 @@ let stats t =
     { switched = 0; rate_deferred = 0; ring_deferred = 0; dropped = 0; sweeps = 0 }
     t.shards
 
-let drop (sh : shard) t (nqe : Nqe.t option) reason =
+let drop (sh : shard) t raw reason =
   Nkmon.Registry.incr sh.ctr.c_dropped;
   if Nkmon.tracing t.mon then
     let vm_id, sock =
-      match nqe with Some n -> (n.Nqe.vm_id, n.Nqe.sock) | None -> (-1, -1)
+      match raw with
+      | Some r when Nqe.View.ok r -> (Nqe.View.vm_id r, Nqe.View.sock r)
+      | _ -> (-1, -1)
     in
     Nkmon.event t.mon (Nkmon.Trace.Nqe_drop { vm_id; sock; reason })
 
-let switched (sh : shard) t (nqe : Nqe.t) dst =
+let switched (sh : shard) t raw dst =
   (* The ce-switch stage opened when the owning shard popped the NQE; any
      deferral retries in between kept it open, so parked time counts as
      switching latency. *)
-  Nkspan.end_stage t.spans ~id:nqe.Nqe.span "ce-switch";
+  Nkspan.end_stage t.spans ~id:(Nqe.View.span raw) "ce-switch";
   Nkmon.Registry.incr sh.ctr.c_switched;
   if Nkmon.tracing t.mon then
+    let dst =
+      match dst with
+      | `Vm i -> Printf.sprintf "vm%d" i
+      | `Nsm i -> Printf.sprintf "nsm%d" i
+    in
     Nkmon.event t.mon
       (Nkmon.Trace.Nqe_switch
          {
-           vm_id = nqe.Nqe.vm_id;
-           sock = nqe.Nqe.sock;
-           op = Nqe.op_to_string nqe.Nqe.op;
+           vm_id = Nqe.View.vm_id raw;
+           sock = Nqe.View.sock raw;
+           op = Nqe.op_to_string (Nqe.View.op raw);
            dst;
          })
 
@@ -300,10 +318,25 @@ let clear_rate_limit t ~vm_id = Hashtbl.remove t.buckets vm_id
 
 (* ---- switching --------------------------------------------------------- *)
 
+(* Wake the device owner after [wake_latency]. Same-instant wakes coalesce:
+   a CE dispatch burst delivering several NQEs to one queue set in one
+   callback arms several wakes with the identical fire time, and the
+   owner's budgeted poll drains the whole burst under the first. This is
+   the only sound elision — a wake merely *in flight* must still be armed
+   again for later pushes, because its fire acts as an early poll for
+   anything landing inside its latency window, and dropping that poll
+   shifts the cycle schedule. Same-instant elision cannot: between two
+   equal-time wakes only other wakes and ring pops run (all real work
+   defers through [Cpu.exec] to strictly later times, and no other event
+   kind is scheduled at exactly [wake_latency]), so nothing can slip a new
+   NQE into the queue set at that instant. *)
 let wake t dev qset =
-  ignore
-    (Engine.schedule t.engine ~delay:t.costs.Nk_costs.wake_latency (fun () ->
-         Nk_device.kick_owner dev qset))
+  let at = Engine.now t.engine +. t.costs.Nk_costs.wake_latency in
+  if Nk_device.wake_armed_at dev ~qset <> at then begin
+    Nk_device.set_wake_armed_at dev ~qset at;
+    ignore
+      (Engine.schedule_at t.engine ~at (Nk_device.wake_thunk dev ~qset))
+  end
 
 (* Push an inbound NQE into [dev]'s queue [q] of [qset]; false if full. A
    destination queue set owned by another shard is a cross-shard handoff
@@ -330,22 +363,26 @@ let charge_table_miss t (sh : shard) =
   if t.costs.Nk_costs.ce_hw_offload then
     Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_switch
 
-let route_nsm_to_vm t (sh : shard) ~src_nsm ~src_qset (nqe : Nqe.t) raw =
-  match Hashtbl.find_opt t.vms nqe.Nqe.vm_id with
+let route_nsm_to_vm t (sh : shard) ~src_nsm ~src_qset raw =
+  let vm_id = Nqe.View.vm_id raw in
+  match Hashtbl.find_opt t.vms vm_id with
   | None ->
-      drop sh t (Some nqe) "vm_gone";
+      drop sh t (Some raw) "vm_gone";
       true
   | Some dev ->
+      let op = Nqe.View.op raw in
+      let sock = Nqe.View.sock raw in
       let n = Nk_device.n_qsets dev in
       let qset =
-        if nqe.Nqe.qset < n then nqe.Nqe.qset
+        let q0 = Nqe.View.qset raw in
+        if q0 < n then q0
         else begin
           let key_sock =
-            match nqe.Nqe.op with Nqe.Ev_accept -> nqe.Nqe.size | _ -> nqe.Nqe.sock
+            match op with Nqe.Ev_accept -> Nqe.View.size raw | _ -> sock
           in
           let q = key_sock * 2654435761 land max_int mod n in
           (* Complete the NQE with the chosen queue set before delivery. *)
-          Bytes.set_uint8 raw 2 q;
+          Nqe.View.set_qset raw q;
           q
         end
       in
@@ -353,23 +390,23 @@ let route_nsm_to_vm t (sh : shard) ~src_nsm ~src_qset (nqe : Nqe.t) raw =
          an accept event introduces the new socket id (in the size field),
          pinned to the ServiceLib queue set that emitted it. *)
       let table_sock =
-        match nqe.Nqe.op with Nqe.Ev_accept -> nqe.Nqe.size | _ -> nqe.Nqe.sock
+        match op with Nqe.Ev_accept -> Nqe.View.size raw | _ -> sock
       in
       (* Never resurrect routes towards an NSM that has since departed
          (its parting completions are still in flight). *)
       if
         Hashtbl.mem t.nsms src_nsm
-        && not (Hashtbl.mem t.conn_table (nqe.Nqe.vm_id, table_sock))
+        && not (Hashtbl.mem t.conn_table (vm_id, table_sock))
       then
-        table_add ~sh t (nqe.Nqe.vm_id, table_sock) { nsm_id = src_nsm; nsm_qset = src_qset };
-      if nqe.Nqe.op = Nqe.Comp_close then table_remove ~sh t (nqe.Nqe.vm_id, nqe.Nqe.sock);
+        table_add ~sh t (vm_id, table_sock) { nsm_id = src_nsm; nsm_qset = src_qset };
+      if op = Nqe.Comp_close then table_remove ~sh t (vm_id, sock);
       let q =
-        match nqe.Nqe.op with
+        match op with
         | Nqe.Ev_accept | Nqe.Ev_data | Nqe.Ev_eof -> `Receive
         | _ -> `Completion
       in
       if push_inbound t sh dev ~qset q raw then begin
-        switched sh t nqe (Printf.sprintf "vm%d" nqe.Nqe.vm_id);
+        switched sh t raw (`Vm vm_id);
         true
       end
       else false
@@ -420,46 +457,46 @@ and drain_deferred_framed t (sh : shard) =
             let raw =
               match entry with To_nsm raw -> raw | To_vm { raw; _ } -> raw
             in
-            match Nqe.decode raw with
-            | Error _ ->
-                dq_pop_head dq;
-                drop sh t None "decode";
-                loop ()
-            | Ok nqe -> (
-                match entry with
-                | To_vm { src_nsm; src_qset; _ } ->
-                    if route_nsm_to_vm t sh ~src_nsm ~src_qset nqe raw then begin
+            if not (Nqe.View.ok raw) then begin
+              dq_pop_head dq;
+              drop sh t None "decode";
+              loop ()
+            end
+            else
+              match entry with
+              | To_vm { src_nsm; src_qset; _ } ->
+                  if route_nsm_to_vm t sh ~src_nsm ~src_qset raw then begin
+                    dq_pop_head dq;
+                    Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_switch;
+                    loop ()
+                  end
+                  else
+                    next_delay :=
+                      Float.min !next_delay t.costs.Nk_costs.ce_ring_release_delay
+              | To_nsm _ ->
+                  let tokens_ok =
+                    match (Nqe.View.op raw, Hashtbl.find_opt t.buckets vm_id) with
+                    | Nqe.Send, Some bucket ->
+                        let now = Engine.now t.engine in
+                        let need = float_of_int (Nqe.View.size raw) in
+                        if Nkutil.Token_bucket.try_take bucket ~now need then true
+                        else begin
+                          next_delay :=
+                            Float.min !next_delay
+                              (Nkutil.Token_bucket.time_until bucket ~now need);
+                          false
+                        end
+                    | _, _ -> true
+                  in
+                  if tokens_ok then
+                    if route_vm_to_nsm t sh raw then begin
                       dq_pop_head dq;
                       Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_switch;
                       loop ()
                     end
                     else
                       next_delay :=
-                        Float.min !next_delay t.costs.Nk_costs.ce_ring_release_delay
-                | To_nsm _ ->
-                    let tokens_ok =
-                      match (nqe.Nqe.op, Hashtbl.find_opt t.buckets vm_id) with
-                      | Nqe.Send, Some bucket ->
-                          let now = Engine.now t.engine in
-                          let need = float_of_int nqe.Nqe.size in
-                          if Nkutil.Token_bucket.try_take bucket ~now need then true
-                          else begin
-                            next_delay :=
-                              Float.min !next_delay
-                                (Nkutil.Token_bucket.time_until bucket ~now need);
-                            false
-                          end
-                      | _, _ -> true
-                    in
-                    if tokens_ok then
-                      if route_vm_to_nsm t sh nqe raw then begin
-                        dq_pop_head dq;
-                        Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_switch;
-                        loop ()
-                      end
-                      else
-                        next_delay :=
-                          Float.min !next_delay t.costs.Nk_costs.ce_ring_release_delay))
+                        Float.min !next_delay t.costs.Nk_costs.ce_ring_release_delay)
       in
       loop ())
     sh.deferred;
@@ -467,9 +504,9 @@ and drain_deferred_framed t (sh : shard) =
 
 (* Deliver a CE-synthesized NSM->VM NQE, parking it with the VM's deferred
    traffic when the inbound ring is full (same ordering rules as dispatch). *)
-and deliver_to_vm t (sh : shard) ~src_nsm ~src_qset (nqe : Nqe.t) raw =
-  let dq = deferred_queue sh nqe.Nqe.vm_id in
-  if dq.to_vm_pending > 0 || not (route_nsm_to_vm t sh ~src_nsm ~src_qset nqe raw)
+and deliver_to_vm t (sh : shard) ~src_nsm ~src_qset raw =
+  let dq = deferred_queue sh (Nqe.View.vm_id raw) in
+  if dq.to_vm_pending > 0 || not (route_nsm_to_vm t sh ~src_nsm ~src_qset raw)
   then begin
     dq_add dq (To_vm { src_nsm; src_qset; raw });
     schedule_release t sh t.costs.Nk_costs.ce_ring_release_delay
@@ -479,9 +516,9 @@ and deliver_to_vm t (sh : shard) ~src_nsm ~src_qset (nqe : Nqe.t) raw =
    with an error instead of dropping it, so GuestLib never hangs on a reply
    that cannot come. Close acknowledges success — the socket is gone either
    way; Send keeps data_ptr/size so the VM reclaims the payload extent. *)
-and reply_error t (sh : shard) (nqe : Nqe.t) err =
+and reply_error t (sh : shard) raw err =
   let comp =
-    match nqe.Nqe.op with
+    match Nqe.View.op raw with
     | Nqe.Socket -> Some Nqe.Comp_socket
     | Nqe.Bind -> Some Nqe.Comp_bind
     | Nqe.Listen -> Some Nqe.Comp_listen
@@ -496,26 +533,29 @@ and reply_error t (sh : shard) (nqe : Nqe.t) err =
       Nkmon.Registry.incr sh.ctr.c_error_completions;
       let op_data = if op = Nqe.Comp_close then Nqe.ok_code else Nqe.err_code err in
       let reply =
-        Nqe.make ~op ~vm_id:nqe.Nqe.vm_id ~qset:nqe.Nqe.qset ~sock:nqe.Nqe.sock ~op_data
-          ~data_ptr:nqe.Nqe.data_ptr ~size:nqe.Nqe.size ~span:nqe.Nqe.span ()
+        Nqe.make ~op ~vm_id:(Nqe.View.vm_id raw) ~qset:(Nqe.View.qset raw)
+          ~sock:(Nqe.View.sock raw) ~op_data ~data_ptr:(Nqe.View.data_ptr raw)
+          ~size:(Nqe.View.size raw) ~span:(Nqe.View.span raw) ()
       in
-      deliver_to_vm t sh ~src_nsm:(-1) ~src_qset:0 reply (Nqe.encode reply)
+      deliver_to_vm t sh ~src_nsm:(-1) ~src_qset:0 (Nqe.encode reply)
 
-and route_vm_to_nsm t (sh : shard) (nqe : Nqe.t) raw =
-  match Hashtbl.find_opt t.conn_table (nqe.Nqe.vm_id, nqe.Nqe.sock) with
+and route_vm_to_nsm t (sh : shard) raw =
+  let vm_id = Nqe.View.vm_id raw in
+  let sock = Nqe.View.sock raw in
+  let op = Nqe.View.op raw in
+  match Hashtbl.find_opt t.conn_table (vm_id, sock) with
   | Some r -> (
       match Hashtbl.find_opt t.nsms r.nsm_id with
       | None ->
-          table_remove ~sh t (nqe.Nqe.vm_id, nqe.Nqe.sock);
-          drop sh t (Some nqe) "nsm_gone";
-          reply_error t sh nqe Types.Econnreset;
+          table_remove ~sh t (vm_id, sock);
+          drop sh t (Some raw) "nsm_gone";
+          reply_error t sh raw Types.Econnreset;
           true
       | Some dev ->
-          let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
-          if nqe.Nqe.op = Nqe.Close then
-            table_remove ~sh t (nqe.Nqe.vm_id, nqe.Nqe.sock);
+          let q = match op with Nqe.Send -> `Send | _ -> `Job in
+          if op = Nqe.Close then table_remove ~sh t (vm_id, sock);
           if push_inbound t sh dev ~qset:r.nsm_qset q raw then begin
-            switched sh t nqe (Printf.sprintf "nsm%d" r.nsm_id);
+            switched sh t raw (`Nsm r.nsm_id);
             true
           end
           else false)
@@ -524,10 +564,10 @@ and route_vm_to_nsm t (sh : shard) (nqe : Nqe.t) raw =
          NSMs that are draining or gone (falling back to the raw pick if
          nothing else is available, so a misconfigured drain-all still
          yields a deterministic error path). *)
-      match Hashtbl.find_opt t.assignment nqe.Nqe.vm_id with
+      match Hashtbl.find_opt t.assignment vm_id with
       | None ->
-          drop sh t (Some nqe) "no_nsm_assignment";
-          reply_error t sh nqe Types.Econnreset;
+          drop sh t (Some raw) "no_nsm_assignment";
+          reply_error t sh raw Types.Econnreset;
           true
       | Some (nsms, rr) -> (
           charge_table_miss t sh;
@@ -546,36 +586,48 @@ and route_vm_to_nsm t (sh : shard) (nqe : Nqe.t) raw =
           in
           match Hashtbl.find_opt t.nsms nsm_id with
           | None ->
-              drop sh t (Some nqe) "nsm_gone";
-              reply_error t sh nqe Types.Econnreset;
+              drop sh t (Some raw) "nsm_gone";
+              reply_error t sh raw Types.Econnreset;
               true
           | Some dev ->
               let nsm_qset =
-                nqe.Nqe.sock * 2654435761 land max_int mod Nk_device.n_qsets dev
+                sock * 2654435761 land max_int mod Nk_device.n_qsets dev
               in
-              table_add ~sh t (nqe.Nqe.vm_id, nqe.Nqe.sock) { nsm_id; nsm_qset };
-              let q = match nqe.Nqe.op with Nqe.Send -> `Send | _ -> `Job in
+              table_add ~sh t (vm_id, sock) { nsm_id; nsm_qset };
+              let q = match op with Nqe.Send -> `Send | _ -> `Job in
               if push_inbound t sh dev ~qset:nsm_qset q raw then begin
-                switched sh t nqe (Printf.sprintf "nsm%d" nsm_id);
+                switched sh t raw (`Nsm nsm_id);
                 true
               end
               else false))
 
 (* One full sweep by shard [sh] over the queue sets it owns, popping at most
-   [ce_batch] NQEs per outbound ring. Queue sets of the same devices owned
-   by other shards are cross-kicked when they have pending outbound NQEs
-   (e.g. overflow entries this shard just flushed into their rings).
-   Returns the work list. *)
+   [ce_batch] NQEs per outbound ring into the shard's reusable work
+   buffers. Queue sets of the same devices owned by other shards are
+   cross-kicked when they have pending outbound NQEs (e.g. overflow
+   entries this shard just flushed into their rings).
+   Sets [sh.sweep_len]. *)
 let rec sweep t (sh : shard) =
   let batch = t.costs.Nk_costs.ce_batch in
-  let work = ref [] in
+  sh.sweep_len <- 0;
   let take src ring =
     let rec loop i =
       if i < batch then
         match Ring.pop ring with
         | None -> ()
         | Some raw ->
-            work := (src, raw) :: !work;
+            let n = sh.sweep_len in
+            if n = Array.length sh.sweep_raw then begin
+              let cap = 2 * n in
+              let src' = Array.make cap (-1) and raw' = Array.make cap Bytes.empty in
+              Array.blit sh.sweep_src 0 src' 0 n;
+              Array.blit sh.sweep_raw 0 raw' 0 n;
+              sh.sweep_src <- src';
+              sh.sweep_raw <- raw'
+            end;
+            sh.sweep_src.(n) <- src;
+            sh.sweep_raw.(n) <- raw;
+            sh.sweep_len <- n + 1;
             loop (i + 1)
     in
     loop 0
@@ -595,98 +647,100 @@ let rec sweep t (sh : shard) =
             let s = Nk_device.qset dev i in
             match side with
             | `Vm ->
-                take (`Vm dev) s.Queue_set.job;
-                take (`Vm dev) s.Queue_set.send
+                take (-1) s.Queue_set.job;
+                take (-1) s.Queue_set.send
             | `Nsm ->
-                take (`Nsm (dev, i)) s.Queue_set.completion;
-                take (`Nsm (dev, i)) s.Queue_set.receive
+                let src = (dev_id lsl 16) lor i in
+                take src s.Queue_set.completion;
+                take src s.Queue_set.receive
           end
           else if Nk_device.outbound_pending dev ~qset:i > 0 then
             kick_shard t t.shards.(owner_idx t ~dev_id ~qset:i)
         done
       end)
-    t.device_order;
-  List.rev !work
+    t.device_order
 
-and dispatch t (sh : shard) (src, raw) =
-  match Nqe.decode raw with
-  | Error _ -> drop sh t None "decode"
-  | Ok nqe -> (
-      match src with
-      | `Nsm (dev, src_qset) ->
-          (* NSM->VM results must not jump ahead of deferred ones for the
-             same VM, and a full VM ring parks them too. *)
-          let dq = deferred_queue sh nqe.Nqe.vm_id in
-          if
-            dq.to_vm_pending > 0
-            || not (route_nsm_to_vm t sh ~src_nsm:(Nk_device.id dev) ~src_qset nqe raw)
-          then begin
-            Nkmon.Registry.incr sh.ctr.c_ring_deferred;
-            if Nkmon.tracing t.mon then
-              Nkmon.event t.mon (Nkmon.Trace.Ring_defer { vm_id = nqe.Nqe.vm_id });
-            dq_add dq (To_vm { src_nsm = Nk_device.id dev; src_qset; raw });
-            schedule_release t sh t.costs.Nk_costs.ce_ring_release_delay
-          end
-      | `Vm _dev ->
-          let vm_id = nqe.Nqe.vm_id in
-          let dq = deferred_queue sh vm_id in
-          let must_defer =
-            dq.to_nsm_pending > 0
-            ||
-            match (nqe.Nqe.op, Hashtbl.find_opt t.buckets vm_id) with
-            | Nqe.Send, Some bucket ->
-                not
-                  (Nkutil.Token_bucket.try_take bucket ~now:(Engine.now t.engine)
-                     (float_of_int nqe.Nqe.size))
-            | _, _ -> false
-          in
-          if must_defer then begin
-            Nkmon.Registry.incr sh.ctr.c_rate_deferred;
-            if Nkmon.tracing t.mon then
-              Nkmon.event t.mon
-                (Nkmon.Trace.Rate_limit_defer { vm_id; bytes = nqe.Nqe.size });
-            dq_add dq (To_nsm raw);
-            schedule_release t sh t.costs.Nk_costs.ce_rate_recheck_delay
-          end
-          else if not (route_vm_to_nsm t sh nqe raw) then begin
-            Nkmon.Registry.incr sh.ctr.c_ring_deferred;
-            if Nkmon.tracing t.mon then
-              Nkmon.event t.mon (Nkmon.Trace.Ring_defer { vm_id });
-            dq_add dq (To_nsm raw);
-            schedule_release t sh t.costs.Nk_costs.ce_ring_release_delay
-          end)
+and dispatch t (sh : shard) src raw =
+  if not (Nqe.View.ok raw) then drop sh t None "decode"
+  else if src >= 0 then begin
+    let src_nsm = src lsr 16 and src_qset = src land 0xFFFF in
+    (* NSM->VM results must not jump ahead of deferred ones for the
+       same VM, and a full VM ring parks them too. *)
+    let dq = deferred_queue sh (Nqe.View.vm_id raw) in
+    if dq.to_vm_pending > 0 || not (route_nsm_to_vm t sh ~src_nsm ~src_qset raw)
+    then begin
+      Nkmon.Registry.incr sh.ctr.c_ring_deferred;
+      if Nkmon.tracing t.mon then
+        Nkmon.event t.mon (Nkmon.Trace.Ring_defer { vm_id = Nqe.View.vm_id raw });
+      dq_add dq (To_vm { src_nsm; src_qset; raw });
+      schedule_release t sh t.costs.Nk_costs.ce_ring_release_delay
+    end
+  end
+  else begin
+    let vm_id = Nqe.View.vm_id raw in
+    let dq = deferred_queue sh vm_id in
+    let must_defer =
+      dq.to_nsm_pending > 0
+      ||
+      match (Nqe.View.op raw, Hashtbl.find_opt t.buckets vm_id) with
+      | Nqe.Send, Some bucket ->
+          not
+            (Nkutil.Token_bucket.try_take bucket ~now:(Engine.now t.engine)
+               (float_of_int (Nqe.View.size raw)))
+      | _, _ -> false
+    in
+    if must_defer then begin
+      Nkmon.Registry.incr sh.ctr.c_rate_deferred;
+      if Nkmon.tracing t.mon then
+        Nkmon.event t.mon
+          (Nkmon.Trace.Rate_limit_defer { vm_id; bytes = Nqe.View.size raw });
+      dq_add dq (To_nsm raw);
+      schedule_release t sh t.costs.Nk_costs.ce_rate_recheck_delay
+    end
+    else if not (route_vm_to_nsm t sh raw) then begin
+      Nkmon.Registry.incr sh.ctr.c_ring_deferred;
+      if Nkmon.tracing t.mon then
+        Nkmon.event t.mon (Nkmon.Trace.Ring_defer { vm_id });
+      dq_add dq (To_nsm raw);
+      schedule_release t sh t.costs.Nk_costs.ce_ring_release_delay
+    end
+  end
 
 and process t (sh : shard) =
-  match sweep t sh with
-  | [] ->
-      sh.running <- false;
-      Nkspan.frame t.spans ~component:sh.sinstance ~stage:"poll" (fun () ->
-          Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_poll_iter)
-  | work ->
-      Nkmon.Registry.incr sh.ctr.c_sweeps;
-      Nkutil.Histogram.record sh.sweep_batch (float_of_int (List.length work));
-      (* Traced NQEs enter this shard's switch here: the ce-switch stage
-         runs from ring pop until [switched] delivers them (including any
-         time parked in the deferred queues). *)
-      if Nkspan.enabled t.spans then
-        List.iter
-          (fun (_, raw) ->
-            let span = Nqe.span_of_raw raw in
-            Nkspan.end_stage t.spans ~id:span "ring";
-            Nkspan.begin_stage t.spans ~id:span ~component:sh.sinstance "ce-switch")
-          work;
-      let per_nqe, per_sweep =
-        (* hardware-offloaded switching leaves only a residual descriptor
-           cost on the CE core — no software queue sweeps either; table
-           misses are charged where they occur *)
-        if t.costs.Nk_costs.ce_hw_offload then (4.0, 10.0)
-        else (t.costs.Nk_costs.ce_switch, t.costs.Nk_costs.ce_poll_iter)
-      in
-      let cycles = per_sweep +. (float_of_int (List.length work) *. per_nqe) in
-      Nkspan.frame t.spans ~component:sh.sinstance ~stage:"switch" (fun () ->
-          Cpu.exec sh.cpu ~cycles (fun () ->
-              List.iter (dispatch t sh) work;
-              process t sh))
+  sweep t sh;
+  let n = sh.sweep_len in
+  if n = 0 then begin
+    sh.running <- false;
+    Nkspan.frame t.spans ~component:sh.sinstance ~stage:"poll" (fun () ->
+        Cpu.charge sh.cpu ~cycles:t.costs.Nk_costs.ce_poll_iter)
+  end
+  else begin
+    Nkmon.Registry.incr sh.ctr.c_sweeps;
+    Nkutil.Histogram.record sh.sweep_batch (float_of_int n);
+    (* Traced NQEs enter this shard's switch here: the ce-switch stage
+       runs from ring pop until [switched] delivers them (including any
+       time parked in the deferred queues). *)
+    if Nkspan.enabled t.spans then
+      for i = 0 to n - 1 do
+        let span = Nqe.span_of_raw sh.sweep_raw.(i) in
+        Nkspan.end_stage t.spans ~id:span "ring";
+        Nkspan.begin_stage t.spans ~id:span ~component:sh.sinstance "ce-switch"
+      done;
+    let per_nqe, per_sweep =
+      (* hardware-offloaded switching leaves only a residual descriptor
+         cost on the CE core — no software queue sweeps either; table
+         misses are charged where they occur *)
+      if t.costs.Nk_costs.ce_hw_offload then (4.0, 10.0)
+      else (t.costs.Nk_costs.ce_switch, t.costs.Nk_costs.ce_poll_iter)
+    in
+    let cycles = per_sweep +. (float_of_int n *. per_nqe) in
+    Nkspan.frame t.spans ~component:sh.sinstance ~stage:"switch" (fun () ->
+        Cpu.exec sh.cpu ~cycles (fun () ->
+            for i = 0 to n - 1 do
+              dispatch t sh sh.sweep_src.(i) sh.sweep_raw.(i)
+            done;
+            process t sh))
+  end
 
 and kick_shard t (sh : shard) =
   if not sh.running then begin
@@ -790,7 +844,7 @@ let crash_nsm t ~nsm_id =
         Nqe.make ~op:Nqe.Ev_err ~vm_id ~qset:Nqe.qset_unassigned ~sock
           ~op_data:(Nqe.err_code Types.Econnreset) ()
       in
-      deliver_to_vm t (vm_home_shard t vm_id) ~src_nsm:(-1) ~src_qset:0 nqe
+      deliver_to_vm t (vm_home_shard t vm_id) ~src_nsm:(-1) ~src_qset:0
         (Nqe.encode nqe))
     victims;
   ctl_event t "crash_nsm" (Printf.sprintf "nsm=%d sockets=%d" nsm_id (List.length victims))

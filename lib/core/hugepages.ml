@@ -1,7 +1,15 @@
 type extent = { offset : int; len : int }
 
 type t = {
-  buf : bytes;
+  (* Backing store for the region's payload bytes. The allocator hands out
+     offsets over the full [size], but the [bytes] itself is materialized
+     lazily: regions default to 64 MB per VM and a first-fit allocator keeps
+     the working set near offset 0, so eagerly zero-filling the whole span
+     (the former [Bytes.create size]) dominated experiment setup wall-clock.
+     [Bytes.create] zero-fills, and growth copies the old prefix, so the
+     observable contents are identical to an eagerly allocated region. *)
+  mutable buf : bytes;
+  size : int;
   mutable free_list : (int * int) list; (* (offset, len), sorted by offset *)
   mutable in_use : int;
   live : (int, int) Hashtbl.t; (* offset -> len, for double-free detection *)
@@ -9,12 +17,27 @@ type t = {
   region : string;
 }
 
+(* Grow the backing store to cover at least [need] bytes (next power of two,
+   capped at the region size). *)
+let ensure_backing t need =
+  if need > Bytes.length t.buf then begin
+    let cap = ref (Int.max 1 (Bytes.length t.buf)) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let cap = Int.min !cap t.size in
+    let fresh = Bytes.create cap in
+    Bytes.blit t.buf 0 fresh 0 (Bytes.length t.buf);
+    t.buf <- fresh
+  end
+
 let create ?(page_size = 2 * 1024 * 1024) ?(pages = 32) ?(mon = Nkmon.null ())
     ?(region = "hugepages") () =
   let size = page_size * pages in
   let t =
     {
-      buf = Bytes.create size;
+      buf = Bytes.create (Int.min size 4096);
+      size;
       free_list = [ (0, size) ];
       in_use = 0;
       live = Hashtbl.create 64;
@@ -28,7 +51,7 @@ let create ?(page_size = 2 * 1024 * 1024) ?(pages = 32) ?(mon = Nkmon.null ())
       float_of_int (Hashtbl.length t.live));
   t
 
-let capacity t = Bytes.length t.buf
+let capacity t = t.size
 
 let bytes_in_use t = t.in_use
 
@@ -93,15 +116,22 @@ let write_payload t e payload =
   if len > e.len then invalid_arg "Hugepages.write_payload: payload larger than extent";
   match payload with
   | Tcpstack.Types.Zeros _ -> ()
-  | Tcpstack.Types.Data s -> Bytes.blit_string s 0 t.buf e.offset len
+  | Tcpstack.Types.Data s ->
+      ensure_backing t (e.offset + len);
+      Bytes.blit_string s 0 t.buf e.offset len
 
 let read_payload t e ~pos ~len ~synthetic =
   if pos < 0 || len < 0 || pos + len > e.len then
     invalid_arg "Hugepages.read_payload: slice out of extent";
   if synthetic then Tcpstack.Types.Zeros len
-  else Tcpstack.Types.Data (Bytes.sub_string t.buf (e.offset + pos) len)
+  else begin
+    ensure_backing t (e.offset + pos + len);
+    Tcpstack.Types.Data (Bytes.sub_string t.buf (e.offset + pos) len)
+  end
 
 let blit_between ~src ~src_extent ~dst ~dst_extent ~len =
   if len > src_extent.len || len > dst_extent.len then
     invalid_arg "Hugepages.blit_between: length exceeds an extent";
+  ensure_backing src (src_extent.offset + len);
+  ensure_backing dst (dst_extent.offset + len);
   Bytes.blit src.buf src_extent.offset dst.buf dst_extent.offset len

@@ -8,6 +8,16 @@ type t = {
   qsets : Queue_set.t array;
   hugepages : Hugepages.t;
   overflow : overflow Queue.t;
+  (* Fire time of the last owner wake armed per queue set. A burst of
+     deliveries from one CoreEngine callback all want a wake at the same
+     instant; arming one is enough — the owner's budgeted poll drains the
+     whole burst. Never cleared: the clock only moves forward, so a stale
+     stamp can't equal a future fire time. *)
+  wake_armed_at : float array;
+  (* One preallocated kick-owner thunk per queue set, so arming a wake
+     (millions per run) schedules a shared closure instead of building a
+     fresh one each time. *)
+  mutable wake_thunks : (unit -> unit) array;
   mutable kick_ce : (int -> unit) option;
   mutable kick_owner : (int -> unit) option;
   mon : Nkmon.t;
@@ -28,6 +38,8 @@ let create ~id ~role ~qsets ?capacity ~hugepages ?(mon = Nkmon.null ())
       qsets = Array.init qsets (fun _ -> Queue_set.create ?capacity ());
       hugepages;
       overflow = Queue.create ();
+      wake_armed_at = Array.make qsets neg_infinity;
+      wake_thunks = [||];
       kick_ce = None;
       kick_owner = None;
       mon;
@@ -41,6 +53,8 @@ let create ~id ~role ~qsets ?capacity ~hugepages ?(mon = Nkmon.null ())
       float_of_int
         (Array.fold_left (fun acc s -> acc + Queue_set.total_queued s) 0 t.qsets
         + Queue.length t.overflow));
+  t.wake_thunks <-
+    Array.init qsets (fun i () -> match t.kick_owner with None -> () | Some f -> f i);
   t
 
 let id t = t.id
@@ -58,6 +72,12 @@ let set_kick_ce t f = t.kick_ce <- Some f
 let set_kick_owner t f = t.kick_owner <- Some f
 
 let kick_owner t i = match t.kick_owner with None -> () | Some f -> f i
+
+let wake_thunk t ~qset = t.wake_thunks.(qset)
+
+let wake_armed_at t ~qset = t.wake_armed_at.(qset)
+
+let set_wake_armed_at t ~qset at = t.wake_armed_at.(qset) <- at
 
 let ring t ~qset q =
   let s = t.qsets.(qset) in

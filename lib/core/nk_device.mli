@@ -48,6 +48,22 @@ val set_kick_owner : t -> (int -> unit) -> unit
 
 val kick_owner : t -> int -> unit
 
+val wake_thunk : t -> qset:int -> unit -> unit
+(** Preallocated [fun () -> kick_owner t qset] — the callback CoreEngine
+    arms as a delayed owner wake. Shared so the per-delivery wake path
+    does not allocate a closure. *)
+
+val wake_armed_at : t -> qset:int -> float
+(** Fire time of the last kick-owner wake armed for this queue set
+    ([neg_infinity] before the first). When a delivery wants a wake at
+    exactly this time, one is already scheduled and the new one may be
+    elided: the owner-side polls are budgeted bursts, so the armed wake
+    drains the whole same-instant burst. *)
+
+val set_wake_armed_at : t -> qset:int -> float -> unit
+(** Recorded by CoreEngine when it arms a wake; never cleared (virtual
+    time is monotone, so a past stamp can never alias a future one). *)
+
 val post : t -> qset:int -> [ `Job | `Completion | `Send | `Receive ] -> bytes -> unit
 (** Owner-side enqueue of an encoded NQE + CE kick; spills to the overflow
     buffer when the ring is full. *)

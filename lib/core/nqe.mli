@@ -84,6 +84,49 @@ val span_of_raw : bytes -> int
     batch-dispatch loops that only need to open a stage). 0 on short
     buffers. *)
 
+(** Zero-allocation accessors over an encoded NQE.
+
+    The hot path (CoreEngine switching, queue-set routing, Nsm_shmem
+    dispatch) reads at most a few fields per record; these read them
+    directly from the wire bytes as unboxed ints, so switching never
+    allocates a {!t} record. [decode] remains the reference codec for
+    tests, tracing, and cold paths — every accessor here must agree with
+    it field-for-field (enforced by test_nqe.ml across all opcodes).
+
+    All accessors except {!View.ok} assume a well-formed buffer:
+    [Bytes.length raw >= size_bytes]. Call {!View.ok} first on untrusted
+    input; {!View.op} raises [Invalid_argument] on an unknown opcode. *)
+module View : sig
+  val ok : bytes -> bool
+  (** Length and opcode check — the raw-record analogue of
+      [decode raw |> Result.is_ok]. *)
+
+  val op : bytes -> op
+
+  val op_byte : bytes -> int
+  (** The raw opcode byte, for dispatch tables / error messages. *)
+
+  val vm_id : bytes -> int
+
+  val qset : bytes -> int
+
+  val set_qset : bytes -> int -> unit
+  (** In-place queue-set patch, used when CoreEngine assigns a queue set
+      to an NSM-originated event ({!qset_unassigned}). *)
+
+  val sock : bytes -> int
+
+  val op_data : bytes -> int64
+
+  val data_ptr : bytes -> int
+
+  val size : bytes -> int
+
+  val synthetic : bytes -> bool
+
+  val span : bytes -> int
+end
+
 (** {1 Field packing helpers} *)
 
 val pack_addr : Addr.t -> int64

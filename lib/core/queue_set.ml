@@ -21,6 +21,14 @@ let queue_name = function
   | `Send -> "send"
   | `Receive -> "receive"
 
+let drain_into t ~toward buf ~budget ~shared =
+  let r1, r2 =
+    match toward with `Vm -> (t.completion, t.receive) | `Nsm -> (t.job, t.send)
+  in
+  let n1 = Nkutil.Spsc_ring.pop_slice r1 buf ~pos:0 ~max:budget in
+  let b2 = if shared then budget - n1 else budget in
+  n1 + Nkutil.Spsc_ring.pop_slice r2 buf ~pos:n1 ~max:b2
+
 let total_queued t =
   Nkutil.Spsc_ring.length t.job
   + Nkutil.Spsc_ring.length t.completion

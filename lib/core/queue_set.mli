@@ -22,6 +22,17 @@ val queue_name : [ `Job | `Completion | `Send | `Receive ] -> string
 (** Canonical lowercase ring name, used by Nkmon labels and Nkspan ring-stage
     component tags. *)
 
+val drain_into :
+  t -> toward:[ `Vm | `Nsm ] -> bytes array -> budget:int -> shared:bool -> int
+(** Burst-drain the pair of rings flowing toward one side into a reusable
+    scratch buffer, returning how many records were written from index 0:
+    completion then receive for [`Vm] (GuestLib's inbound pair), job then
+    send for [`Nsm]. Ring pop order is preserved, first ring's records
+    first. [budget] bounds the first ring's take; with [shared:true] the
+    second ring gets the remainder ([budget - n1], one burst across the
+    pair), with [shared:false] it gets its own full [budget]. The buffer
+    must hold [budget] ([shared]) or [2 * budget] records. *)
+
 val total_queued : t -> int
 
 val depths : t -> int * int * int * int

@@ -8,16 +8,54 @@ type t = {
   spans : Nkspan.t;
 }
 
-let create ?(rate_gbps = 100.0) ?(delay = 20e-6) ?buffer_bytes ?ecn_threshold_bytes
-    ?(seed = 42) ?(costs = Nk_costs.default) ?trace_capacity ?trace_enabled
-    ?(span_every = 0) () =
+module Config = struct
+  type t = {
+    rate_gbps : float;
+    delay : float;
+    buffer_bytes : int option;
+    ecn_threshold_bytes : int option;
+    seed : int;
+    costs : Nk_costs.t;
+    trace_capacity : int option;
+    trace_enabled : bool;
+    span_every : int;
+  }
+
+  let default =
+    {
+      rate_gbps = 100.0;
+      delay = 20e-6;
+      buffer_bytes = None;
+      ecn_threshold_bytes = None;
+      seed = 42;
+      costs = Nk_costs.default;
+      trace_capacity = None;
+      trace_enabled = false;
+      span_every = 0;
+    }
+end
+
+let create ?(config = Config.default) () =
+  let {
+    Config.rate_gbps;
+    delay;
+    buffer_bytes;
+    ecn_threshold_bytes;
+    seed;
+    costs;
+    trace_capacity;
+    trace_enabled;
+    span_every;
+  } =
+    config
+  in
   let engine = Sim.Engine.create () in
   let fabric =
     Fabric.create engine ~rate_bps:(rate_gbps *. 1e9) ~delay ?buffer_bytes
       ?ecn_threshold_bytes ()
   in
   let mon =
-    Nkmon.create ?trace_capacity ?trace_enabled
+    Nkmon.create ?trace_capacity ~trace_enabled
       ~now:(fun () -> Sim.Engine.now engine)
       ()
   in

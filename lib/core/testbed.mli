@@ -14,22 +14,31 @@ type t = {
   spans : Nkspan.t;  (** shared request-span recorder (disabled by default) *)
 }
 
-val create :
-  ?rate_gbps:float ->
-  ?delay:float ->
-  ?buffer_bytes:int ->
-  ?ecn_threshold_bytes:int ->
-  ?seed:int ->
-  ?costs:Nk_costs.t ->
-  ?trace_capacity:int ->
-  ?trace_enabled:bool ->
-  ?span_every:int ->
-  unit ->
-  t
-(** Defaults: 100 Gb/s ports, 20 us one-way delay, seed 42. Every host
-    added to the testbed shares [mon], so all component metrics land in one
-    registry; [trace_enabled] (default false) turns on event tracing with a
-    ring of [trace_capacity] records. [span_every] (default 0 = spans off)
+(** All construction knobs in one record, so a new knob is one field (plus
+    its default) instead of another optional argument rippling through every
+    constructor signature. Build variants with record update:
+    [{ Config.default with seed = 7 }]. *)
+module Config : sig
+  type t = {
+    rate_gbps : float;  (** port speed (default 100) *)
+    delay : float;  (** one-way fabric delay in seconds (default 20 us) *)
+    buffer_bytes : int option;  (** fabric link buffer ([None] = Fabric default) *)
+    ecn_threshold_bytes : int option;  (** ECN marking threshold ([None] = off) *)
+    seed : int;  (** root RNG seed (default 42) *)
+    costs : Nk_costs.t;  (** datapath cost model *)
+    trace_capacity : int option;  (** Nkmon trace ring size ([None] = default) *)
+    trace_enabled : bool;  (** event tracing on from the start (default off) *)
+    span_every : int;  (** sample one request span per N sends (0 = off) *)
+  }
+
+  val default : t
+end
+
+val create : ?config:Config.t -> unit -> t
+(** Defaults ({!Config.default}): 100 Gb/s ports, 20 us one-way delay,
+    seed 42. Every host added to the testbed shares [mon], so all component
+    metrics land in one registry; [trace_enabled] turns on event tracing
+    with a ring of [trace_capacity] records. [span_every] (0 = spans off)
     samples one request span per that many GuestLib sends, shared across
     hosts like [mon]. *)
 

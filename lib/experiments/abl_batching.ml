@@ -13,7 +13,13 @@ let run ?(quick = false) () =
     List.map
       (fun batch ->
         let costs = { Nkcore.Nk_costs.default with Nkcore.Nk_costs.ce_batch = batch } in
-        let w = Worlds.netkernel ~vcpus:2 ~nsm_cores:2 ~costs () in
+        let w =
+          Worlds.netkernel
+            ~config:
+              (Worlds.Config.with_costs costs
+                 { Worlds.Config.default with vcpus = 2; nsm_cores = 2 })
+            ()
+        in
         let r = Worlds.measure_rps w ~concurrency:200 ~total () in
         [
           string_of_int batch;

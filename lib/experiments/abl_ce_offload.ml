@@ -9,7 +9,13 @@
 let run ?(quick = false) () =
   let total = if quick then 10_000 else 40_000 in
   let measure costs =
-    let w = Worlds.netkernel ~vcpus:2 ~nsm_cores:2 ~costs () in
+    let w =
+      Worlds.netkernel
+        ~config:
+          (Worlds.Config.with_costs costs
+             { Worlds.Config.default with vcpus = 2; nsm_cores = 2 })
+        ()
+    in
     let r = Worlds.measure_rps w ~concurrency:200 ~total () in
     (r.Worlds.rps, r.Worlds.ce_cycles /. float_of_int total)
   in

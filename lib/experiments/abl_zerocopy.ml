@@ -16,16 +16,23 @@ let run ?(quick = false) () =
     List.map
       (fun gbps ->
         let baseline_cycles, _ =
-          Table6_overhead_tput.cycles_at (Worlds.baseline ~vcpus:4 ()) ~gbps ~duration
+          Table6_overhead_tput.cycles_at
+            (Worlds.baseline ~config:{ Worlds.Config.default with vcpus = 4 } ())
+            ~gbps ~duration
         in
         let copy_cycles, _ =
           Table6_overhead_tput.cycles_at
-            (Worlds.netkernel ~vcpus:4 ~nsm_cores:4 ())
+            (Worlds.netkernel ~config:{ Worlds.Config.default with vcpus = 4; nsm_cores = 4 } ())
             ~gbps ~duration
         in
         let zc_cycles, _ =
           Table6_overhead_tput.cycles_at
-            (Worlds.netkernel ~vcpus:4 ~nsm_cores:4 ~costs:(Nk_costs.zerocopy Nk_costs.default) ())
+            (Worlds.netkernel
+               ~config:
+                 (Worlds.Config.with_costs
+                    (Nk_costs.zerocopy Nk_costs.default)
+                    { Worlds.Config.default with vcpus = 4; nsm_cores = 4 })
+               ())
             ~gbps ~duration
         in
         [

@@ -15,7 +15,7 @@ let shard_points = [ 1; 2; 4 ]
 let n_tenants = 32
 
 let run_point ~ce_cores ~total_per_tenant =
-  let tb = Testbed.create ~seed:42 () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with seed = 42 } () in
   let server_host = Testbed.add_host tb ~name:"hostA" in
   let client_host = Testbed.add_host tb ~name:"hostB" in
   Host.enable_netkernel ~ce_cores server_host;

@@ -51,7 +51,7 @@ let run ?(quick = false) () =
       (Nktrace.Traffic.generate_fleet ~seed:2018 ~n:64 ())
       3
   in
-  let tb = Testbed.create ~seed:7 () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with seed = 7 } () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let spawn i =

@@ -19,7 +19,7 @@ let ag_app_cycles = 30_000.0 (* per-request application-gateway logic *)
 let time_compress = 60.0 (* one trace minute per simulated second *)
 
 let run_system ~system ~traces ~duration ~rate_scale ~tb_seed =
-  let tb = Testbed.create ~seed:tb_seed () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with seed = tb_seed } () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let nsm =

@@ -18,7 +18,10 @@ let run_pair ~system ~selfish_flows ~duration =
   (* A shallow drop-tail switch buffer (1MB at 10G) so losses — not receive
      windows — govern the shares; synchronized overflow losses are exactly
      the signal the Seawall-style shared window divides fairly. *)
-  let tb = Testbed.create ~rate_gbps:10.0 ~buffer_bytes:(1024 * 1024) () in
+  let tb = Testbed.create
+      ~config:
+        { Testbed.Config.default with rate_gbps = 10.0; buffer_bytes = Some (1024 * 1024) }
+      () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let mk_vm name ip =

@@ -11,13 +11,17 @@ let figure ~id ~title ~direction ~duration ~ce_cores ~notes =
     List.map
       (fun vcpus ->
         let baseline =
-          let w = Worlds.baseline ~vcpus () in
+          let w = Worlds.baseline ~config:{ Worlds.Config.default with vcpus } () in
           match direction with
           | `Send -> Worlds.measure_send_throughput w ~streams:8 ~msg_size:8192 ~duration ()
           | `Recv -> Worlds.measure_recv_throughput w ~streams:8 ~msg_size:8192 ~duration ()
         in
         let nk =
-          let w = Worlds.netkernel ~vcpus ~nsm_cores:vcpus ~ce_cores () in
+          let w =
+            Worlds.netkernel
+              ~config:{ Worlds.Config.default with vcpus; nsm_cores = vcpus; ce_cores }
+              ()
+          in
           match direction with
           | `Send -> Worlds.measure_send_throughput w ~streams:8 ~msg_size:8192 ~duration ()
           | `Recv -> Worlds.measure_recv_throughput w ~streams:8 ~msg_size:8192 ~duration ()

@@ -10,11 +10,16 @@ let run ?(quick = false) ?(ce_cores = 1) () =
   let kernel_points = [ 1; 2; 3; 4; 8 ] in
   let mtcp_points = [ 1; 2; 4; 8 ] in
   let measure_baseline vcpus =
-    let w = Worlds.baseline ~vcpus () in
+    let w = Worlds.baseline ~config:{ Worlds.Config.default with vcpus } () in
     (Worlds.measure_rps w ~concurrency:1000 ~total:(total vcpus) ()).Worlds.rps
   in
   let measure_nk kind vcpus =
-    let w = Worlds.netkernel ~vcpus ~nsm_cores:vcpus ~nsm_kind:kind ~ce_cores () in
+    let w =
+      Worlds.netkernel
+        ~config:
+          { Worlds.Config.default with vcpus; nsm_cores = vcpus; nsm_kind = kind; ce_cores }
+        ()
+    in
     (Worlds.measure_rps w ~concurrency:1000 ~total:(total vcpus) ()).Worlds.rps
   in
   let rows =

@@ -13,7 +13,7 @@ open Nkcore
 let run ?(quick = false) () =
   let horizon = if quick then 15.0 else 30.0 in
   let scale = horizon /. 30.0 in
-  let tb = Testbed.create ~rate_gbps:10.0 () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with rate_gbps = 10.0 } () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let nsm = Nsm.create_kernel hosta ~name:"nsm" ~vcpus:1 () in

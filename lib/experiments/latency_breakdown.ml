@@ -18,7 +18,12 @@ let fmt_us v = Printf.sprintf "%.2f" (us v)
    run. *)
 let run_world ?(quick = false) ?(span_every = 16) ?(ce_cores = 1) () =
   let total = if quick then 4_000 else 20_000 in
-  let w = Worlds.netkernel ~ce_cores ~span_every () in
+  let w =
+    Worlds.netkernel
+      ~config:
+        (Worlds.Config.with_span_every span_every { Worlds.Config.default with ce_cores })
+      ()
+  in
   let r = Worlds.measure_rps w ~concurrency:32 ~total () in
   let spans = w.Worlds.tb.Nkcore.Testbed.spans in
   let b = Nkspan.breakdown spans in

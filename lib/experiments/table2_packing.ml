@@ -11,7 +11,7 @@
 let run ?(quick = false) () =
   (* Measure what one NSM core actually sustains for AG-sized requests. *)
   let capacity_per_core =
-    let w = Worlds.netkernel ~vcpus:4 ~nsm_cores:1 () in
+    let w = Worlds.netkernel ~config:{ Worlds.Config.default with vcpus = 4 } () in
     let r =
       Worlds.measure_rps w ~concurrency:64
         ~total:(if quick then 5_000 else 20_000)

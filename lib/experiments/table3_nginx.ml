@@ -20,7 +20,11 @@ let nginx_app_cycles = 17_000.0
 let run ?(quick = false) () =
   let total n = (if quick then 4_000 else 20_000) * n in
   let measure kind vcpus =
-    let w = Worlds.netkernel ~vcpus ~nsm_cores:vcpus ~nsm_kind:kind () in
+    let w =
+      Worlds.netkernel
+        ~config:{ Worlds.Config.default with vcpus; nsm_cores = vcpus; nsm_kind = kind }
+        ()
+    in
     (Worlds.measure_rps w ~concurrency:100 ~total:(total vcpus)
        ~app_cycles:nginx_app_cycles ~proto ())
       .Worlds.rps

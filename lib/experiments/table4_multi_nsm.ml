@@ -71,15 +71,15 @@ let run ?(quick = false) () =
       (fun n_nsms ->
         let send =
           throughput
-            (Worlds.netkernel ~vcpus:1 ~nsm_cores:2 ~n_nsms ())
+            (Worlds.netkernel ~config:{ Worlds.Config.default with nsm_cores = 2; n_nsms } ())
             ~n_nsms ~direction:`Send ~duration
         in
         let recv =
           throughput
-            (Worlds.netkernel ~vcpus:1 ~nsm_cores:2 ~n_nsms ())
+            (Worlds.netkernel ~config:{ Worlds.Config.default with nsm_cores = 2; n_nsms } ())
             ~n_nsms ~direction:`Recv ~duration
         in
-        let krps = rps (Worlds.netkernel ~vcpus:1 ~nsm_cores:2 ~n_nsms ()) ~n_nsms ~total in
+        let krps = rps (Worlds.netkernel ~config:{ Worlds.Config.default with nsm_cores = 2; n_nsms } ()) ~n_nsms ~total in
         [
           string_of_int n_nsms;
           Report.cell_gbps send;

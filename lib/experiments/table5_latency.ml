@@ -34,7 +34,7 @@ let run ?(quick = false) () =
     [
       ("Baseline", measure ~backlog:128 (Worlds.baseline ()));
       ("NetKernel", measure ~backlog:128 (Worlds.netkernel ()));
-      ("NetKernel, mTCP NSM", measure (Worlds.netkernel ~nsm_kind:`Mtcp ()));
+      ("NetKernel, mTCP NSM", measure (Worlds.netkernel ~config:{ Worlds.Config.default with nsm_kind = `Mtcp } ()));
     ]
   in
   let rows = List.map (fun (name, h) -> row name h) latencies in

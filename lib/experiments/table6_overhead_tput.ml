@@ -49,10 +49,15 @@ let run ?(quick = false) ?(ce_cores = 1) () =
     List.map
       (fun gbps ->
         let baseline_cycles, base_achieved =
-          cycles_at (Worlds.baseline ~vcpus:4 ()) ~gbps ~duration
+          cycles_at (Worlds.baseline ~config:{ Worlds.Config.default with vcpus = 4 } ()) ~gbps
+            ~duration
         in
         let nk_cycles, nk_achieved =
-          cycles_at (Worlds.netkernel ~vcpus:4 ~nsm_cores:4 ~ce_cores ()) ~gbps ~duration
+          cycles_at
+            (Worlds.netkernel
+               ~config:{ Worlds.Config.default with vcpus = 4; nsm_cores = 4; ce_cores }
+               ())
+            ~gbps ~duration
         in
         [
           Printf.sprintf "%.0fG" gbps;

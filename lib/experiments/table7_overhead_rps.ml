@@ -46,8 +46,10 @@ let run ?(quick = false) () =
   let rows =
     List.map
       (fun rate ->
-        let baseline = cycles_at (Worlds.baseline ~vcpus:8 ()) ~rate ~duration in
-        let nk = cycles_at (Worlds.netkernel ~vcpus:8 ~nsm_cores:8 ()) ~rate ~duration in
+        let baseline = cycles_at (Worlds.baseline ~config:{ Worlds.Config.default with vcpus = 8 } ()) ~rate ~duration in
+        let nk = cycles_at
+            (Worlds.netkernel ~config:{ Worlds.Config.default with vcpus = 8; nsm_cores = 8 } ())
+            ~rate ~duration in
         [ Report.cell_krps rate; Printf.sprintf "%.2f" (nk /. baseline) ])
       levels
   in

@@ -20,20 +20,53 @@ let make_client host =
   Vm.create_baseline host ~name:"client" ~vcpus:16 ~ips:client_ips
     ~profile:Sim.Cost_profile.ideal ()
 
-let baseline ?(vcpus = 1) ?server_config ?(seed = 42) ?costs ?span_every () =
-  let tb = Testbed.create ~seed ?costs ?span_every () in
+module Config = struct
+  type t = {
+    tb : Testbed.Config.t;
+    vcpus : int;
+    nsm_cores : int;
+    nsm_kind : [ `Kernel | `Mtcp ];
+    n_nsms : int;
+    cc_factory : Tcpstack.Cc.factory option;
+    ce_cores : int;
+    server_config : Tcpstack.Stack.config option;
+  }
+
+  let default =
+    {
+      tb = Testbed.Config.default;
+      vcpus = 1;
+      nsm_cores = 1;
+      nsm_kind = `Kernel;
+      n_nsms = 1;
+      cc_factory = None;
+      ce_cores = 1;
+      server_config = None;
+    }
+
+  let with_seed seed t = { t with tb = { t.tb with Testbed.Config.seed } }
+
+  let with_costs costs t = { t with tb = { t.tb with Testbed.Config.costs } }
+
+  let with_span_every span_every t = { t with tb = { t.tb with Testbed.Config.span_every } }
+end
+
+let baseline ?(config = Config.default) () =
+  let tb = Testbed.create ~config:config.Config.tb () in
   let server_host = Testbed.add_host tb ~name:"hostA" in
   let client_host = Testbed.add_host tb ~name:"hostB" in
   let server_vm =
-    Vm.create_baseline server_host ~name:"vm" ~vcpus ~ips:[ server_ip ]
-      ?config:server_config ()
+    Vm.create_baseline server_host ~name:"vm" ~vcpus:config.Config.vcpus ~ips:[ server_ip ]
+      ?config:config.Config.server_config ()
   in
   let client_vm = make_client client_host in
   { tb; server_host; client_host; server_vm; client_vm; nsms = [] }
 
-let netkernel ?(vcpus = 1) ?(nsm_cores = 1) ?(nsm_kind = `Kernel) ?(n_nsms = 1) ?cc_factory
-    ?(ce_cores = 1) ?(seed = 42) ?costs ?span_every () =
-  let tb = Testbed.create ~seed ?costs ?span_every () in
+let netkernel ?(config = Config.default) () =
+  let { Config.tb = tb_cfg; vcpus; nsm_cores; nsm_kind; n_nsms; cc_factory; ce_cores; _ } =
+    config
+  in
+  let tb = Testbed.create ~config:tb_cfg () in
   let server_host = Testbed.add_host tb ~name:"hostA" in
   let client_host = Testbed.add_host tb ~name:"hostB" in
   (* First enabler wins the shard count (NSM/VM creation enables it

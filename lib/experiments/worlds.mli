@@ -16,28 +16,40 @@ val server_ip : Addr.ip
 
 val client_ip : Addr.ip
 
-val baseline :
-  ?vcpus:int -> ?server_config:Tcpstack.Stack.config -> ?seed:int ->
-  ?costs:Nk_costs.t -> ?span_every:int -> unit -> world
-(** Status quo: the VM runs its own kernel stack; the remote client machine
-    is an ideal-profile 16-core load generator. [span_every] enables Nkspan
-    request sampling on the testbed (default off). *)
+(** One record instead of nine optional arguments: world-level knobs plus
+    the embedded {!Testbed.Config.t} ([tb]) for testbed-level ones (seed,
+    cost model, span sampling, fabric shape). Build variants with record
+    update — [{ Config.default with vcpus = 4; nsm_cores = 4 }] — or the
+    [with_*] helpers for the common testbed fields. *)
+module Config : sig
+  type t = {
+    tb : Testbed.Config.t;  (** testbed knobs: seed, costs, span_every, fabric *)
+    vcpus : int;  (** server-VM cores (default 1) *)
+    nsm_cores : int;  (** cores per NSM (default 1) *)
+    nsm_kind : [ `Kernel | `Mtcp ];  (** NSM stack flavour (default [`Kernel]) *)
+    n_nsms : int;  (** how many NSMs serve the VM (default 1) *)
+    cc_factory : Tcpstack.Cc.factory option;  (** NSM congestion control override *)
+    ce_cores : int;  (** CoreEngine switching shards (default 1) *)
+    server_config : Tcpstack.Stack.config option;  (** baseline-stack override *)
+  }
 
-val netkernel :
-  ?vcpus:int ->
-  ?nsm_cores:int ->
-  ?nsm_kind:[ `Kernel | `Mtcp ] ->
-  ?n_nsms:int ->
-  ?cc_factory:Tcpstack.Cc.factory ->
-  ?ce_cores:int ->
-  ?seed:int ->
-  ?costs:Nk_costs.t ->
-  ?span_every:int ->
-  unit ->
-  world
+  val default : t
+
+  val with_seed : int -> t -> t
+
+  val with_costs : Nk_costs.t -> t -> t
+
+  val with_span_every : int -> t -> t
+end
+
+val baseline : ?config:Config.t -> unit -> world
+(** Status quo: the VM runs its own kernel stack; the remote client machine
+    is an ideal-profile 16-core load generator. Only [tb], [vcpus] and
+    [server_config] are read — the NSM/CE fields don't apply. *)
+
+val netkernel : ?config:Config.t -> unit -> world
 (** NetKernel: VM with GuestLib + NSM(s) on the server host, CoreEngine on
-    [ce_cores] dedicated cores (default 1, one switching shard each).
-    [span_every] enables Nkspan request sampling (default off). *)
+    [ce_cores] dedicated cores (default 1, one switching shard each). *)
 
 (** {1 Measurement drivers} *)
 

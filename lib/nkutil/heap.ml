@@ -47,8 +47,6 @@ let add t x =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let min_elt t = if t.size = 0 then None else Some t.data.(0)
-
 let pop_min t =
   if t.size = 0 then None
   else begin
@@ -60,13 +58,3 @@ let pop_min t =
     if t.size > 0 then sift_down t 0;
     Some min
   end
-
-let clear t =
-  for i = 0 to t.size - 1 do
-    t.data.(i) <- t.dummy
-  done;
-  t.size <- 0
-
-let to_list t =
-  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
-  loop (t.size - 1) []

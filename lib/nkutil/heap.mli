@@ -1,9 +1,13 @@
 (** Binary min-heap with a user-supplied total order.
 
-    Used as the priority queue of the discrete-event engine: millions of
-    [add]/[pop_min] operations per simulated second, so the implementation is
-    an array-backed sift-up/sift-down heap with amortized O(log n) per
-    operation and no allocation beyond array growth. *)
+    General-purpose utility (array-backed sift-up/sift-down, amortized
+    O(log n) per operation, no allocation beyond array growth). The
+    discrete-event engine no longer uses it: its priority queue is a
+    hierarchical timing wheel over a monomorphic event heap internal to
+    [Sim.Engine], reached only through [Sim.Engine.Timer] handles. The
+    surface here is deliberately small — callers wanting ordered event
+    dispatch should schedule through the engine instead of reaching for a
+    raw heap. *)
 
 type 'a t
 
@@ -22,13 +26,5 @@ val is_empty : 'a t -> bool
 
 val add : 'a t -> 'a -> unit
 
-val min_elt : 'a t -> 'a option
-(** [min_elt t] is the smallest element without removing it. *)
-
 val pop_min : 'a t -> 'a option
 (** [pop_min t] removes and returns the smallest element. *)
-
-val clear : 'a t -> unit
-
-val to_list : 'a t -> 'a list
-(** [to_list t] is all elements in unspecified order (for debugging/tests). *)

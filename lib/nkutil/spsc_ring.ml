@@ -60,6 +60,18 @@ let pop_batch t ~max =
   in
   loop 0 []
 
+let pop_slice t buf ~pos ~max =
+  let rec loop i =
+    if i >= max then i
+    else
+      match pop t with
+      | None -> i
+      | Some x ->
+          buf.(pos + i) <- x;
+          loop (i + 1)
+  in
+  loop 0
+
 let pop_into t buf =
   let max = Array.length buf in
   let rec loop i =

@@ -46,3 +46,8 @@ val pop_into : 'a t -> 'a array -> int
 (** [pop_into t buf] dequeues up to [Array.length buf] elements into [buf]
     starting at index 0 and returns the count. Allocation-free fast path for
     the CoreEngine switching loop. *)
+
+val pop_slice : 'a t -> 'a array -> pos:int -> max:int -> int
+(** [pop_slice t buf ~pos ~max] dequeues up to [max] elements into
+    [buf.(pos) ...] and returns the count. Lets a poll loop drain several
+    rings into one reusable scratch buffer without lists. *)

@@ -5,39 +5,51 @@
     closures at absolute virtual times; [run] executes them in
     (time, insertion-order) sequence, so runs are fully deterministic.
 
+    The pending-event set is a hierarchical timing wheel (O(1) placement
+    for the datapath's dense short-delay events; lazily-cancelled timers
+    are discarded at bucket boundaries instead of paying heap pops), but
+    the execution order is exactly the former binary heap's — see the
+    oracle test in test/test_sim.ml.
+
     This is the substitute for the paper's QEMU/KVM testbed: wall-clock
     behaviour of the real system maps to virtual-time behaviour here. *)
 
 type t
 
-type handle
-(** Cancellation handle for a scheduled event. *)
+(** Handles over scheduled events. [schedule]/[schedule_at] return a
+    [Timer.t]; cancellation and liveness queries go through this module, so
+    callers never see the engine's internal event representation. *)
+module Timer : sig
+  type t
+
+  val cancel : t -> unit
+  (** [cancel h] prevents the event from running; cancelling a fired or
+      already-cancelled event is a no-op. Cancellation is O(1): the event
+      is dropped when its wheel bucket is next touched. *)
+
+  val is_pending : t -> bool
+  (** [is_pending h] is false once the event fired or was cancelled. *)
+end
 
 val create : unit -> t
 
 val now : t -> float
 (** Current virtual time in seconds. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> handle
+val schedule : t -> delay:float -> (unit -> unit) -> Timer.t
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays are
     clamped to 0 (the event still runs after currently-queued events at the
     same time). *)
 
-val schedule_at : t -> at:float -> (unit -> unit) -> handle
+val schedule_at : t -> at:float -> (unit -> unit) -> Timer.t
 (** [schedule_at t ~at f] runs [f] at absolute time [at] (clamped to now). *)
-
-val cancel : handle -> unit
-(** [cancel h] prevents the event from running; cancelling a fired or
-    already-cancelled event is a no-op. *)
-
-val is_pending : handle -> bool
 
 val run : ?until:float -> t -> unit
 (** [run t] processes events until the queue is empty, or until virtual time
     would exceed [until] when given (the clock then stops at [until]). *)
 
 val step : t -> bool
-(** [step t] executes the single next event; [false] if none. *)
+(** [step t] executes the single next live event; [false] if none remain. *)
 
 val events_executed : t -> int
 (** Count of events executed so far (for performance reporting). *)

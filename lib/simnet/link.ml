@@ -15,6 +15,18 @@ type t = {
   mutable marks : int;
   mutable transmit_hook : (Segment.t -> unit) option;
   mutable loss : (Nkutil.Rng.t * float) option;
+  (* In-flight transmissions whose buffer space is not yet released: a
+     circular FIFO of (tx_done, wire_bytes) pairs in unboxed parallel
+     arrays. Serialization makes tx_done monotone in enqueue order, so
+     releasing due entries is a head scan. Keeping this ledger instead of
+     scheduling a release event per segment halves the engine events the
+     network path generates — occupancy is only ever read here (and by
+     the stats accessors), so releasing lazily at read time observes the
+     exact same values the eager events produced. *)
+  mutable fly_time : float array;
+  mutable fly_wire : int array;
+  mutable fly_head : int;
+  mutable fly_len : int;
 }
 
 let create engine ~rate_bps ~delay ?(buffer_bytes = 16 * 1024 * 1024) ?ecn_threshold_bytes
@@ -24,7 +36,8 @@ let create engine ~rate_bps ~delay ?(buffer_bytes = 16 * 1024 * 1024) ?ecn_thres
     ecn_threshold = ecn_threshold_bytes; mark_rng = Nkutil.Rng.create ~seed:0x51ED;
     name; receiver = None; busy_until = 0.0; queued = 0;
     bytes_sent = 0; segments_sent = 0; drops = 0; marks = 0; transmit_hook = None;
-    loss = None }
+    loss = None;
+    fly_time = Array.make 64 0.0; fly_wire = Array.make 64 0; fly_head = 0; fly_len = 0 }
 
 let set_random_loss t ~rng ~rate = t.loss <- Some (rng, rate)
 
@@ -32,12 +45,44 @@ let set_receiver t f = t.receiver <- Some f
 
 let on_transmit t f = t.transmit_hook <- Some f
 
+(* Release the buffer space of every transmission completed by [now]. *)
+let release t now =
+  let cap = Array.length t.fly_time in
+  while t.fly_len > 0 && t.fly_time.(t.fly_head) <= now do
+    let wire = t.fly_wire.(t.fly_head) in
+    t.queued <- t.queued - wire;
+    t.bytes_sent <- t.bytes_sent + wire;
+    t.segments_sent <- t.segments_sent + 1;
+    t.fly_head <- (t.fly_head + 1) mod cap;
+    t.fly_len <- t.fly_len - 1
+  done
+
+let fly_push t tx_done wire =
+  let cap = Array.length t.fly_time in
+  if t.fly_len = cap then begin
+    let time' = Array.make (2 * cap) 0.0 and wire' = Array.make (2 * cap) 0 in
+    for i = 0 to t.fly_len - 1 do
+      time'.(i) <- t.fly_time.((t.fly_head + i) mod cap);
+      wire'.(i) <- t.fly_wire.((t.fly_head + i) mod cap)
+    done;
+    t.fly_time <- time';
+    t.fly_wire <- wire';
+    t.fly_head <- 0
+  end;
+  let cap = Array.length t.fly_time in
+  let i = (t.fly_head + t.fly_len) mod cap in
+  t.fly_time.(i) <- tx_done;
+  t.fly_wire.(i) <- wire;
+  t.fly_len <- t.fly_len + 1
+
 let send t seg =
   let receiver =
     match t.receiver with
     | Some f -> f
     | None -> invalid_arg (t.name ^ ": no receiver attached")
   in
+  let now = Sim.Engine.now t.engine in
+  release t now;
   let lossy_drop =
     match t.loss with
     | Some (rng, rate) -> Nkutil.Rng.float rng < rate
@@ -87,27 +132,37 @@ let send t seg =
         end
     | Some _ | None -> ());
     t.queued <- t.queued + wire;
-    let now = Sim.Engine.now t.engine in
     let start = Float.max now t.busy_until in
     let tx_done = start +. (float_of_int wire *. 8.0 /. t.rate) in
     t.busy_until <- tx_done;
-    ignore
-      (Sim.Engine.schedule_at t.engine ~at:tx_done (fun () ->
-           t.queued <- t.queued - wire;
-           t.bytes_sent <- t.bytes_sent + wire;
-           t.segments_sent <- t.segments_sent + 1;
-           match t.transmit_hook with None -> () | Some f -> f seg));
+    (match t.transmit_hook with
+    | None -> fly_push t tx_done wire
+    | Some _ ->
+        (* A hook needs the exact completion instant and the segment, so
+           fall back to an eager completion event. *)
+        ignore
+          (Sim.Engine.schedule_at t.engine ~at:tx_done (fun () ->
+               t.queued <- t.queued - wire;
+               t.bytes_sent <- t.bytes_sent + wire;
+               t.segments_sent <- t.segments_sent + 1;
+               match t.transmit_hook with None -> () | Some f -> f seg)));
     ignore (Sim.Engine.schedule_at t.engine ~at:(tx_done +. t.delay) (fun () -> receiver seg));
     true
   end
 
 let rate_bps t = t.rate
 
-let queued_bytes t = t.queued
+let queued_bytes t =
+  release t (Sim.Engine.now t.engine);
+  t.queued
 
-let bytes_sent t = t.bytes_sent
+let bytes_sent t =
+  release t (Sim.Engine.now t.engine);
+  t.bytes_sent
 
-let segments_sent t = t.segments_sent
+let segments_sent t =
+  release t (Sim.Engine.now t.engine);
+  t.segments_sent
 
 let drops t = t.drops
 

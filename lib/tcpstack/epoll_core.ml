@@ -3,7 +3,7 @@ module Cpu = Sim.Cpu
 
 type 'fd waiter = {
   k : ('fd * Types.events) list -> unit;
-  mutable timer : Engine.handle option;
+  mutable timer : Engine.Timer.t option;
 }
 
 type 'fd t = {
@@ -49,7 +49,7 @@ let try_wake t core =
       | [] -> ()
       | events ->
           t.waiter <- None;
-          (match w.timer with None -> () | Some h -> Engine.cancel h);
+          (match w.timer with None -> () | Some h -> Engine.Timer.cancel h);
           Cpu.exec core ~cycles:t.wake_cycles (fun () -> w.k events))
 
 let notify t fd =

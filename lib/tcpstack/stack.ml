@@ -327,7 +327,7 @@ let make_actions t s ~flow ~role =
     Tcb.now = (fun () -> Engine.now t.engine);
     emit = (fun seg -> emit t s seg);
     set_timer = (fun ~delay f -> Engine.schedule t.engine ~delay f);
-    cancel_timer = Engine.cancel;
+    cancel_timer = Engine.Timer.cancel;
     on_established;
     on_readable = (fun () -> notify t s);
     on_writable = (fun () -> notify t s);

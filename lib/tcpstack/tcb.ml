@@ -54,8 +54,8 @@ let default_config =
 type actions = {
   now : unit -> float;
   emit : Segment.t -> unit;
-  set_timer : delay:float -> (unit -> unit) -> Sim.Engine.handle;
-  cancel_timer : Sim.Engine.handle -> unit;
+  set_timer : delay:float -> (unit -> unit) -> Sim.Engine.Timer.t;
+  cancel_timer : Sim.Engine.Timer.t -> unit;
   on_established : unit -> unit;
   on_readable : unit -> unit;
   on_writable : unit -> unit;
@@ -90,9 +90,9 @@ type t = {
   mutable fin_queued : bool;
   mutable fin_sent : bool;
   retxq : retx_item Queue.t;
-  mutable rto_timer : Sim.Engine.handle option;
+  mutable rto_timer : Sim.Engine.Timer.t option;
   mutable rto_backoff : float;
-  mutable persist_timer : Sim.Engine.handle option;
+  mutable persist_timer : Sim.Engine.Timer.t option;
   mutable dupacks : int;
   mutable recover : int;
   mutable in_recovery : bool;

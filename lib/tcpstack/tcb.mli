@@ -50,8 +50,8 @@ val default_config : config
 type actions = {
   now : unit -> float;
   emit : Segment.t -> unit;  (** hand a segment to the stack's TX path *)
-  set_timer : delay:float -> (unit -> unit) -> Sim.Engine.handle;
-  cancel_timer : Sim.Engine.handle -> unit;
+  set_timer : delay:float -> (unit -> unit) -> Sim.Engine.Timer.t;
+  cancel_timer : Sim.Engine.Timer.t -> unit;
   on_established : unit -> unit;
   on_readable : unit -> unit;  (** new data or EOF became readable *)
   on_writable : unit -> unit;  (** send-buffer space was freed *)

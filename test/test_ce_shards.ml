@@ -89,7 +89,7 @@ let shard_counts_agree_direct () =
 
 (* The determinism-suite scenario, with the CE shard count as a knob. *)
 let run_world ~ce_cores ~seed =
-  let tb = Testbed.create ~seed () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with seed } () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   Host.enable_netkernel ~ce_cores hosta;
@@ -139,7 +139,12 @@ let hex = Printf.sprintf "%h"
 let single_shard_world_oracle () =
   (* Captured on the pre-sharding implementation (commit c4c0657), seed
      1234: the sharded engine at ce_cores=1 must reproduce the execution
-     bit-for-bit. *)
+     bit-for-bit. The [events] count was re-captured twice since: once
+     when CoreEngine started eliding same-instant duplicate owner wakes,
+     and again when Link moved to lazy in-flight buffer release (no
+     per-packet release event unless a transmit hook is installed). Both
+     changes remove redundant engine events only, which the unchanged
+     finish time / busy cycles / switched counts confirm. *)
   let completed, errors, finished, vm, nsm, switched, events, shard_busy, _ =
     run_world ~ce_cores:1 ~seed:1234
   in
@@ -149,7 +154,7 @@ let single_shard_world_oracle () =
   Alcotest.(check string) "vm cycles" "0x1.76c5b80000029p+23" (hex vm);
   Alcotest.(check string) "nsm cycles" "0x1.f9c3f8ff9094ap+25" (hex nsm);
   Alcotest.(check int) "switched" 14006 switched;
-  Alcotest.(check int) "events" 224156 events;
+  Alcotest.(check int) "events" 179948 events;
   Alcotest.(check int) "one shard core" 1 (Array.length shard_busy)
 
 let multi_shard_world_results () =
@@ -182,7 +187,7 @@ let sharded_runs_deterministic () =
 let scale_out_redistributes () =
   (* Scaling a live single-shard engine out mid-run keeps switching correct
      and puts cycles on the new cores. *)
-  let tb = Testbed.create ~seed:7 () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with seed = 7 } () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let nsm = Nsm.create_kernel hosta ~name:"nsm" ~vcpus:2 () in

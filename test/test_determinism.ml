@@ -8,7 +8,16 @@ module Types = Tcpstack.Types
 let run_once ?loss_seed ?(trace = false) ~seed () =
   (* A deliberately small trace ring so wraparound itself is exercised by
      the byte-identical check. *)
-  let tb = Testbed.create ~seed ~trace_enabled:trace ~trace_capacity:4096 () in
+  let tb =
+    Testbed.create
+      ~config:
+        { Testbed.Config.default with
+          seed;
+          trace_enabled = trace;
+          trace_capacity = Some 4096
+        }
+      ()
+  in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let nsm = Nsm.create_kernel hosta ~name:"nsm" ~vcpus:2 () in

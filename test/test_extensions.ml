@@ -82,7 +82,7 @@ let checksum s =
 let drain_handover_preserves_streams () =
   (* A slow (1 Gb/s) fabric stretches the bulk transfer so the handover
      lands mid-stream. *)
-  let tb = Testbed.create ~rate_gbps:1.0 () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with rate_gbps = 1.0 } () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let nsm1 = Nsm.create_kernel hosta ~name:"nsm1" ~vcpus:1 () in
@@ -209,7 +209,7 @@ let detach_nsm_stops_new_sockets () =
   Alcotest.(check int) "detached NSM got no new sockets" nsm2_before (conns nsm2)
 
 let nk_world ~costs =
-  let tb = Testbed.create ~costs () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with costs } () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let nsm = Nsm.create_kernel hosta ~name:"nsm" ~vcpus:1 () in

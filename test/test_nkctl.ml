@@ -140,7 +140,7 @@ let autoscale_up_then_down () =
 let crash_failover_integrity () =
   (* A slow (1 Gb/s) fabric stretches the bulk transfers so the crash lands
      mid-stream. *)
-  let tb = Testbed.create ~rate_gbps:1.0 () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with rate_gbps = 1.0 } () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let nsm1 = Nsm.create_kernel hosta ~name:"nsm1" ~vcpus:1 () in

@@ -118,6 +118,30 @@ let p1_real_codec () =
   | Error e -> Alcotest.failf "decode: %s" e
   | Ok d -> Alcotest.(check bool) "round-trip" true (d = nqe)
 
+(* ---- H1: full NQE decode on the datapath ------------------------------ *)
+
+let h1_hot_path_decode () =
+  check_diags "Nqe.decode flagged in a hot-path module"
+    ~path:"lib/core/coreengine.ml"
+    [ ("H1", 1) ]
+    "let f raw = Nqe.decode raw";
+  check_diags "Nqe.decode_from flagged too" ~path:"lib/core/nk_device.ml"
+    [ ("H1", 1) ]
+    "let f raw = Nqe.decode_from raw 0";
+  check_diags "decode-ok waiver silences the line below it"
+    ~path:"lib/core/guestlib.ml" []
+    "(* nklint: decode-ok *)\nlet f raw = Nqe.decode raw";
+  check_diags "View accessors are the sanctioned idiom"
+    ~path:"lib/core/coreengine.ml" []
+    "let f raw = Nqe.View.qset raw";
+  check_diags "full decode is fine off the hot path"
+    ~path:"lib/experiments/fig11_nqe_switch.ml" []
+    "let f raw = Nqe.decode raw";
+  (* Same basename outside lib/core (e.g. a test fixture) is not hot path. *)
+  check_diags "hot-path basenames only match under core/"
+    ~path:"test/coreengine.ml" []
+    "let f raw = Nqe.decode raw"
+
 (* ---- S1: span stage begin/end pairing --------------------------------- *)
 
 let s1_uses ~path src = L.stage_uses_of_source ~path src
@@ -156,7 +180,7 @@ let s1_span_pairing () =
 (* ---- whole-system determinism regression ------------------------------ *)
 
 let conn_dump_once ~seed =
-  let tb = Testbed.create ~seed () in
+  let tb = Testbed.create ~config:{ Testbed.Config.default with seed } () in
   let hosta = Testbed.add_host tb ~name:"hostA" in
   let hostb = Testbed.add_host tb ~name:"hostB" in
   let nsm = Nsm.create_kernel hosta ~name:"nsm" ~vcpus:2 () in
@@ -205,6 +229,7 @@ let tests =
     Alcotest.test_case "D4 exception swallowing" `Quick d4_swallow;
     Alcotest.test_case "P1 NQE wire invariants" `Quick p1_wire;
     Alcotest.test_case "P1 holds on the real codec" `Quick p1_real_codec;
+    Alcotest.test_case "H1 hot-path NQE decode" `Quick h1_hot_path_decode;
     Alcotest.test_case "S1 span stage pairing" `Quick s1_span_pairing;
     Alcotest.test_case "conn-table dump determinism" `Quick conn_table_dump_deterministic;
   ]

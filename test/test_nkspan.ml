@@ -7,7 +7,13 @@ module W = Experiments.Worlds
 module H = Nkutil.Histogram
 
 let run_world ~seed ~ce_cores ~span_every =
-  let w = W.netkernel ~ce_cores ~seed ~span_every () in
+  let w =
+    W.netkernel
+      ~config:
+        (W.Config.with_seed seed
+           (W.Config.with_span_every span_every { W.Config.default with ce_cores }))
+      ()
+  in
   let r = W.measure_rps w ~concurrency:16 ~total:1_500 () in
   Alcotest.(check int) "no request errors" 0 r.W.errors;
   w.W.tb.Nkcore.Testbed.spans
@@ -118,7 +124,7 @@ let catapult_deterministic () =
 (* ---- sampling + default-off -------------------------------------------- *)
 
 let disabled_by_default () =
-  let w = W.netkernel ~seed:42 () in
+  let w = W.netkernel () in
   let spans = w.W.tb.Nkcore.Testbed.spans in
   Alcotest.(check bool) "spans disabled without span_every" false
     (Nkspan.enabled spans);

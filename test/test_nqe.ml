@@ -74,6 +74,82 @@ let qcheck_roundtrip =
           && d.Nqe.size = size
           && d.Nqe.data_ptr = size * 3)
 
+(* ---- zero-allocation views ---------------------------------------------- *)
+
+(* Nqe.View is the hot path's flat accessor layer over the same 32 wire
+   bytes; every field it exposes must agree with the full decoder on every
+   opcode (and on span-stamped / edge-value records). *)
+let view_equals_decode () =
+  let check_one nqe =
+    let raw = Nqe.encode nqe in
+    Alcotest.(check bool) "View.ok" true (Nqe.View.ok raw);
+    match Nqe.decode raw with
+    | Error e -> Alcotest.failf "decode failed: %s" e
+    | Ok d ->
+        Alcotest.(check bool)
+          (Printf.sprintf "op %s" (Nqe.op_to_string d.Nqe.op))
+          true
+          (Nqe.View.op raw = d.Nqe.op);
+        Alcotest.(check int) "vm_id" d.Nqe.vm_id (Nqe.View.vm_id raw);
+        Alcotest.(check int) "qset" d.Nqe.qset (Nqe.View.qset raw);
+        Alcotest.(check int) "sock" d.Nqe.sock (Nqe.View.sock raw);
+        Alcotest.(check int64) "op_data" d.Nqe.op_data (Nqe.View.op_data raw);
+        Alcotest.(check int) "data_ptr" d.Nqe.data_ptr (Nqe.View.data_ptr raw);
+        Alcotest.(check int) "size" d.Nqe.size (Nqe.View.size raw);
+        Alcotest.(check bool) "synthetic" d.Nqe.synthetic (Nqe.View.synthetic raw);
+        Alcotest.(check int) "span" d.Nqe.span (Nqe.View.span raw)
+  in
+  List.iter
+    (fun op ->
+      check_one
+        (Nqe.make ~op ~vm_id:7 ~qset:3 ~sock:123456 ~op_data:0x1234_5678_9ABCL
+           ~data_ptr:987654 ~size:4096 ~synthetic:true ());
+      check_one (Nqe.make ~op ~vm_id:0 ~qset:0 ~sock:0 ());
+      check_one
+        (Nqe.make ~op ~vm_id:255 ~qset:Nqe.qset_unassigned
+           ~sock:((1 lsl 31) - 1)
+           ~op_data:Int64.min_int
+           ~data_ptr:((1 lsl 40) - 1)
+           ~size:((1 lsl 31) - 1)
+           ~span:((1 lsl 31) - 1)
+           ()))
+    all_ops;
+  (* View.ok mirrors decode's rejections. *)
+  Alcotest.(check bool) "garbage op" false (Nqe.View.ok (Bytes.make 32 '\xEE'));
+  Alcotest.(check bool) "short buffer" false (Nqe.View.ok (Bytes.create 10))
+
+let view_set_qset () =
+  let raw = Nqe.encode (Nqe.make ~op:Nqe.Ev_accept ~vm_id:9 ~qset:Nqe.qset_unassigned ~sock:5 ()) in
+  Nqe.View.set_qset raw 17;
+  Alcotest.(check int) "patched qset" 17 (Nqe.View.qset raw);
+  match Nqe.decode raw with
+  | Ok d -> Alcotest.(check int) "decoder sees the patch" 17 d.Nqe.qset
+  | Error e -> Alcotest.failf "decode after patch: %s" e
+
+let qcheck_view_equivalence =
+  QCheck.Test.make ~name:"view/decode equivalence (random fields)" ~count:500
+    QCheck.(
+      quad (int_bound 255) (int_bound 254) (int_bound ((1 lsl 30) - 1)) (int_bound 1_000_000))
+    (fun (vm_id, qset, sock, size) ->
+      let op = List.nth all_ops (sock mod List.length all_ops) in
+      let raw =
+        Nqe.encode
+          (Nqe.make ~op ~vm_id ~qset ~sock ~op_data:(Int64.of_int (size * 7))
+             ~data_ptr:(size * 3) ~size ~span:(sock lxor size) ())
+      in
+      match Nqe.decode raw with
+      | Error _ -> false
+      | Ok d ->
+          Nqe.View.ok raw && Nqe.View.op raw = d.Nqe.op
+          && Nqe.View.vm_id raw = d.Nqe.vm_id
+          && Nqe.View.qset raw = d.Nqe.qset
+          && Nqe.View.sock raw = d.Nqe.sock
+          && Nqe.View.op_data raw = d.Nqe.op_data
+          && Nqe.View.data_ptr raw = d.Nqe.data_ptr
+          && Nqe.View.size raw = d.Nqe.size
+          && Nqe.View.synthetic raw = d.Nqe.synthetic
+          && Nqe.View.span raw = d.Nqe.span)
+
 (* ---- hugepages ---------------------------------------------------------- *)
 
 let hp_alloc_free () =
@@ -186,6 +262,9 @@ let tests =
     Alcotest.test_case "addr packing" `Quick addr_packing;
     Alcotest.test_case "err codes" `Quick err_codes;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    Alcotest.test_case "view equals decode (all ops)" `Quick view_equals_decode;
+    Alcotest.test_case "view qset patch" `Quick view_set_qset;
+    QCheck_alcotest.to_alcotest qcheck_view_equivalence;
     Alcotest.test_case "hugepages alloc/free/coalesce" `Quick hp_alloc_free;
     Alcotest.test_case "hugepages double free" `Quick hp_double_free;
     Alcotest.test_case "hugepages exhaustion" `Quick hp_exhaustion;

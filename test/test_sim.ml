@@ -26,7 +26,7 @@ let engine_cancel () =
   let e = E.create () in
   let fired = ref false in
   let h = E.schedule e ~delay:0.1 (fun () -> fired := true) in
-  E.cancel h;
+  E.Timer.cancel h;
   E.run e;
   Alcotest.(check bool) "cancelled event must not run" false !fired
 
@@ -46,6 +46,137 @@ let engine_nested_schedule () =
   go 10;
   E.run e;
   Alcotest.(check int) "chain of nested events" 10 !depth
+
+(* ---- timing-wheel order oracle ----------------------------------------- *)
+
+(* The engine's pending set is a hierarchical timing wheel, but its contract
+   is the seed binary heap's exact (time, insertion-seq) execution order.
+   Reference model: that heap, rebuilt here on Nkutil.Heap with the same
+   clamping/cancellation semantics. Both run the same scripted ~100K-event
+   schedule — dense sub-tick delays, exact ties, zero and negative delays,
+   multi-second overflow delays, events scheduled from inside callbacks, and
+   cancellations — and must log byte-identical id sequences. *)
+
+type 'h sched_api = {
+  api_schedule : delay:float -> (unit -> unit) -> 'h;
+  api_cancel : 'h -> unit;
+  api_run : unit -> unit;
+}
+
+module Ref_engine = struct
+  type ev = {
+    time : float;
+    seq : int;
+    f : unit -> unit;
+    mutable cancelled : bool;
+  }
+
+  type t = { heap : ev Nkutil.Heap.t; mutable clock : float; mutable next_seq : int }
+
+  let dummy = { time = 0.0; seq = 0; f = ignore; cancelled = true }
+
+  let leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+  let create () =
+    { heap = Nkutil.Heap.create ~dummy ~leq (); clock = 0.0; next_seq = 0 }
+
+  let schedule t ~delay f =
+    let at = Float.max (t.clock +. delay) t.clock in
+    let ev = { time = at; seq = t.next_seq; f; cancelled = false } in
+    t.next_seq <- t.next_seq + 1;
+    Nkutil.Heap.add t.heap ev;
+    ev
+
+  let run t =
+    let continue = ref true in
+    while !continue do
+      match Nkutil.Heap.pop_min t.heap with
+      | None -> continue := false
+      | Some ev ->
+          if not ev.cancelled then begin
+            t.clock <- ev.time;
+            ev.f ()
+          end
+    done
+end
+
+(* Delay distribution keyed only on the event id, so both runs compute the
+   same schedule without sharing any mutable generator state. *)
+let scripted_delay id =
+  let rng = Nkutil.Rng.create ~seed:(0xF00D + id) in
+  match id land 15 with
+  | 0 | 1 | 2 | 3 | 4 | 5 -> Nkutil.Rng.float_range rng 0.0 50e-6 (* dense, sub-slot *)
+  | 6 | 7 | 8 -> float_of_int (Nkutil.Rng.int rng 40) *. 1e-6 (* quantized: exact ties *)
+  | 9 | 10 -> 0.0
+  | 11 -> -1e-6 (* negative: clamps to now *)
+  | 12 | 13 -> Nkutil.Rng.float_range rng 0.0 0.05 (* mid-range, upper wheel levels *)
+  | _ -> Nkutil.Rng.float_range rng 0.5 10.0 (* far future: overflow heap *)
+
+let run_script (type h) (api : h sched_api) ~total =
+  let order = ref [] in
+  let spawned = ref 0 in
+  let handles : (int, h) Hashtbl.t = Hashtbl.create 1024 in
+  let rec spawn depth =
+    if !spawned < total then begin
+      let id = !spawned in
+      incr spawned;
+      let h = api.api_schedule ~delay:(scripted_delay id) (fun () -> fire id depth) in
+      Hashtbl.replace handles id h
+    end
+  and fire id depth =
+    order := id :: !order;
+    (* Some events fan out into fresh events mid-run (exercising seq
+       assignment while the wheel cursor has advanced)... *)
+    if depth < 4 && id land 7 <= 2 then begin
+      spawn (depth + 1);
+      spawn (depth + 1)
+    end;
+    (* ...and some cancel a not-necessarily-pending later event. *)
+    if id land 15 = 3 then
+      match Hashtbl.find_opt handles (id + 5) with
+      | Some h -> api.api_cancel h
+      | None -> ()
+  in
+  (* Seed enough roots that fan-out reaches [total]. *)
+  for _ = 1 to total / 2 do
+    spawn 0
+  done;
+  api.api_run ();
+  List.rev !order
+
+let wheel_matches_heap_oracle () =
+  let total = 100_000 in
+  let wheel_order =
+    let e = E.create () in
+    run_script
+      {
+        api_schedule = (fun ~delay f -> E.schedule e ~delay f);
+        api_cancel = E.Timer.cancel;
+        api_run = (fun () -> E.run e);
+      }
+      ~total
+  in
+  let heap_order =
+    let r = Ref_engine.create () in
+    run_script
+      {
+        api_schedule = (fun ~delay f -> Ref_engine.schedule r ~delay f);
+        api_cancel = (fun ev -> ev.Ref_engine.cancelled <- true);
+        api_run = (fun () -> Ref_engine.run r);
+      }
+      ~total
+  in
+  Alcotest.(check int) "every live event fired" (List.length heap_order)
+    (List.length wheel_order);
+  if not (List.equal Int.equal wheel_order heap_order) then begin
+    let rec first_diff i a b =
+      match (a, b) with
+      | x :: a', y :: b' -> if x <> y then (i, x, y) else first_diff (i + 1) a' b'
+      | _ -> (i, -1, -1)
+    in
+    let i, x, y = first_diff 0 wheel_order heap_order in
+    Alcotest.failf "execution order diverges at position %d: wheel=%d heap=%d" i x y
+  end
 
 let cpu_fifo_and_accounting () =
   let e = E.create () in
@@ -103,6 +234,7 @@ let tests =
     Alcotest.test_case "cancellation" `Quick engine_cancel;
     Alcotest.test_case "run until horizon" `Quick engine_until;
     Alcotest.test_case "nested scheduling" `Quick engine_nested_schedule;
+    Alcotest.test_case "wheel vs heap order oracle (100K)" `Quick wheel_matches_heap_oracle;
     Alcotest.test_case "cpu FIFO + accounting" `Quick cpu_fifo_and_accounting;
     Alcotest.test_case "cpu set pick stable" `Quick cpu_set_pick_stable;
     Alcotest.test_case "pressure decays" `Quick pressure_decays;

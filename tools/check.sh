@@ -34,6 +34,19 @@ if ! diff -q "$cat1" "$cat2" >/dev/null; then
   exit 1
 fi
 echo "check.sh: latency-breakdown catapult determinism smoke OK"
+# Bench drift gate: fresh quick-mode snapshots are diffed against the
+# committed BENCH_<id>.json baselines. The simulated metric tables are
+# deterministic, so any drift beyond the tolerance is a behaviour change
+# that must be acknowledged by regenerating the baseline
+# (`dune exec bin/nk.exe -- bench <id> -o BENCH_<id>.json`). Wall-clock
+# is reported as a ratio only, never gated.
+for id in ce-scale latency-breakdown; do
+  snap=$(mktemp)
+  dune exec bin/nk.exe -- bench "$id" -o "$snap"
+  dune exec bin/nk.exe -- bench --compare "BENCH_$id.json,$snap"
+  rm -f "$snap"
+  echo "check.sh: bench baseline $id OK"
+done
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt
 else

@@ -17,7 +17,12 @@
    P1  NQE wire-protocol invariants in lib/core/nqe.ml: the declared
        [size_bytes] must equal the encoder's written span, every opcode
        constructor must appear in both the encode and decode match sites,
-       and encode must assign distinct byte values.
+       and encode must assign distinct byte values;
+   H1  no full [Nqe.decode]/[Nqe.decode_from] in the lib/core hot-path
+       modules (the datapath reads fields through the zero-allocation
+       [Nqe.View] accessors; a deliberate full decode — e.g. an endpoint
+       apply loop that needs the whole record — is waived with
+       (* nklint: decode-ok *)).
 
    The analysis is purely syntactic (parsetree, not typedtree): it can be
    fooled by module aliasing or shadowing, which is acceptable — the rules
@@ -51,7 +56,13 @@ let allowlisted ~path rule =
    N+1, so it can sit on its own line above the flagged expression or at
    the end of the same line. (The scan is textual; a waiver token inside a
    string literal would also count — don't do that.) *)
-let waiver_tokens = [ ("nklint: ordered-ok", "D2"); ("nklint: magic-ok", "D4"); ("nklint: swallow-ok", "D4") ]
+let waiver_tokens =
+  [
+    ("nklint: ordered-ok", "D2");
+    ("nklint: magic-ok", "D4");
+    ("nklint: swallow-ok", "D4");
+    ("nklint: decode-ok", "H1");
+  ]
 
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
@@ -71,6 +82,17 @@ let waived_lines src =
 
 let in_lib path =
   String.length path >= 4 && String.sub path 0 4 = "lib/" || contains ~sub:"/lib/" path
+
+(* The lib/core modules on the per-NQE datapath, where a full record decode
+   is wall-clock the whole simulation pays millions of times. *)
+let hot_path_modules =
+  [
+    "coreengine.ml"; "nk_device.ml"; "queue_set.ml"; "vswitch.ml"; "nsm_shmem.ml";
+    "guestlib.ml"; "servicelib.ml";
+  ]
+
+let in_hot_path path =
+  contains ~sub:"core/" path && List.mem (Filename.basename path) hot_path_modules
 
 (* ---- expression-level rules (D1–D4) ---------------------------------- *)
 
@@ -118,6 +140,13 @@ let expr_rules ~path ast =
           add loc "D4"
             "Obj.magic defeats the type system (and corrupts flat-float-array \
              payloads) — store a typed dummy/option instead"
+    | [ "Nqe"; (("decode" | "decode_from") as f) ] when in_hot_path path ->
+        add loc "H1"
+          (Printf.sprintf
+             "full Nqe.%s on the datapath allocates a record per NQE — read \
+              fields through Nqe.View, or waive a deliberate full decode with \
+              (* nklint: decode-ok *)"
+             f)
     | _ -> ()
   in
   let default = Ast_iterator.default_iterator in
