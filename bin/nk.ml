@@ -501,6 +501,131 @@ let orchestrate_cmd =
           mid-run NSM crash with failover, and the control-event log")
     Term.(const run $ crash_at $ duration)
 
+let cluster_cmd =
+  (* The cluster fabric live: two nodes serving keep-alive RPC through
+     NetKernel, one live cross-host NSM migration mid-run. Prints the
+     virtual-time fabric-event log and a service summary. *)
+  let migrate_at_doc = "Start the live NSM migration at this virtual time (seconds)." in
+  let migrate_at =
+    Arg.(value & opt float 2.0 & info [ "migrate-at" ] ~docv:"SECONDS" ~doc:migrate_at_doc)
+  in
+  let duration =
+    Arg.(value & opt float 6.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let back =
+    Arg.(
+      value & flag
+      & info [ "back" ]
+          ~doc:"Also migrate the destination NSM back home (re-migration) at 2x the first time.")
+  in
+  let run migrate_at duration back =
+    let open Nkcore in
+    let tb =
+      Testbed.create
+        ~config:
+          { Testbed.Config.default with
+            trace_enabled = true;
+            trace_capacity = Some (1 lsl 20)
+          }
+        ()
+    in
+    let cluster = Nkfabric.create ~policy:Nkfabric.Spread tb in
+    let nodea = Nkfabric.add_node cluster ~name:"nodeA" in
+    let nodeb = Nkfabric.add_node cluster ~name:"nodeB" in
+    let nsma = Nsm.create_kernel (Nkfabric.node_host nodea) ~name:"nsmA" ~vcpus:1 () in
+    let nsmb = Nsm.create_kernel (Nkfabric.node_host nodeb) ~name:"nsmB" ~vcpus:1 () in
+    Nkfabric.add_nsm cluster nodea nsma;
+    Nkfabric.add_nsm cluster nodeb nsmb;
+    let vms =
+      List.init 4 (fun i ->
+          Nkfabric.place_vm cluster ~name:(Printf.sprintf "srv%d" i) ~vcpus:1
+            ~ips:[ 10 + i ] ())
+    in
+    let clients_host = Testbed.add_host tb ~name:"clients" in
+    let client =
+      Vm.create_baseline clients_host ~name:"client" ~vcpus:16
+        ~ips:(List.init 8 (fun i -> 100 + i))
+        ~profile:Sim.Cost_profile.ideal ()
+    in
+    let proto = Nkapps.Proto.Fixed { request = 128; response = 1024; keepalive = true } in
+    let lgs =
+      List.mapi
+        (fun i vm ->
+          let addr = Addr.make (10 + i) 80 in
+          (match
+             Nkapps.Epoll_server.start ~engine:tb.Testbed.engine ~api:(Vm.api vm)
+               (Nkapps.Epoll_server.config ~proto addr)
+           with
+          | Ok _ -> ()
+          | Error e -> failwith (Tcpstack.Types.err_to_string e));
+          Nkapps.Loadgen.start ~engine:tb.Testbed.engine ~api:(Vm.api client)
+            {
+              Nkapps.Loadgen.server = addr;
+              proto;
+              mode =
+                Nkapps.Loadgen.Closed
+                  { concurrency = 8; total = None; duration = Some duration };
+              warmup = 0.0;
+            })
+        vms
+    in
+    ignore
+      (Sim.Engine.schedule tb.Testbed.engine ~delay:migrate_at (fun () ->
+           let dest = Nkfabric.migrate_nsm cluster ~nsm:nsma ~dst:nodeb () in
+           if back then
+             ignore
+               (Sim.Engine.schedule tb.Testbed.engine ~delay:migrate_at (fun () ->
+                    ignore (Nkfabric.migrate_nsm cluster ~nsm:dest ~dst:nodea ())))));
+    (* Sweep fabric events out of the trace ring before the dataplane floods
+       it (same trick as orchestrate). *)
+    let ev_log = ref [] in
+    let last_seq = ref (-1) in
+    let sweep () =
+      List.iter
+        (fun (r : Nkmon.Trace.record) ->
+          if r.Nkmon.Trace.seq > !last_seq then begin
+            last_seq := r.Nkmon.Trace.seq;
+            match r.Nkmon.Trace.event with
+            | Nkmon.Trace.Custom { component = "nkfabric"; name; detail } ->
+                ev_log := (r.Nkmon.Trace.time, name, detail) :: !ev_log
+            | _ -> ()
+          end)
+        (Nkmon.Trace.records (Nkmon.trace tb.Testbed.mon))
+    in
+    let rec sweeper () =
+      sweep ();
+      ignore (Sim.Engine.schedule tb.Testbed.engine ~delay:0.1 sweeper)
+    in
+    sweeper ();
+    Testbed.run tb ~until:(duration +. 0.5);
+    sweep ();
+    print_endline "fabric events (virtual time):";
+    List.iter
+      (fun (time, name, detail) -> Printf.printf "  %8.3fs  %-8s %s\n" time name detail)
+      (List.rev !ev_log);
+    let completed, errors =
+      List.fold_left
+        (fun (c, e) lg ->
+          let r = Nkapps.Loadgen.results lg in
+          (c + r.Nkapps.Loadgen.completed, e + r.Nkapps.Loadgen.errors))
+        (0, 0) lgs
+    in
+    let s = Nkfabric.stats cluster in
+    Printf.printf
+      "summary: %d requests served, %d errors; %d migration(s), %d VM(s) relayed, \
+       %d NQEs (%d bytes) over the spine; nodeA serves %d VM(s), nodeB %d\n"
+      completed errors s.Nkfabric.migrations s.Nkfabric.vms_relayed s.Nkfabric.nqes_shipped
+      s.Nkfabric.bytes_shipped
+      (Nkfabric.node_vm_count cluster nodea)
+      (Nkfabric.node_vm_count cluster nodeb)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the Nkfabric cluster live: two nodes under keep-alive load, a \
+          live cross-host NSM migration, and the fabric-event log")
+    Term.(const run $ migrate_at $ duration $ back)
+
 let () =
   let doc = "NetKernel reproduction: decoupled VM network stacks, simulated" in
   exit
@@ -509,5 +634,5 @@ let () =
           (Cmd.info "nk" ~version:"1.0.0" ~doc)
           [
             run_cmd; list_cmd; bench_cmd; demo_cmd; stats_cmd; trace_cmd; span_cmd;
-            profile_cmd; orchestrate_cmd;
+            profile_cmd; orchestrate_cmd; cluster_cmd;
           ]))

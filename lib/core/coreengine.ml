@@ -309,6 +309,51 @@ let is_draining t ~nsm_id = Hashtbl.mem t.draining nsm_id
 
 let forget_route t ~vm_id ~sock = table_remove t (vm_id, sock)
 
+let add_route t ~vm_id ~sock ~nsm_id ~nsm_qset =
+  table_add t (vm_id, sock) { nsm_id; nsm_qset }
+
+let nsm_routes t ~nsm_id =
+  Nkutil.Det_tbl.fold ~cmp:conn_key_cmp
+    (fun (vm_id, sock) r acc ->
+      if r.nsm_id = nsm_id then (vm_id, sock, r.nsm_qset) :: acc else acc)
+    t.conn_table []
+  |> List.rev
+
+let rehome_nsm_routes t ~from_nsm ~to_nsm =
+  (* Re-point every route at [from_nsm] to [to_nsm], keeping queue-set
+     targets (the replacement device must expose at least as many queue
+     sets). Used by live migration: the stub device standing in for a
+     departed NSM inherits its flows atomically. *)
+  let moved =
+    Nkutil.Det_tbl.fold ~cmp:conn_key_cmp
+      (fun key r acc -> if r.nsm_id = from_nsm then (key, r.nsm_qset) :: acc else acc)
+      t.conn_table []
+  in
+  List.iter
+    (fun (key, qset) -> table_add t key { nsm_id = to_nsm; nsm_qset = qset })
+    moved;
+  ctl_event t "rehome"
+    (Printf.sprintf "from_nsm=%d to_nsm=%d routes=%d" from_nsm to_nsm
+       (List.length moved));
+  List.length moved
+
+let forget_vm_routes t ~vm_id ~nsm_id =
+  (* Drop every route of [vm_id] still pointing at [nsm_id] so each affected
+     socket's next NQE re-runs NSM assignment. The relay unwind (Nkfabric)
+     needs this: a VM migrating back home still routes sockets its export
+     does not cover (listeners, bare sockets) at the stand-in stub — left in
+     place, their replayed NQEs would bounce home CE -> stub forever. *)
+  let keys =
+    Nkutil.Det_tbl.fold ~cmp:conn_key_cmp
+      (fun key r acc ->
+        if fst key = vm_id && r.nsm_id = nsm_id then key :: acc else acc)
+      t.conn_table []
+  in
+  List.iter (table_remove t) keys;
+  ctl_event t "forget_vm_routes"
+    (Printf.sprintf "vm=%d nsm=%d routes=%d" vm_id nsm_id (List.length keys));
+  List.length keys
+
 let set_rate_limit ?burst t ~vm_id ~bytes_per_sec =
   let burst = match burst with Some b -> b | None -> bytes_per_sec *. 0.05 in
   Hashtbl.replace t.buckets vm_id

@@ -99,6 +99,27 @@ val forget_route : t -> vm_id:int -> sock:int -> unit
 (** Drop one connection-table entry so the socket's next NQE re-runs NSM
     assignment (listener re-homing during handover). *)
 
+val add_route : t -> vm_id:int -> sock:int -> nsm_id:int -> nsm_qset:int -> unit
+(** Install one connection-table entry directly (live migration: the
+    destination host pins imported sockets to the destination NSM). *)
+
+val nsm_routes : t -> nsm_id:int -> (int * int * int) list
+(** All [(vm_id, sock, nsm_qset)] routes currently pointing at the NSM, in
+    ascending ⟨vm, sock⟩ order. *)
+
+val rehome_nsm_routes : t -> from_nsm:int -> to_nsm:int -> int
+(** Atomically re-point every route at [from_nsm] to [to_nsm] (same queue
+    sets; [to_nsm] must expose at least as many). Returns how many routes
+    moved. Live migration uses this to hand a departing NSM's flows to the
+    relay stub in one step. *)
+
+val forget_vm_routes : t -> vm_id:int -> nsm_id:int -> int
+(** Drop every route of [vm_id] still pointing at [nsm_id] (next NQE per
+    socket re-runs NSM assignment); returns how many were dropped. The
+    relay unwind uses this when a VM migrates back home: sockets its export
+    does not cover (listeners, bare sockets) would otherwise keep routing
+    into the stand-in stub forever. *)
+
 val set_rate_limit : ?burst:float -> t -> vm_id:int -> bytes_per_sec:float -> unit
 (** Token-bucket cap on the VM's egress payload bytes (Fig 21). [burst]
     defaults to 50 ms worth of tokens. *)

@@ -102,3 +102,12 @@ let fresh_nsm_id t =
   let id = t.next_nsm_id in
   t.next_nsm_id <- t.next_nsm_id + 1;
   id
+
+let set_id_base t base =
+  (* Cluster worlds give each host a disjoint id range so a VM or NSM can
+     appear on a second host (migration proxies/stubs) without colliding
+     with that host's own devices. Only meaningful before any allocation. *)
+  if t.next_vm_id > 1 || t.next_nsm_id > 1 then
+    invalid_arg "Host.set_id_base: ids already allocated";
+  t.next_vm_id <- base;
+  t.next_nsm_id <- base

@@ -69,3 +69,10 @@ val scale_ce : t -> add:int -> unit
 val fresh_vm_id : t -> int
 
 val fresh_nsm_id : t -> int
+
+val set_id_base : t -> int -> unit
+(** Start this host's VM and NSM id counters at [base] (cluster worlds use
+    disjoint per-host ranges so ids stay unique fabric-wide; a migrated
+    NSM's id can then exist on two hosts without clashing). Raises if any
+    id was already allocated. Note the NQE [vm_id] field is one byte, so
+    bases must stay below 256 minus the host's device count. *)

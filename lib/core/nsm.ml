@@ -108,6 +108,33 @@ let close_vm_listeners t ~vm_id =
   | Tcp { service; _ } -> Servicelib.close_vm_listeners service ~vm_id
   | Shm _ -> ()
 
+(* Live-migration verbs (Nkfabric): only TCP-backend NSMs carry serializable
+   per-VM state; the shared-memory NSM has no cross-host story. *)
+
+let service_exn t ~verb =
+  match t.backend with
+  | Tcp { service; _ } -> service
+  | Shm _ -> invalid_arg (Printf.sprintf "Nsm.%s: %s is a shared-memory NSM" verb t.name)
+
+let export_vm t ~vm_id = Servicelib.export_vm (service_exn t ~verb:"export_vm") ~vm_id
+
+let import_vm t x ~hugepages ~ips =
+  Servicelib.import_vm (service_exn t ~verb:"import_vm") x ~hugepages ~ips
+
+let set_vm_forwarder t ~vm_id f =
+  Servicelib.set_vm_forwarder (service_exn t ~verb:"set_vm_forwarder") ~vm_id f
+
+let clear_vm_forwarder t ~vm_id =
+  Servicelib.clear_vm_forwarder (service_exn t ~verb:"clear_vm_forwarder") ~vm_id
+
+let release_vm_ips t ~ips =
+  match t.backend with
+  | Tcp { service; _ } -> Servicelib.release_ips service ips
+  | Shm _ -> ()
+
+let pause_vm_listeners t ~vm_id =
+  Servicelib.pause_vm_listeners (service_exn t ~verb:"pause_vm_listeners") ~vm_id
+
 let fail t =
   if not t.failed then begin
     t.failed <- true;

@@ -53,6 +53,29 @@ val close_vm_listeners : t -> vm_id:int -> unit
     re-homing); established connections keep running. No-op for the
     shared-memory NSM. *)
 
+(** {1 Live migration (Nkfabric)}
+
+    These dispatch to the {!Servicelib} export/import verbs; they raise
+    [Invalid_argument] on a shared-memory NSM (no serializable state). *)
+
+val export_vm : t -> vm_id:int -> Servicelib.vm_export option
+
+val import_vm : t -> Servicelib.vm_export -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
+
+val set_vm_forwarder : t -> vm_id:int -> (Nqe.t -> unit) -> unit
+
+val clear_vm_forwarder : t -> vm_id:int -> unit
+
+val release_vm_ips : t -> ips:Addr.ip list -> unit
+(** Disown the migrated VM's IPs on the backend stack so stray in-flight
+    segments drop silently instead of drawing RSTs. No-op for the
+    shared-memory NSM. *)
+
+val pause_vm_listeners : t -> vm_id:int -> unit
+(** Migration quiesce (before the cut): the VM's listeners silently drop
+    fresh SYNs while in-flight handshakes and queued accepts settle, so
+    the later {!export_vm} finds nothing half-done to abort. *)
+
 val fail : t -> unit
 (** Inject an NSM crash: the module goes silent, every connection it
     carried is reset, and {!Coreengine.crash_nsm} errors out the affected

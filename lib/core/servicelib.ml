@@ -66,6 +66,9 @@ type t = {
   costs : Nk_costs.t;
   pressure : Sim.Pressure.t;
   vms : (int, vm_ctx) Hashtbl.t;
+  vm_forwarders : (int, Nqe.t -> unit) Hashtbl.t;
+      (* per-VM hooks for NQEs that were drained before the VM migrated
+         away but applied after; they ship to the destination NSM *)
   qstates : qset_state array;
   mon : Nkmon.t;
   spans : Nkspan.t;
@@ -356,7 +359,13 @@ let apply t ~qset_idx (nqe : Nqe.t) =
            sock = nqe.Nqe.sock;
          });
   match Hashtbl.find_opt t.vms nqe.Nqe.vm_id with
-  | None -> ()
+  | None -> (
+      (* The VM migrated away between this NQE's drain and its apply (the
+         scratch window): forward it to wherever the VM's stack now lives
+         instead of dropping or error-replying. *)
+      match Hashtbl.find_opt t.vm_forwarders nqe.Nqe.vm_id with
+      | Some forward -> forward nqe
+      | None -> ())
   | Some vm -> (
       match lookup_or_create t vm nqe with
       | None -> (
@@ -492,6 +501,7 @@ let create ~engine ~device ~ops ~cores ~costs ~pressure ?(mon = Nkmon.null ())
       costs;
       pressure;
       vms = Hashtbl.create 8;
+      vm_forwarders = Hashtbl.create 4;
       qstates =
         Array.init (Nk_device.n_qsets device) (fun _ ->
             { scheduled = false; scratch = Array.make 64 Bytes.empty });
@@ -519,6 +529,12 @@ let register_vm t ~vm_id ~hugepages ~ips =
       { vm_id; hugepages; socks = Hashtbl.create 256; next_gid = 1 };
   List.iter t.ops.Stack_ops.add_ip ips
 
+(* Disown IPs whose VM migrated away: in-flight segments for its flows must
+   fall through to the vswitch's silent drop rather than draw an RST from
+   this stack at the peer (which would reset the very connections the
+   migration preserved). *)
+let release_ips t ips = List.iter t.ops.Stack_ops.remove_ip ips
+
 let close_vm_listeners t ~vm_id =
   match Hashtbl.find_opt t.vms vm_id with
   | None -> ()
@@ -539,6 +555,20 @@ let close_vm_listeners t ~vm_id =
           ss.closed <- true;
           Hashtbl.remove vm.socks gid)
         listeners
+
+(* Migration quiesce: stop the VM's listeners from taking fresh SYNs while
+   in-flight handshakes finish and queued accepts drain, so the cut moments
+   later finds nothing to abort in the accept queues. *)
+let pause_vm_listeners t ~vm_id =
+  match Hashtbl.find_opt t.vms vm_id with
+  | None -> ()
+  | Some vm ->
+      Nkutil.Det_tbl.iter ~cmp:Int.compare
+        (fun _ ss ->
+          match ss.listener with
+          | Some l -> t.ops.Stack_ops.pause_listener l
+          | None -> ())
+        vm.socks
 
 let fail t =
   if not t.dead then begin
@@ -574,3 +604,146 @@ let deregister_vm t ~vm_id =
           | None -> ())
         vm.socks;
       Hashtbl.remove t.vms vm_id
+
+(* ---- VM export/import (live NSM migration) ------------------------------ *)
+
+type pending_export = {
+  x_offset : int;
+  x_len : int;
+  x_off : int;
+  x_synthetic : bool;
+  x_span : int;
+}
+
+type sock_export = {
+  x_gid : int;
+  x_vm_qset : int;
+  x_bound : Addr.t option;
+  x_recv_credit_used : int;
+  x_sendq : pending_export list;
+  x_closing : bool;
+  x_eof_sent : bool;
+  x_err_sent : bool;
+  x_conn : Tcpstack.Stack.export option;
+}
+
+type vm_export = { x_vm_id : int; x_next_gid : int; x_socks : sock_export list }
+
+let set_vm_forwarder t ~vm_id forward = Hashtbl.replace t.vm_forwarders vm_id forward
+
+let clear_vm_forwarder t ~vm_id = Hashtbl.remove t.vm_forwarders vm_id
+
+let export_vm t ~vm_id =
+  match Hashtbl.find_opt t.vms vm_id with
+  | None -> None
+  | Some vm ->
+      let socks =
+        Nkutil.Det_tbl.fold ~cmp:Int.compare
+          (fun gid ss acc ->
+            if ss.closed then acc
+            else
+              match ss.listener with
+              | Some l ->
+                  (* Listeners are not serialized: the migration protocol
+                     replays the VM's Socket/Bind/Listen sequence at the
+                     destination ({!Guestlib.remigrate_listeners}), which
+                     re-creates them there with fresh accept plumbing. *)
+                  t.ops.Stack_ops.close_listener l;
+                  ss.listener <- None;
+                  ss.closed <- true;
+                  acc
+              | None -> (
+                  let finish x_conn =
+                    let was_eof = ss.eof_sent and was_err = ss.err_sent in
+                    let sendq =
+                      List.rev
+                        (Queue.fold
+                           (fun acc (p : pending_send) ->
+                             {
+                               x_offset = p.extent.Hugepages.offset;
+                               x_len = p.extent.Hugepages.len;
+                               x_off = p.off;
+                               x_synthetic = p.p_synthetic;
+                               x_span = p.p_span;
+                             }
+                             :: acc)
+                           [] ss.sendq)
+                    in
+                    Queue.clear ss.sendq;
+                    (* Gag the husk: callbacks already in flight (deferred
+                       behind [Cpu.exec]) find a closed sock and post
+                       nothing. *)
+                    ss.closed <- true;
+                    ss.eof_sent <- true;
+                    ss.err_sent <- true;
+                    {
+                      x_gid = gid;
+                      x_vm_qset = ss.vm_qset;
+                      x_bound = ss.bound;
+                      x_recv_credit_used = ss.recv_credit_used;
+                      x_sendq = sendq;
+                      x_closing = ss.closing;
+                      x_eof_sent = was_eof;
+                      x_err_sent = was_err;
+                      x_conn;
+                    }
+                    :: acc
+                  in
+                  match ss.conn with
+                  | None -> finish None
+                  | Some conn -> (
+                      match Stack_ops.export_conn conn with
+                      | Ok ex -> finish (Some ex)
+                      | Error _ ->
+                          (* Connection already dead on the stack side; its
+                             error event was delivered (or never will be).
+                             Nothing to move. *)
+                          ss.closed <- true;
+                          acc)))
+          vm.socks []
+      in
+      let x = { x_vm_id = vm_id; x_next_gid = vm.next_gid; x_socks = List.rev socks } in
+      Hashtbl.remove t.vms vm_id;
+      Some x
+
+let import_vm t (x : vm_export) ~hugepages ~ips =
+  register_vm t ~vm_id:x.x_vm_id ~hugepages ~ips;
+  match Hashtbl.find_opt t.vms x.x_vm_id with
+  | None -> ()
+  | Some vm ->
+      vm.next_gid <- Int.max vm.next_gid x.x_next_gid;
+      List.iter
+        (fun sx ->
+          let ss = fresh_ssock vm ~gid:sx.x_gid ~qset:sx.x_vm_qset in
+          ss.bound <- sx.x_bound;
+          ss.recv_credit_used <- sx.x_recv_credit_used;
+          ss.closing <- sx.x_closing;
+          ss.eof_sent <- sx.x_eof_sent;
+          ss.err_sent <- sx.x_err_sent;
+          List.iter
+            (fun p ->
+              Queue.add
+                {
+                  extent = { Hugepages.offset = p.x_offset; len = p.x_len };
+                  off = p.x_off;
+                  p_synthetic = p.x_synthetic;
+                  p_span = p.x_span;
+                }
+                ss.sendq)
+            sx.x_sendq;
+          Hashtbl.replace vm.socks sx.x_gid ss;
+          match sx.x_conn with
+          | None -> ()
+          | Some ex -> (
+              match t.ops.Stack_ops.import_conn ex with
+              | Ok conn ->
+                  wire_conn t ss conn;
+                  if not (Queue.is_empty ss.sendq) then pump_send t ss
+              | Error e ->
+                  (* The peer vanished while the snapshot was in flight:
+                     surface it exactly like a reset on an owned conn. *)
+                  if not ss.err_sent then begin
+                    ss.err_sent <- true;
+                    post t ss Nqe.Ev_err ~op_data:(Nqe.err_code e) ()
+                  end))
+        x.x_socks

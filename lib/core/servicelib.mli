@@ -50,6 +50,64 @@ val fail : t -> unit
     close every listener, and go permanently silent — no NQE is consumed or
     produced afterwards. *)
 
+(** {1 VM export/import (live NSM migration)} *)
+
+type pending_export = {
+  x_offset : int;
+  x_len : int;
+  x_off : int;
+  x_synthetic : bool;
+  x_span : int;
+}
+(** A queued-but-unsent payload extent, by hugepage offset — the hugepage
+    region itself is shared with the destination, so only coordinates
+    travel. *)
+
+type sock_export = {
+  x_gid : int;
+  x_vm_qset : int;
+  x_bound : Addr.t option;
+  x_recv_credit_used : int;
+  x_sendq : pending_export list;
+  x_closing : bool;
+  x_eof_sent : bool;
+  x_err_sent : bool;
+  x_conn : Tcpstack.Stack.export option;  (** [None] for a bare socket *)
+}
+
+type vm_export = { x_vm_id : int; x_next_gid : int; x_socks : sock_export list }
+
+val export_vm : t -> vm_id:int -> vm_export option
+(** Quietly detach every one of the VM's sockets: connections are
+    serialized via {!Tcpstack.Stack.export_conn} (no RST, no events),
+    listeners are closed silently (the protocol replays them at the
+    destination via {!Guestlib.remigrate_listeners}), and the VM leaves
+    this ServiceLib. [None] if the VM is not registered here. *)
+
+val import_vm : t -> vm_export -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
+(** Resume an exported VM here: registers it, rebuilds each socket,
+    re-imports connections over their original content channels, and
+    restarts the send/receive pumps. A connection whose channel vanished
+    mid-flight surfaces as [Ev_err] to the VM. *)
+
+val set_vm_forwarder : t -> vm_id:int -> (Nqe.t -> unit) -> unit
+(** After [export_vm], NQEs already drained into a scratch burst but not
+    yet applied would find no VM; the forwarder ships them to the
+    destination instead (the migration protocol's late-NQE hook). *)
+
+val clear_vm_forwarder : t -> vm_id:int -> unit
+
+val release_ips : t -> Addr.ip list -> unit
+(** Disown IPs after [export_vm] (their VM now lives on another host), so
+    stray in-flight segments are silently dropped by the vswitch instead of
+    drawing an RST from this stack. *)
+
+val pause_vm_listeners : t -> vm_id:int -> unit
+(** Migration quiesce, before [export_vm]: the VM's listeners drop fresh
+    SYNs silently (the client's SYN RTO retries against the destination
+    after the cut) while in-flight handshakes finish and queued accepts
+    drain — so the cut finds empty accept queues and aborts nothing. *)
+
 type stats = {
   nqes_rx : int;
   nqes_tx : int;

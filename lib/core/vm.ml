@@ -42,6 +42,8 @@ let baseline_stack t =
 let hugepages t =
   match t.backend with Nk { hugepages; _ } -> Some hugepages | Baseline _ -> None
 
+let device t = match t.backend with Nk { device; _ } -> Some device | Baseline _ -> None
+
 let create_baseline host ~name ~vcpus ~ips ?(profile = Sim.Cost_profile.linux_kernel)
     ?config () =
   let cores = Host.new_cores host ~name ~n:vcpus in

@@ -66,3 +66,8 @@ val guestlib : t -> Guestlib.t option
 val baseline_stack : t -> Tcpstack.Stack.t option
 
 val hugepages : t -> Hugepages.t option
+
+val device : t -> Nk_device.t option
+(** The VM-side NK device ([None] for baseline VMs). Nkfabric mirrors its
+    queue-set geometry when it builds the proxy device on a migration
+    destination host. *)

@@ -57,6 +57,15 @@ let add_ip t ip =
     Vswitch.register_ip t.vswitch ip (dispatch t)
   end
 
+let remove_ip t ip =
+  if List.mem ip t.ips then begin
+    t.ips <- List.filter (fun x -> x <> ip) t.ips;
+    Array.iter (fun shard -> T.Stack.remove_ip shard ip) t.shards;
+    (* Shards register with [register_vswitch = false]; the RSS dispatch
+       entry is this facade's, so it releases it too. *)
+    Vswitch.unregister_ip t.vswitch ip
+  end
+
 (* mTCP-style connect: walk the ephemeral port space until we find a port
    whose RSS hash maps the reply traffic onto an available shard slot. *)
 let connect t ~dst ~k =
@@ -90,10 +99,20 @@ let ops t =
     single with
     T.Stack_ops.name = t.name;
     add_ip = add_ip t;
+    remove_ip = remove_ip t;
     new_listener =
       (fun ~addr ~backlog ~on_accept ->
         T.Stack_ops.listener_on_group (Array.to_list t.shards) ~addr ~backlog ~on_accept);
     connect = (fun ~dst ~k -> connect t ~dst ~k);
+    import_conn =
+      (fun ex ->
+        (* Steer migrated-in flows across shards the same way RSS steers
+           their segments, so imports spread like natively accepted
+           connections. *)
+        let shard = shard_for t ex.T.Stack.e_registry_flow in
+        match T.Stack.import_conn shard ex with
+        | Ok s -> Ok (T.Stack_ops.conn_of_sock shard s)
+        | Error e -> Error e);
   }
 
 let api t = T.Ops_socket.make (ops t)

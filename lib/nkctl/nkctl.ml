@@ -124,7 +124,18 @@ let create host ?(policy = Policy.default) ~spawn () =
 let find_managed t nsm =
   List.find_opt (fun m -> Nsm.id m.nsm = Nsm.id nsm) t.pool
 
+(* A retired NSM set the same flag as a crashed one ([Nsm.retire] /
+   [Nsm.fail]), and its device is gone from CoreEngine either way — flows
+   routed there would pin on a corpse. Refuse loudly rather than re-adding
+   it to the pool. *)
+let check_live ~verb nsm =
+  if Nsm.failed nsm then
+    invalid_arg
+      (Printf.sprintf "Nkctl.%s: NSM %s is retired or crashed" verb
+         (Nsm.name nsm))
+
 let manage t nsm =
+  check_live ~verb:"manage" nsm;
   match find_managed t nsm with
   | Some _ -> ()
   | None ->
@@ -182,13 +193,14 @@ let rehome t mv target ~source_alive =
 (* Once no tracked VM calls [m] home, stop CoreEngine from placing new
    sockets there and let the policy loop retire it at zero connections. *)
 let drain_if_empty t m =
-  if m.nstate = Active && vms_homed_on t m = [] then begin
+  if m.nstate = Active && not (Nsm.failed m.nsm) && vms_homed_on t m = [] then begin
     m.nstate <- Draining;
     Coreengine.drain_nsm (Host.coreengine t.host) ~nsm_id:(Nsm.id m.nsm);
     ctl_event t "drain_start" (Printf.sprintf "nsm=%s" (Nsm.name m.nsm))
   end
 
 let handover t ~vm ~target =
+  check_live ~verb:"handover" target;
   let target = managed t target in
   let mv =
     match List.find_opt (fun mv -> Vm.vm_id mv.vm = Vm.vm_id vm) t.vms with
@@ -200,6 +212,16 @@ let handover t ~vm ~target =
     rehome t mv target ~source_alive:(not (Nsm.failed source.nsm));
     drain_if_empty t source
   end
+
+(* Drop a VM or NSM from tracking with no side effects: Nkfabric is about to
+   run its own cross-host migration and must not race the local policy loop
+   (a retired source NSM would otherwise read as a crash and trigger a
+   failover rehome fighting the migration). *)
+let release_vm t ~vm =
+  t.vms <- List.filter (fun mv -> Vm.vm_id mv.vm <> Vm.vm_id vm) t.vms
+
+let release_nsm t nsm =
+  t.pool <- List.filter (fun m -> Nsm.id m.nsm <> Nsm.id nsm) t.pool
 
 (* ---- policy loop -------------------------------------------------------- *)
 

@@ -80,7 +80,9 @@ val create :
     re-placement. *)
 
 val manage : t -> Nsm.t -> unit
-(** Put an existing NSM under control (it joins the pool as active). *)
+(** Put an existing NSM under control (it joins the pool as active). Raises
+    [Invalid_argument] if the NSM is retired or crashed ([Nsm.failed]) —
+    a dead module must never re-enter the pool. *)
 
 val add_vm : t -> Vm.t -> home:Nsm.t -> unit
 (** Track a NetKernel VM; [home] is the NSM currently serving it (it is
@@ -92,7 +94,20 @@ val handover : t -> vm:Vm.t -> target:Nsm.t -> unit
     draining in CoreEngine once no tracked VM calls it home and is retired
     by the policy loop when its connection count reaches zero. Listening
     sockets are closed on the source and transparently re-created on
-    [target] without the application noticing. *)
+    [target] without the application noticing. Raises [Invalid_argument]
+    if [target] is retired or crashed — handing flows to a dead NSM would
+    silently pin them on a module CoreEngine no longer polls. *)
+
+val release_vm : t -> vm:Vm.t -> unit
+(** Stop tracking [vm] with no side effects (no drain, no handover): the
+    cross-host migration path in Nkfabric takes over its placement and must
+    not race the local policy loop. No-op if the VM is untracked. *)
+
+val release_nsm : t -> Nsm.t -> unit
+(** Drop an NSM from the pool with no side effects: Nkfabric retires the
+    migration source itself, and leaving it in the pool would read as a
+    crash on the next tick and trigger a spurious failover. No-op if the
+    NSM is unmanaged. *)
 
 val scale_out_ce : t -> add:int -> unit
 (** Grow the host's CoreEngine by [add] switching shards ({!Host.scale_ce})

@@ -6,7 +6,12 @@ type t = {
   on_timeout : now:float -> unit;
   on_ecn_ack : acked:int -> now:float -> unit;
   release : unit -> unit;
+  export : unit -> (string * float) list;
+  import : (string * float) list -> unit;
 }
+
+let import_field kv key ~default =
+  match List.assoc_opt key kv with Some v -> v | None -> default
 
 type factory = unit -> t
 

@@ -16,6 +16,11 @@ type t = {
   on_ecn_ack : acked:int -> now:float -> unit;
       (** acknowledgement carrying an ECN echo *)
   release : unit -> unit;  (** the flow is closing; drop shared-state refs *)
+  export : unit -> (string * float) list;
+      (** serialize mutable state as key/value pairs (live NSM migration) *)
+  import : (string * float) list -> unit;
+      (** restore state previously produced by [export] on a fresh instance
+          of the same controller; unknown keys are ignored *)
 }
 
 type factory = unit -> t
@@ -26,3 +31,8 @@ val max_cwnd : int
 
 val initial_window : mss:int -> int
 (** IW10 (RFC 6928): 10 MSS. *)
+
+val import_field : (string * float) list -> string -> default:float -> float
+(** [import_field kv key ~default] looks up [key] in an exported state list,
+    falling back to [default] — the shared helper for [import]
+    implementations. *)

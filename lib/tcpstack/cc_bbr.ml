@@ -104,6 +104,43 @@ let create ~mss () =
         set_cwnd 1.0);
     on_ecn_ack = (fun ~acked:_ ~now:_ -> () (* BBRv1 ignores ECN *));
     release = (fun () -> ());
+    export =
+      (fun () ->
+        [
+          ("cwnd", float_of_int s.cwnd);
+          ("phase", (match s.phase with Startup -> 0.0 | Drain -> 1.0 | Probe -> 2.0));
+          ("btl_bw", s.btl_bw);
+          ("bw_stamp", s.bw_stamp);
+          ("rt_prop", s.rt_prop);
+          ("rt_stamp", s.rt_stamp);
+          ("delivered", s.delivered);
+          ("window_start", s.window_start);
+          ("full_bw", s.full_bw);
+          ("full_bw_rounds", float_of_int s.full_bw_rounds);
+          ("probe_phase_start", s.probe_phase_start);
+          ("probe_high", if s.probe_high then 1.0 else 0.0);
+        ]);
+    import =
+      (fun kv ->
+        s.cwnd <- int_of_float (Cc.import_field kv "cwnd" ~default:(float_of_int s.cwnd));
+        (s.phase <-
+           (match int_of_float (Cc.import_field kv "phase" ~default:0.0) with
+           | 1 -> Drain
+           | 2 -> Probe
+           | _ -> Startup));
+        s.btl_bw <- Cc.import_field kv "btl_bw" ~default:s.btl_bw;
+        s.bw_stamp <- Cc.import_field kv "bw_stamp" ~default:s.bw_stamp;
+        s.rt_prop <- Cc.import_field kv "rt_prop" ~default:s.rt_prop;
+        s.rt_stamp <- Cc.import_field kv "rt_stamp" ~default:s.rt_stamp;
+        s.delivered <- Cc.import_field kv "delivered" ~default:s.delivered;
+        s.window_start <- Cc.import_field kv "window_start" ~default:s.window_start;
+        s.full_bw <- Cc.import_field kv "full_bw" ~default:s.full_bw;
+        s.full_bw_rounds <-
+          int_of_float
+            (Cc.import_field kv "full_bw_rounds" ~default:(float_of_int s.full_bw_rounds));
+        s.probe_phase_start <-
+          Cc.import_field kv "probe_phase_start" ~default:s.probe_phase_start;
+        s.probe_high <- Cc.import_field kv "probe_high" ~default:1.0 > 0.5);
   }
 
 let factory ~mss () = create ~mss ()

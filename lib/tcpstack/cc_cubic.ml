@@ -86,6 +86,31 @@ let create ~mss () =
           reduce ()
         end);
     release = (fun () -> ());
+    export =
+      (fun () ->
+        [
+          ("cwnd", float_of_int s.cwnd);
+          ("ssthresh", float_of_int s.ssthresh);
+          ("w_max", s.w_max);
+          ("epoch_start", s.epoch_start);
+          ("k", s.k);
+          ("w_est", s.w_est);
+          ("acked_in_epoch", s.acked_in_epoch);
+          ("last_ecn", s.last_ecn);
+          ("min_rtt", s.min_rtt);
+        ]);
+    import =
+      (fun kv ->
+        s.cwnd <- int_of_float (Cc.import_field kv "cwnd" ~default:(float_of_int s.cwnd));
+        s.ssthresh <-
+          int_of_float (Cc.import_field kv "ssthresh" ~default:(float_of_int s.ssthresh));
+        s.w_max <- Cc.import_field kv "w_max" ~default:s.w_max;
+        s.epoch_start <- Cc.import_field kv "epoch_start" ~default:s.epoch_start;
+        s.k <- Cc.import_field kv "k" ~default:s.k;
+        s.w_est <- Cc.import_field kv "w_est" ~default:s.w_est;
+        s.acked_in_epoch <- Cc.import_field kv "acked_in_epoch" ~default:s.acked_in_epoch;
+        s.last_ecn <- Cc.import_field kv "last_ecn" ~default:s.last_ecn;
+        s.min_rtt <- Cc.import_field kv "min_rtt" ~default:s.min_rtt);
   }
 
 let factory ~mss () = create ~mss ()

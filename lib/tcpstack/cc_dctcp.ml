@@ -68,6 +68,29 @@ let create ~mss () =
     on_timeout;
     on_ecn_ack;
     release = (fun () -> ());
+    export =
+      (fun () ->
+        [
+          ("cwnd", float_of_int s.cwnd);
+          ("ssthresh", float_of_int s.ssthresh);
+          ("alpha", s.alpha);
+          ("acked_window", float_of_int s.acked_window);
+          ("marked_window", float_of_int s.marked_window);
+          ("window_reduced", if s.window_reduced then 1.0 else 0.0);
+        ]);
+    import =
+      (fun kv ->
+        s.cwnd <- int_of_float (Cc.import_field kv "cwnd" ~default:(float_of_int s.cwnd));
+        s.ssthresh <-
+          int_of_float (Cc.import_field kv "ssthresh" ~default:(float_of_int s.ssthresh));
+        s.alpha <- Cc.import_field kv "alpha" ~default:s.alpha;
+        s.acked_window <-
+          int_of_float
+            (Cc.import_field kv "acked_window" ~default:(float_of_int s.acked_window));
+        s.marked_window <-
+          int_of_float
+            (Cc.import_field kv "marked_window" ~default:(float_of_int s.marked_window));
+        s.window_reduced <- Cc.import_field kv "window_reduced" ~default:0.0 > 0.5);
   }
 
 let factory ~mss () = create ~mss ()

@@ -40,6 +40,19 @@ let create ~mss () =
           on_loss ~now
         end);
     release = (fun () -> ());
+    export =
+      (fun () ->
+        [
+          ("cwnd", float_of_int s.cwnd);
+          ("ssthresh", float_of_int s.ssthresh);
+          ("last_ecn", s.last_ecn);
+        ]);
+    import =
+      (fun kv ->
+        s.cwnd <- int_of_float (Cc.import_field kv "cwnd" ~default:(float_of_int s.cwnd));
+        s.ssthresh <-
+          int_of_float (Cc.import_field kv "ssthresh" ~default:(float_of_int s.ssthresh));
+        s.last_ecn <- Cc.import_field kv "last_ecn" ~default:s.last_ecn);
   }
 
 let factory ~mss () = create ~mss ()

@@ -77,4 +77,30 @@ let factory g () =
         account acked ~marked:true;
         grow acked);
     release;
+    (* Export/import move the *shared* group state: when a flow migrates,
+       the destination group inherits the source group's window estimate
+       (the flow-count bump already happened in [factory]). *)
+    export =
+      (fun () ->
+        [
+          ("cwnd", float_of_int g.cwnd);
+          ("ssthresh", float_of_int g.ssthresh);
+          ("last_ecn", g.last_ecn);
+          ("acked_window", float_of_int g.acked_window);
+          ("marked_window", float_of_int g.marked_window);
+          ("alpha", g.alpha);
+        ]);
+    import =
+      (fun kv ->
+        g.cwnd <- int_of_float (Cc.import_field kv "cwnd" ~default:(float_of_int g.cwnd));
+        g.ssthresh <-
+          int_of_float (Cc.import_field kv "ssthresh" ~default:(float_of_int g.ssthresh));
+        g.last_ecn <- Cc.import_field kv "last_ecn" ~default:g.last_ecn;
+        g.acked_window <-
+          int_of_float
+            (Cc.import_field kv "acked_window" ~default:(float_of_int g.acked_window));
+        g.marked_window <-
+          int_of_float
+            (Cc.import_field kv "marked_window" ~default:(float_of_int g.marked_window));
+        g.alpha <- Cc.import_field kv "alpha" ~default:g.alpha);
   }

@@ -36,6 +36,32 @@ let insert_range ranges lo hi =
   in
   loop [] 0 lo hi ranges
 
+type snapshot = {
+  s_next_abs : int;
+  s_next_mod : int;
+  s_ranges : (int * int) list;
+  s_fin_abs : int option;
+  s_fin_delivered : bool;
+}
+
+let snapshot t =
+  {
+    s_next_abs = t.next_abs;
+    s_next_mod = t.next_mod;
+    s_ranges = t.ranges;
+    s_fin_abs = t.fin_abs;
+    s_fin_delivered = t.fin_delivered;
+  }
+
+let restore s =
+  {
+    next_abs = s.s_next_abs;
+    next_mod = s.s_next_mod;
+    ranges = s.s_ranges;
+    fin_abs = s.s_fin_abs;
+    fin_delivered = s.s_fin_delivered;
+  }
+
 let offer t ~seq ~len ~fin =
   (* Unwrap the 32-bit sequence number relative to the expected pointer. *)
   let rel = Tcp_seq.diff seq t.next_mod in

@@ -32,3 +32,18 @@ val ooo_ranges : t -> int
 
 val fin_seen : t -> bool
 (** A FIN has been offered (possibly still out of order). *)
+
+type snapshot = {
+  s_next_abs : int;
+  s_next_mod : int;
+  s_ranges : (int * int) list;
+  s_fin_abs : int option;
+  s_fin_delivered : bool;
+}
+(** Full mid-stream state, for live NSM migration — [create] cannot
+    reproduce a reassembler with out-of-order ranges already buffered. *)
+
+val snapshot : t -> snapshot
+
+val restore : snapshot -> t
+(** [restore (snapshot t)] behaves identically to [t]. *)

@@ -32,3 +32,32 @@ let rto t =
   else Float.min t.max_rto (Float.max t.min_rto (t.srtt +. (4.0 *. t.rttvar)))
 
 let has_sample t = t.has_sample
+
+type snapshot = {
+  s_min_rto : float;
+  s_max_rto : float;
+  s_initial_rto : float;
+  s_srtt : float;
+  s_rttvar : float;
+  s_has_sample : bool;
+}
+
+let snapshot t =
+  {
+    s_min_rto = t.min_rto;
+    s_max_rto = t.max_rto;
+    s_initial_rto = t.initial_rto;
+    s_srtt = t.srtt;
+    s_rttvar = t.rttvar;
+    s_has_sample = t.has_sample;
+  }
+
+let restore s =
+  {
+    min_rto = s.s_min_rto;
+    max_rto = s.s_max_rto;
+    initial_rto = s.s_initial_rto;
+    srtt = s.s_srtt;
+    rttvar = s.s_rttvar;
+    has_sample = s.s_has_sample;
+  }

@@ -18,3 +18,18 @@ val rto : t -> float
 (** Current retransmission timeout, clamped to [\[min_rto, max_rto\]]. *)
 
 val has_sample : t -> bool
+
+type snapshot = {
+  s_min_rto : float;
+  s_max_rto : float;
+  s_initial_rto : float;
+  s_srtt : float;
+  s_rttvar : float;
+  s_has_sample : bool;
+}
+(** Serialized estimator state, for live NSM migration. *)
+
+val snapshot : t -> snapshot
+
+val restore : snapshot -> t
+(** [restore (snapshot t)] behaves identically to [t]. *)

@@ -76,6 +76,7 @@ type listener = {
   accept_waiters : ((sock, Types.err) result -> unit) Queue.t;
   mutable syn_count : int;
   mutable l_endpoint_registered : bool;
+  mutable l_paused : bool;  (* drop new SYNs silently (migration quiesce) *)
 }
 
 and conn = {
@@ -356,7 +357,10 @@ let handle_syn t (seg : Segment.t) =
       match lsock.kind with
       | Listener l ->
           let backlog = Int.min l.l_backlog t.cfg.profile.accept_backlog in
-          if l.syn_count + Queue.length l.accept_q >= backlog then
+          if l.l_paused || l.syn_count + Queue.length l.accept_q >= backlog then
+            (* Silent drop, exactly like backlog overflow: the client's SYN
+               RTO retries, and a paused (migrating) listener's retry lands
+               on the destination host once the cut re-points the route. *)
             Nkmon.Registry.incr t.ctr.c_syn_drops
           else begin
             match
@@ -557,6 +561,16 @@ let add_ip t ip =
     if t.cfg.register_vswitch then Vswitch.register_ip t.vswitch ip (input t)
   end
 
+(* Release an IP this stack no longer serves (the VM it belonged to migrated
+   to another host). Without this, in-flight segments for migrated flows
+   would fall through to [send_rst] and reset the very connections the
+   migration preserved. *)
+let remove_ip t ip =
+  if owns_ip t ip then begin
+    t.ips <- List.filter (fun x -> x <> ip) t.ips;
+    if t.cfg.register_vswitch then Vswitch.unregister_ip t.vswitch ip
+  end
+
 (* ---- socket operations --------------------------------------------------- *)
 
 let socket t = fresh_sock t ~qidx:0
@@ -601,6 +615,7 @@ let listen t s ~backlog =
             accept_waiters = Queue.create ();
             syn_count = 0;
             l_endpoint_registered = external_ip;
+            l_paused = false;
           }
         in
         s.kind <- Listener l;
@@ -610,6 +625,15 @@ let listen t s ~backlog =
       end
   | Fresh, None -> Error Types.Einval
   | (Listener _ | Conn _ | Sclosed), _ -> Error Types.Einval
+
+(* Migration quiesce: keep the listener serving in-flight handshakes and
+   queued accepts, but silently drop fresh SYNs (their RTO retry finds the
+   destination host). Irreversible by design — the socket is closed at the
+   migration cut moments later. *)
+let pause_listener _t s =
+  match s.kind with
+  | Listener l -> l.l_paused <- true
+  | Fresh | Conn _ | Sclosed -> ()
 
 let accept t s ~k =
   match s.kind with
@@ -774,3 +798,83 @@ let abort _t s =
   | Conn c -> Tcb.abort c.tcb
   | Fresh | Sclosed -> s.kind <- Sclosed
   | Listener _ -> ()
+
+(* ---- Connection export/import (live NSM migration) --------------------- *)
+
+type export = {
+  e_snapshot : Tcb.Snapshot.t;
+  e_registry_flow : Addr.Flow.t; (* client -> server *)
+  e_registry_isn : int;
+  e_established : bool;
+  e_endpoint_registered : bool;
+  e_flow_registered : bool;
+}
+
+let export_conn t s =
+  match s.kind with
+  | Conn c when Tcb.state c.tcb <> Tcb.Closed ->
+      let flow = Tcb.flow c.tcb in
+      let rflow, isn = c.registry_key in
+      let ex =
+        {
+          e_snapshot = Tcb.snapshot c.tcb;
+          e_registry_flow = rflow;
+          e_registry_isn = isn;
+          e_established = c.established;
+          e_endpoint_registered = c.c_endpoint_registered;
+          e_flow_registered = c.c_flow_registered;
+        }
+      in
+      (* Quiet teardown: the connection lives on at the destination, so no
+         RST, no [on_destroy], and crucially no [Conn_registry.remove] —
+         the content channel is the migrating flow's byte stream. *)
+      Tcb.detach c.tcb;
+      Flow_table.remove t.conns flow;
+      unregister_endpoints t s;
+      s.kind <- Sclosed;
+      Ok ex
+  | Conn _ -> Error Types.Eclosed
+  | Fresh | Listener _ | Sclosed -> Error Types.Enotconn
+
+let import_conn t ex =
+  match Conn_registry.lookup t.registry ~flow:ex.e_registry_flow ~isn:ex.e_registry_isn with
+  | None ->
+      (* The peer tore the channel down while the snapshot was in flight:
+         nothing left to resume. *)
+      Error Types.Econnreset
+  | Some channel ->
+      let flow = ex.e_snapshot.Tcb.Snapshot.s_flow in
+      let role =
+        (* The registry key is the client->server flow: when it matches the
+           connection's own local->remote flow, this side is the active
+           opener and writes [c2s]. *)
+        if Addr.Flow.equal ex.e_registry_flow flow then `Client else `Server
+      in
+      let s = fresh_sock t ~qidx:(next_queue t) in
+      s.local <- Some flow.Addr.Flow.src;
+      s.peer <- Some flow.Addr.Flow.dst;
+      let act = make_actions t s ~flow ~role:(`Active (fun _ -> ())) in
+      let tcb = Tcb.restore ~act ~cc:(t.cfg.cc_factory ()) ~channel ~role ex.e_snapshot in
+      let c =
+        {
+          tcb;
+          registry_key = (ex.e_registry_flow, ex.e_registry_isn);
+          established = ex.e_established;
+          error = None;
+          c_endpoint_registered = false;
+          c_flow_registered = false;
+        }
+      in
+      s.kind <- Conn c;
+      Flow_table.replace t.conns flow s;
+      if t.cfg.register_vswitch then begin
+        if ex.e_endpoint_registered then begin
+          Vswitch.register_endpoint t.vswitch flow.Addr.Flow.src (input t);
+          c.c_endpoint_registered <- true
+        end;
+        if ex.e_flow_registered then begin
+          Vswitch.register_flow t.vswitch (Addr.Flow.reverse flow) t.self_input;
+          c.c_flow_registered <- true
+        end
+      end;
+      Ok s

@@ -73,6 +73,11 @@ val config : t -> config
 val add_ip : t -> Addr.ip -> unit
 (** Own [ip]: the host vswitch routes its segments to this stack. *)
 
+val remove_ip : t -> Addr.ip -> unit
+(** Disown [ip] (its VM migrated to another host): the vswitch entry is
+    released so stray segments fall through to the vswitch's silent drop
+    instead of drawing an RST from this stack. *)
+
 val owns_ip : t -> Addr.ip -> bool
 
 val default_ip : t -> Addr.ip
@@ -86,6 +91,11 @@ val bind : t -> sock -> Addr.t -> (unit, Types.err) result
 
 val listen : t -> sock -> backlog:int -> (unit, Types.err) result
 (** The effective backlog is capped by the profile's [accept_backlog]. *)
+
+val pause_listener : t -> sock -> unit
+(** Migration quiesce: silently drop fresh SYNs (like a backlog overflow —
+    the client's SYN RTO retries) while in-flight handshakes and queued
+    accepts keep settling. Irreversible; no-op on non-listeners. *)
 
 val accept : t -> sock -> k:((sock, Types.err) result -> unit) -> unit
 (** Blocks (queues the continuation) until a connection is established. *)
@@ -123,6 +133,33 @@ val sock_core : t -> sock -> Sim.Cpu.t
 
 val input : t -> Segment.t -> unit
 (** Entry point registered with the vswitch. *)
+
+(** {1 Connection export/import (live NSM migration)} *)
+
+type export = {
+  e_snapshot : Tcb.Snapshot.t;
+  e_registry_flow : Addr.Flow.t;  (** client → server flow (registry key) *)
+  e_registry_isn : int;
+  e_established : bool;
+  e_endpoint_registered : bool;
+  e_flow_registered : bool;
+}
+(** Everything the destination stack needs to resume the connection: the
+    TCB image plus the content-channel key and vswitch registrations. *)
+
+val export_conn : t -> sock -> (export, Types.err) result
+(** Detach an established connection quietly: snapshot the TCB, cancel its
+    timers, drop it from the flow table and the vswitch — without emitting
+    a segment, firing callbacks, or removing the {!Conn_registry} channel
+    (the byte streams migrate with the snapshot). The sock becomes closed.
+    [Enotconn] for non-connection socks, [Eclosed] for dead ones. *)
+
+val import_conn : t -> export -> (sock, Types.err) result
+(** Resume an exported connection on this stack: rebuilds the TCB over the
+    original content channel ({!Conn_registry.lookup}), re-registers the
+    vswitch endpoint/flow pins the source held, and re-arms timers.
+    [Econnreset] if the channel vanished while the snapshot was in
+    flight. *)
 
 (** {1 Statistics} *)
 

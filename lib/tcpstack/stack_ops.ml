@@ -12,10 +12,12 @@ type t = {
   name : string;
   engine : Sim.Engine.t;
   add_ip : Addr.ip -> unit;
+  remove_ip : Addr.ip -> unit;
   new_listener :
     addr:Addr.t -> backlog:int -> on_accept:(conn -> peer:Addr.t -> unit) ->
     (listener, Types.err) result;
   close_listener : listener -> unit;
+  pause_listener : listener -> unit;
   connect : dst:Addr.t -> k:((conn, Types.err) result -> unit) -> unit;
   send : conn -> Types.payload -> k:((int, Types.err) result -> unit) -> unit;
   recv :
@@ -29,11 +31,14 @@ type t = {
   conn_peer : conn -> Addr.t option;
   conn_local : conn -> Addr.t option;
   conn_error : conn -> Types.err option;
+  import_conn : Stack.export -> (conn, Types.err) result;
   default_core : Sim.Cpu.t;
   epoll_wake_cycles : float;
 }
 
 let conn_of_sock stack sock = { c_stack = stack; c_sock = sock }
+
+let export_conn c = Stack.export_conn c.c_stack c.c_sock
 
 let conn_stack c = c.c_stack
 
@@ -89,13 +94,19 @@ let close_listener_handle l =
     List.iter (fun (stack, sock) -> Stack.close stack sock) l.parts
   end
 
+let pause_listener_handle l =
+  if l.l_open then
+    List.iter (fun (stack, sock) -> Stack.pause_listener stack sock) l.parts
+
 let of_stack stack =
   {
     name = Stack.name stack;
     engine = Stack.engine stack;
     add_ip = Stack.add_ip stack;
+    remove_ip = Stack.remove_ip stack;
     new_listener = (fun ~addr ~backlog ~on_accept -> listener_on stack ~addr ~backlog ~on_accept);
     close_listener = close_listener_handle;
+    pause_listener = pause_listener_handle;
     connect =
       (fun ~dst ~k ->
         let s = Stack.socket stack in
@@ -113,6 +124,11 @@ let of_stack stack =
     conn_peer = (fun c -> Stack.peer_addr c.c_stack c.c_sock);
     conn_local = (fun c -> Stack.local_addr c.c_stack c.c_sock);
     conn_error = (fun c -> Stack.sock_error c.c_stack c.c_sock);
+    import_conn =
+      (fun ex ->
+        match Stack.import_conn stack ex with
+        | Ok s -> Ok { c_stack = stack; c_sock = s }
+        | Error e -> Error e);
     default_core = Sim.Cpu.Set.core (Stack.cores stack) 0;
     epoll_wake_cycles = (Stack.config stack).Stack.profile.Sim.Cost_profile.epoll_wake;
   }

@@ -18,10 +18,15 @@ type t = {
   name : string;
   engine : Sim.Engine.t;
   add_ip : Addr.ip -> unit;
+  remove_ip : Addr.ip -> unit;
+      (** release an IP (live migration moved its VM off this stack) *)
   new_listener :
     addr:Addr.t -> backlog:int -> on_accept:(conn -> peer:Addr.t -> unit) ->
     (listener, Types.err) result;
   close_listener : listener -> unit;
+  pause_listener : listener -> unit;
+      (** migration quiesce: drop fresh SYNs silently, keep settling
+          in-flight handshakes and queued accepts ({!Stack.pause_listener}) *)
   connect : dst:Addr.t -> k:((conn, Types.err) result -> unit) -> unit;
   send : conn -> Types.payload -> k:((int, Types.err) result -> unit) -> unit;
   recv :
@@ -35,6 +40,9 @@ type t = {
   conn_peer : conn -> Addr.t option;
   conn_local : conn -> Addr.t option;
   conn_error : conn -> Types.err option;
+  import_conn : Stack.export -> (conn, Types.err) result;
+      (** resume a connection exported from another stack (live NSM
+          migration); the backend picks which shard hosts it *)
   default_core : Sim.Cpu.t;
   epoll_wake_cycles : float;
 }
@@ -59,6 +67,13 @@ val listener_on_group :
 
 val close_listener_handle : listener -> unit
 
+val pause_listener_handle : listener -> unit
+
 val conn_stack : conn -> Stack.t
 
 val conn_sock : conn -> Stack.sock
+
+val export_conn : conn -> (Stack.export, Types.err) result
+(** Quietly detach the connection from whichever stack owns it and return
+    the serialized state ({!Stack.export_conn}); works for any backend
+    because the handle carries its shard. *)

@@ -560,7 +560,9 @@ let input t (seg : Segment.t) =
 (* ---- Application interface --------------------------------------------- *)
 
 let write t payload =
-  if not (can_send_state t) then 0
+  (* A detached TCB (migrated away) shares its fifo with the live copy:
+     late application calls must not touch the stream. *)
+  if t.destroyed || not (can_send_state t) then 0
   else begin
     let len = Types.payload_len payload in
     let accept = Int.min len (sndbuf_available t) in
@@ -577,7 +579,8 @@ let write t payload =
   end
 
 let read t ~max ~mode =
-  if t.recv_ready > 0 && max > 0 then begin
+  if t.destroyed then None
+  else if t.recv_ready > 0 && max > 0 then begin
     let n = Int.min max t.recv_ready in
     let payload =
       match mode with
@@ -609,7 +612,9 @@ let read t ~max ~mode =
   else None
 
 let close t =
-  match t.state with
+  if t.destroyed then ()
+  else
+    match t.state with
   | Closed | Time_wait | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack -> ()
   | Syn_sent ->
       (* Nothing established yet: just go away. *)
@@ -619,6 +624,167 @@ let close t =
       send_fin_if_needed t
 
 let destroy_quiet t = destroy t
+
+(* ---- Serialization (live NSM migration) -------------------------------- *)
+
+module Snapshot = struct
+  type retx = { rs_seq : int; rs_len : int; rs_syn : bool; rs_fin : bool; rs_retx : int }
+
+  type full = {
+    s_flow : Addr.Flow.t;
+    s_cfg : config;
+    s_state : state;
+    s_iss : int;
+    s_snd_una : int;
+    s_snd_nxt : int;
+    s_snd_wnd : int;
+    s_reasm : Reassembly.snapshot option;
+    s_rtt : Rtt_estimator.snapshot;
+    s_cc_name : string;
+    s_cc_state : (string * float) list;
+    s_send_pending : int;
+    s_fin_queued : bool;
+    s_fin_sent : bool;
+    s_retxq : retx list;
+    s_rto_armed : bool;
+    s_rto_backoff : float;
+    s_persist_armed : bool;
+    s_dupacks : int;
+    s_recover : int;
+    s_in_recovery : bool;
+    s_rwnd_limit : int;
+    s_recv_ready : int;
+    s_fin_received : bool;
+    s_eof_delivered : bool;
+    s_peer_ts : float;
+    s_last_adv_wnd : int;
+    s_ce_to_echo : bool;
+    s_retransmissions : int;
+    s_bytes_sent : int;
+    s_bytes_received : int;
+  }
+
+  type t = full
+end
+
+let snapshot t =
+  {
+    Snapshot.s_flow = t.flow;
+    s_cfg = t.cfg;
+    s_state = t.state;
+    s_iss = t.iss;
+    s_snd_una = t.snd_una;
+    s_snd_nxt = t.snd_nxt;
+    s_snd_wnd = t.snd_wnd;
+    s_reasm = Option.map Reassembly.snapshot t.reasm;
+    s_rtt = Rtt_estimator.snapshot t.rtt;
+    s_cc_name = t.cc.Cc.name;
+    s_cc_state = t.cc.Cc.export ();
+    s_send_pending = t.send_pending;
+    s_fin_queued = t.fin_queued;
+    s_fin_sent = t.fin_sent;
+    s_retxq =
+      List.rev
+        (Queue.fold
+           (fun acc (i : retx_item) ->
+             { Snapshot.rs_seq = i.seq; rs_len = i.len; rs_syn = i.syn; rs_fin = i.fin;
+               rs_retx = i.retx }
+             :: acc)
+           [] t.retxq);
+    s_rto_armed = t.rto_timer <> None;
+    s_rto_backoff = t.rto_backoff;
+    s_persist_armed = t.persist_timer <> None;
+    s_dupacks = t.dupacks;
+    s_recover = t.recover;
+    s_in_recovery = t.in_recovery;
+    s_rwnd_limit = t.rwnd_limit;
+    s_recv_ready = t.recv_ready;
+    s_fin_received = t.fin_received;
+    s_eof_delivered = t.eof_delivered;
+    s_peer_ts = t.peer_ts;
+    s_last_adv_wnd = t.last_adv_wnd;
+    s_ce_to_echo = t.ce_to_echo;
+    s_retransmissions = t.retransmissions;
+    s_bytes_sent = t.bytes_sent;
+    s_bytes_received = t.bytes_received;
+  }
+
+(* Quiet detach for the source side of a migration: stop all timers and
+   release shared CC state without emitting a segment or firing any
+   callback — the connection lives on elsewhere, so the usual destroy
+   notifications would be lies. *)
+let detach t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    cancel_timer_opt t t.rto_timer;
+    t.rto_timer <- None;
+    cancel_timer_opt t t.persist_timer;
+    t.persist_timer <- None;
+    t.cc.Cc.release ()
+  end
+
+let restore ~act ~cc ~channel ~role (s : Snapshot.t) =
+  if String.equal cc.Cc.name s.Snapshot.s_cc_name then cc.Cc.import s.Snapshot.s_cc_state;
+  let write_fifo, read_fifo =
+    match role with
+    | `Client -> (channel.Conn_registry.c2s, channel.Conn_registry.s2c)
+    | `Server -> (channel.Conn_registry.s2c, channel.Conn_registry.c2s)
+  in
+  let t =
+    {
+      flow = s.Snapshot.s_flow;
+      cfg = s.Snapshot.s_cfg;
+      act;
+      cc;
+      rtt = Rtt_estimator.restore s.Snapshot.s_rtt;
+      write_fifo;
+      read_fifo;
+      state = s.Snapshot.s_state;
+      iss = s.Snapshot.s_iss;
+      snd_una = s.Snapshot.s_snd_una;
+      snd_nxt = s.Snapshot.s_snd_nxt;
+      snd_wnd = s.Snapshot.s_snd_wnd;
+      reasm = Option.map Reassembly.restore s.Snapshot.s_reasm;
+      send_pending = s.Snapshot.s_send_pending;
+      fin_queued = s.Snapshot.s_fin_queued;
+      fin_sent = s.Snapshot.s_fin_sent;
+      retxq = Queue.create ();
+      rto_timer = None;
+      rto_backoff = s.Snapshot.s_rto_backoff;
+      persist_timer = None;
+      dupacks = s.Snapshot.s_dupacks;
+      recover = s.Snapshot.s_recover;
+      in_recovery = s.Snapshot.s_in_recovery;
+      rwnd_limit = s.Snapshot.s_rwnd_limit;
+      recv_ready = s.Snapshot.s_recv_ready;
+      fin_received = s.Snapshot.s_fin_received;
+      eof_delivered = s.Snapshot.s_eof_delivered;
+      peer_ts = s.Snapshot.s_peer_ts;
+      last_adv_wnd = s.Snapshot.s_last_adv_wnd;
+      ce_to_echo = s.Snapshot.s_ce_to_echo;
+      retransmissions = s.Snapshot.s_retransmissions;
+      bytes_sent = s.Snapshot.s_bytes_sent;
+      bytes_received = s.Snapshot.s_bytes_received;
+      destroyed = false;
+    }
+  in
+  List.iter
+    (fun (r : Snapshot.retx) ->
+      Queue.add
+        { seq = r.Snapshot.rs_seq; len = r.rs_len; syn = r.rs_syn; fin = r.rs_fin;
+          retx = r.rs_retx }
+        t.retxq)
+    s.Snapshot.s_retxq;
+  (match t.state with
+  | Time_wait ->
+      (* The residual 2*MSL dwell restarts from scratch; it only delays the
+         TCB's disappearance, never its behaviour. *)
+      ignore (t.act.set_timer ~delay:t.cfg.time_wait (fun () -> destroy t))
+  | Syn_sent | Syn_rcvd | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
+  | Last_ack | Closed ->
+      if s.Snapshot.s_rto_armed then arm_rto t);
+  if s.Snapshot.s_persist_armed then arm_persist t;
+  t
 
 let abort t =
   if not t.destroyed then begin

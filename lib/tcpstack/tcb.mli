@@ -115,6 +115,72 @@ val destroy_quiet : t -> unit
 (** Tear the TCB down without emitting anything (e.g. when a TIME_WAIT
     incarnation is replaced by a fresh SYN, RFC 6191 style). *)
 
+(** {1 Serialization (live NSM migration)} *)
+
+(** A complete, concrete image of the control block's mutable state. *)
+module Snapshot : sig
+  type retx = { rs_seq : int; rs_len : int; rs_syn : bool; rs_fin : bool; rs_retx : int }
+
+  type full = {
+    s_flow : Addr.Flow.t;
+    s_cfg : config;
+    s_state : state;
+    s_iss : int;
+    s_snd_una : int;
+    s_snd_nxt : int;
+    s_snd_wnd : int;
+    s_reasm : Reassembly.snapshot option;
+    s_rtt : Rtt_estimator.snapshot;
+    s_cc_name : string;
+    s_cc_state : (string * float) list;
+    s_send_pending : int;
+    s_fin_queued : bool;
+    s_fin_sent : bool;
+    s_retxq : retx list;
+    s_rto_armed : bool;
+    s_rto_backoff : float;
+    s_persist_armed : bool;
+    s_dupacks : int;
+    s_recover : int;
+    s_in_recovery : bool;
+    s_rwnd_limit : int;
+    s_recv_ready : int;
+    s_fin_received : bool;
+    s_eof_delivered : bool;
+    s_peer_ts : float;
+    s_last_adv_wnd : int;
+    s_ce_to_echo : bool;
+    s_retransmissions : int;
+    s_bytes_sent : int;
+    s_bytes_received : int;
+  }
+
+  type t = full
+end
+
+val snapshot : t -> Snapshot.t
+(** Pure read of the full connection state; the TCB keeps running. *)
+
+val detach : t -> unit
+(** Quiet source-side teardown after a snapshot has been shipped: cancels
+    timers and releases shared CC state without emitting a segment or
+    firing [on_destroy]/[on_error] — the connection continues elsewhere. *)
+
+val restore :
+  act:actions ->
+  cc:Cc.t ->
+  channel:Conn_registry.channel ->
+  role:[ `Client | `Server ] ->
+  Snapshot.t ->
+  t
+(** Rebuild a TCB from a snapshot on the destination stack. [cc] must be a
+    fresh controller from the same factory family; its state is imported
+    when the names match. [channel] must be the original content channel
+    (from {!Conn_registry.lookup} — registering anew would discard the byte
+    streams); [role] says which direction this side writes ([`Client] =
+    active opener writes [c2s]). RTO/persist/TIME_WAIT timers are re-armed
+    as recorded. *)
+
 (** {1 Observers} *)
 
 val state : t -> state

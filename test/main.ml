@@ -18,6 +18,8 @@ let () =
       ("nk-faults", Test_nk_faults.tests);
       ("extensions", Test_extensions.tests);
       ("nkctl", Test_nkctl.tests);
+      ("nkfabric", Test_nkfabric.tests);
+      ("tcb-roundtrip", Test_tcb_roundtrip.tests);
       ("nkspan", Test_nkspan.tests);
       ("nklint", Test_nklint.tests);
     ]

@@ -314,10 +314,45 @@ let ce_autoscale_under_load () =
   if r.Nkapps.Loadgen.completed = 0 then Alcotest.fail "no requests completed";
   Alcotest.(check int) "no errors across the scale-out" 0 r.Nkapps.Loadgen.errors
 
+(* Regression: handover (or manage/add_vm) targeting a retired or crashed
+   NSM used to re-add the corpse to the pool and silently pin the VM's
+   flows on a module CoreEngine no longer polls. It must raise instead,
+   leaving the VM's home and the pool untouched. *)
+let handover_to_dead_nsm_rejected () =
+  let tb = Testbed.create () in
+  let hosta = Testbed.add_host tb ~name:"hostA" in
+  let nsm1 = Nsm.create_kernel hosta ~name:"nsm1" ~vcpus:1 () in
+  let nsm2 = Nsm.create_kernel hosta ~name:"nsm2" ~vcpus:1 () in
+  let nsm3 = Nsm.create_kernel hosta ~name:"nsm3" ~vcpus:1 () in
+  let ctl = Nkctl.create hosta ~spawn:no_spawn () in
+  Nkctl.manage ctl nsm1;
+  let vm = Vm.create_nk hosta ~name:"vm" ~vcpus:1 ~ips:[ 10 ] ~nsms:[ nsm1 ] () in
+  Nkctl.add_vm ctl vm ~home:nsm1;
+  Nsm.retire nsm2;
+  Nsm.fail nsm3;
+  let expect_invalid name f =
+    match f () with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "handover to retired" (fun () ->
+      Nkctl.handover ctl ~vm ~target:nsm2);
+  expect_invalid "handover to crashed" (fun () ->
+      Nkctl.handover ctl ~vm ~target:nsm3);
+  expect_invalid "manage retired" (fun () -> Nkctl.manage ctl nsm2);
+  expect_invalid "add_vm homed on crashed" (fun () ->
+      Nkctl.add_vm ctl vm ~home:nsm3);
+  Alcotest.(check int) "dead NSMs never entered the pool" 1 (Nkctl.pool_size ctl);
+  Alcotest.(check int) "live NSM still active" 1
+    (List.length (Nkctl.active_nsms ctl));
+  Alcotest.(check int) "no handover recorded" 0 (Nkctl.stats ctl).Nkctl.handovers
+
 let tests =
   [
     Alcotest.test_case "deregister_nsm reclaims conn-table routes" `Quick
       deregister_nsm_cleans_tables;
+    Alcotest.test_case "handover/manage reject a retired or crashed NSM" `Quick
+      handover_to_dead_nsm_rejected;
     Alcotest.test_case "autoscale up at spike, down at trough" `Quick
       autoscale_up_then_down;
     Alcotest.test_case "crash failover: errors not hangs, data intact" `Quick

@@ -27,6 +27,11 @@ let d1_wall_clock () =
 
 let d1_randomness () =
   check_diags "ambient Random flagged" [ ("D1", 1) ] "let x = Random.int 5";
+  (* The cluster fabric lives under lib/ like everything else: migration
+     decisions must come from the seeded Rng, never ambient randomness. *)
+  check_diags "ambient Random flagged under lib/nkfabric/"
+    [ ("D1", 1) ]
+    ~path:"lib/nkfabric/nkfabric.ml" "let pick = Random.int 2";
   check_diags "Random.self_init flagged" [ ("D1", 1) ] "let () = Random.self_init ()";
   check_diags "seeded Nkutil.Rng is the sanctioned source" []
     "let r = Nkutil.Rng.create ~seed:7\nlet x = Nkutil.Rng.int r 5"

@@ -34,13 +34,26 @@ if ! diff -q "$cat1" "$cat2" >/dev/null; then
   exit 1
 fi
 echo "check.sh: latency-breakdown catapult determinism smoke OK"
+# Cluster smoke: the quick fig-cluster run (two hosts, one live cross-host
+# NSM migration over the Nkfabric spine) is executed twice and the CSVs
+# diffed — migration, relay and spine shipping must all be deterministic.
+cl1=$(mktemp) cl2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$cat1" "$cat2" "$cl1" "$cl2"' EXIT
+dune exec bin/nk.exe -- run cluster --quick --csv > "$cl1"
+dune exec bin/nk.exe -- run cluster --quick --csv > "$cl2"
+if ! diff -q "$cl1" "$cl2" >/dev/null; then
+  echo "check.sh: cluster runs diverged (nondeterminism in Nkfabric):" >&2
+  diff "$cl1" "$cl2" >&2 || true
+  exit 1
+fi
+echo "check.sh: cluster determinism smoke OK"
 # Bench drift gate: fresh quick-mode snapshots are diffed against the
 # committed BENCH_<id>.json baselines. The simulated metric tables are
 # deterministic, so any drift beyond the tolerance is a behaviour change
 # that must be acknowledged by regenerating the baseline
 # (`dune exec bin/nk.exe -- bench <id> -o BENCH_<id>.json`). Wall-clock
 # is reported as a ratio only, never gated.
-for id in ce-scale latency-breakdown; do
+for id in ce-scale latency-breakdown cluster; do
   snap=$(mktemp)
   dune exec bin/nk.exe -- bench "$id" -o "$snap"
   dune exec bin/nk.exe -- bench --compare "BENCH_$id.json,$snap"
