@@ -248,6 +248,8 @@ let conn_counter t nsm_id =
   | Some r -> r
   | None ->
       let r = ref 0 in
+      (* Internal to the accessors: the cross-shard charge happened at the
+         table_add/table_remove entry point. (* nkscope: ce-owner *) *)
       Hashtbl.replace t.nsm_conns nsm_id r;
       r
 
@@ -350,8 +352,13 @@ let forget_vm_routes t ~vm_id ~nsm_id =
       t.conn_table []
   in
   List.iter (table_remove t) keys;
-  ctl_event t "forget_vm_routes"
-    (Printf.sprintf "vm=%d nsm=%d routes=%d" vm_id nsm_id (List.length keys));
+  (* No routes matched (nothing pointed at [nsm_id], or a second call after
+     the first already cleared them): a true no-op, including the trace — a
+     spurious ctl event would make repeated unwinds non-idempotent in the
+     Nkmon stream. *)
+  if keys <> [] then
+    ctl_event t "forget_vm_routes"
+      (Printf.sprintf "vm=%d nsm=%d routes=%d" vm_id nsm_id (List.length keys));
   List.length keys
 
 let set_rate_limit ?burst t ~vm_id ~bytes_per_sec =

@@ -2,6 +2,8 @@ type group = {
   mss : int;
   mutable cwnd : int; (* shared window, bytes *)
   mutable ssthresh : int;
+  (* Not exported: the destination group's flow count was already bumped by
+     [factory] when the migrating flow attached. (* nkscope: volatile *) *)
   mutable n : int; (* active flows *)
   mutable last_ecn : float;
   (* DCTCP-style proportional ECN response over the shared window: a flat

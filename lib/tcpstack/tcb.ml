@@ -78,8 +78,10 @@ type t = {
   act : actions;
   cc : Cc.t;
   rtt : Rtt_estimator.t;
-  write_fifo : Nkutil.Byte_fifo.t;
-  read_fifo : Nkutil.Byte_fifo.t;
+  (* The fifos belong to the conn-registry channel [restore] is handed — the
+     payload bytes migrate with the channel, not the TCB. *)
+  write_fifo : Nkutil.Byte_fifo.t; (* nkscope: volatile *)
+  read_fifo : Nkutil.Byte_fifo.t; (* nkscope: volatile *)
   mutable state : state;
   mutable iss : int;
   mutable snd_una : int;
@@ -106,7 +108,8 @@ type t = {
   mutable retransmissions : int;
   mutable bytes_sent : int;
   mutable bytes_received : int;
-  mutable destroyed : bool;
+  (* A restored copy is live by definition; the source side is detached. *)
+  mutable destroyed : bool; (* nkscope: volatile *)
 }
 
 let state t = t.state

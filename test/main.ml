@@ -22,4 +22,5 @@ let () =
       ("tcb-roundtrip", Test_tcb_roundtrip.tests);
       ("nkspan", Test_nkspan.tests);
       ("nklint", Test_nklint.tests);
+      ("nkscope", Test_nkscope.tests);
     ]

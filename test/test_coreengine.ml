@@ -168,6 +168,40 @@ let device_overflow_backpressure () =
   Alcotest.(check int) "overflow refills the ring" 2 (Ring.length s.Queue_set.job);
   Alcotest.(check int) "still nothing lost" 3 (Nk_device.outbound_pending dev ~qset:0)
 
+let forget_vm_routes_edge_cases () =
+  let engine = E.create () in
+  let core = Sim.Cpu.create engine ~name:"ce" () in
+  let mon = Nkmon.create ~trace_enabled:true ~now:(fun () -> E.now engine) () in
+  let ce = Coreengine.create ~engine ~cores:[| core |] ~mon Nk_costs.default in
+  let vm = mk_device ~id:1 ~role:Nk_device.Vm_side ~qsets:1 in
+  let nsm = mk_device ~id:1 ~role:Nk_device.Nsm_side ~qsets:1 in
+  Coreengine.register_vm ce vm;
+  Coreengine.register_nsm ce nsm;
+  Coreengine.attach ce ~vm_id:1 ~nsm_ids:[ 1 ];
+  Nk_device.post vm ~qset:0 `Job (encode Nqe.Socket ~vm_id:1 ~qset:0 ~sock:7 ());
+  E.run engine;
+  Alcotest.(check int) "one route installed" 1 (Coreengine.conn_table_size ce);
+  let traced () = Nkmon.Trace.recorded (Nkmon.trace mon) in
+  let dump = Coreengine.dump_conn_table ce in
+  let before = traced () in
+  (* No routes match: both calls are complete no-ops — no drops, no table
+     churn, and crucially no ctl trace event claiming an unwind happened. *)
+  Alcotest.(check int) "wrong nsm drops nothing" 0
+    (Coreengine.forget_vm_routes ce ~vm_id:1 ~nsm_id:99);
+  Alcotest.(check int) "unknown vm drops nothing" 0
+    (Coreengine.forget_vm_routes ce ~vm_id:2 ~nsm_id:1);
+  Alcotest.(check int) "no-op calls emit no trace events" before (traced ());
+  Alcotest.(check string) "table untouched" dump (Coreengine.dump_conn_table ce);
+  (* The real unwind fires once and is traced once... *)
+  Alcotest.(check int) "matching call drops the route" 1
+    (Coreengine.forget_vm_routes ce ~vm_id:1 ~nsm_id:1);
+  Alcotest.(check int) "table empty" 0 (Coreengine.conn_table_size ce);
+  Alcotest.(check int) "one trace event" (before + 1) (traced ());
+  (* ...and repeating it is idempotent, trace included. *)
+  Alcotest.(check int) "double call is a no-op" 0
+    (Coreengine.forget_vm_routes ce ~vm_id:1 ~nsm_id:1);
+  Alcotest.(check int) "still one trace event" (before + 1) (traced ())
+
 let tests =
   [
     Alcotest.test_case "vm->nsm switching + queue pinning" `Quick vm_to_nsm_switching;
@@ -177,4 +211,5 @@ let tests =
     Alcotest.test_case "rate limit defers sends" `Quick rate_limit_defers_sends;
     Alcotest.test_case "control ops bypass the bucket" `Quick control_not_rate_limited;
     Alcotest.test_case "device overflow backpressure" `Quick device_overflow_backpressure;
+    Alcotest.test_case "forget_vm_routes edge cases" `Quick forget_vm_routes_edge_cases;
   ]

@@ -147,6 +147,40 @@ let h1_hot_path_decode () =
     ~path:"test/coreengine.ml" []
     "let f raw = Nqe.decode raw"
 
+(* ---- W1: waivers cannot rot -------------------------------------------- *)
+
+let w1_stale_waivers () =
+  check_diags "stale waiver is itself reported"
+    [ ("W1", 1) ]
+    "(* nklint: ordered-ok *)\nlet f x = x + 1";
+  check_diags "used waiver is not reported" []
+    "(* nklint: ordered-ok *)\nlet f tbl = Hashtbl.fold (fun _ _ acc -> acc) tbl 0";
+  check_diags "unknown nklint token is reported"
+    [ ("W1", 1) ]
+    "(* nklint: frobnicate *)\nlet f x = x + 1";
+  check_diags "token quoted in a string literal is fixture text" []
+    "let s = \"(* nklint: ordered-ok *)\\nlet f = Hashtbl.fold\"";
+  (* nkscope owns its tokens inside lib/ .ml files; elsewhere they can never
+     suppress anything. *)
+  check_diags "nkscope token outside lib/ is reported" ~path:"bin/fixture.ml"
+    [ ("W1", 1) ]
+    "(* nkscope: volatile *)\nlet f x = x + 1";
+  check_diags "nkscope token under lib/ is left to nkscope" []
+    "(* nkscope: volatile *)\nlet f x = x + 1";
+  check_diags "unknown nkscope token is reported anywhere"
+    [ ("W1", 1) ]
+    "(* nkscope: volatil *)\nlet f x = x + 1"
+
+(* ---- JSON output ------------------------------------------------------- *)
+
+let json_format () =
+  let d = { L.file = "lib/a.ml"; line = 3; col = 7; rule = "D1"; msg = "say \"hi\"\n" } in
+  Alcotest.(check string)
+    "escaping"
+    "{\"file\":\"lib/a.ml\",\"line\":3,\"col\":7,\"rule\":\"D1\",\"msg\":\"say \\\"hi\\\"\\n\"}"
+    (L.to_json d);
+  Alcotest.(check string) "empty array" "[]" (L.to_json_array [])
+
 (* ---- S1: span stage begin/end pairing --------------------------------- *)
 
 let s1_uses ~path src = L.stage_uses_of_source ~path src
@@ -235,6 +269,8 @@ let tests =
     Alcotest.test_case "P1 NQE wire invariants" `Quick p1_wire;
     Alcotest.test_case "P1 holds on the real codec" `Quick p1_real_codec;
     Alcotest.test_case "H1 hot-path NQE decode" `Quick h1_hot_path_decode;
+    Alcotest.test_case "W1 stale waivers" `Quick w1_stale_waivers;
+    Alcotest.test_case "JSON output" `Quick json_format;
     Alcotest.test_case "S1 span stage pairing" `Quick s1_span_pairing;
     Alcotest.test_case "conn-table dump determinism" `Quick conn_table_dump_deterministic;
   ]

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Repo check: tier-1 build + tests + nklint static analysis, plus a format
+# Repo check: tier-1 build + tests + static analysis, plus a format
 # check when ocamlformat is available (the pinned version is in
 # .ocamlformat; the build does not require it, so environments without it
 # skip the formatting step).
@@ -7,6 +7,10 @@ set -e
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
+# @lint runs nklint (syntactic, DESIGN.md §10) over lib/ bin/ bench/ test/,
+# then nkscope (typedtree interprocedural, DESIGN.md §15) over the .cmt
+# artifacts `dune build` just produced — the lint rule depends on the
+# default alias with sandboxing off, so nkscope never recompiles the tree.
 dune build @lint
 # Determinism smoke: the sharded CoreEngine must give byte-identical results
 # run-to-run, so the quick CE-scaling sweep is executed twice and the CSVs

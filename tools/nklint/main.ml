@@ -1,6 +1,7 @@
-(* nklint CLI: [nklint PATH...] lints every .ml/.mli under the given files
-   or directories and exits nonzero if any diagnostic fires. Wired into the
-   build as [dune build @lint] (see the root dune file) and tools/check.sh. *)
+(* nklint CLI: [nklint [--format text|json] PATH...] lints every .ml/.mli
+   under the given files or directories and exits nonzero if any diagnostic
+   fires. Wired into the build as [dune build @lint] (see the root dune
+   file) and tools/check.sh. *)
 
 let rec walk path acc =
   if Sys.is_directory path then
@@ -15,14 +16,29 @@ let rec walk path acc =
     path :: acc
   else acc
 
+let usage () =
+  prerr_endline "usage: nklint [--format text|json] PATH...";
+  exit 2
+
 let () =
-  let roots =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as roots) -> roots
-    | _ ->
-        prerr_endline "usage: nklint PATH...";
-        exit 2
+  let format = ref `Text in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--format" :: fmt :: rest ->
+        (match fmt with
+        | "text" -> format := `Text
+        | "json" -> format := `Json
+        | _ -> usage ());
+        parse rest
+    | "--format" :: [] -> usage ()
+    | arg :: rest ->
+        roots := arg :: !roots;
+        parse rest
   in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = List.rev !roots in
+  if roots = [] then usage ();
   let files = List.rev (List.fold_left (fun acc r -> walk r acc) [] roots) in
   let per_file = List.concat_map Nklint_rules.lint_file files in
   (* S1 aggregates across every lib/ file in this invocation: the opener and
@@ -35,7 +51,9 @@ let () =
       ([], []) files
   in
   let diags = per_file @ Nklint_rules.span_pairing ~begins ~ends in
-  List.iter (fun d -> print_endline (Nklint_rules.to_string d)) diags;
+  (match !format with
+  | `Text -> List.iter (fun d -> print_endline (Nklint_rules.to_string d)) diags
+  | `Json -> print_endline (Nklint_rules.to_json_array diags));
   Printf.eprintf "nklint: %d files checked, %d diagnostic%s\n%!" (List.length files)
     (List.length diags)
     (if List.length diags = 1 then "" else "s");

@@ -22,7 +22,13 @@
        modules (the datapath reads fields through the zero-allocation
        [Nqe.View] accessors; a deliberate full decode — e.g. an endpoint
        apply loop that needs the whole record — is waived with
-       (* nklint: decode-ok *)).
+       (* nklint: decode-ok *));
+   W1  no rotten waivers: a waiver comment that suppresses zero diagnostics
+       in its .ml file, an unknown [nklint:]/[nkscope:] token, or a nkscope
+       token outside the lib/ tree nkscope analyzes, is itself reported.
+       Tokens quoted inside string literals (the lint test fixtures) are
+       exempt; .mli files are skipped (no rule fires on interfaces, so a
+       doc-comment mention of a token is not a waiver).
 
    The analysis is purely syntactic (parsetree, not typedtree): it can be
    fooled by module aliasing or shadowing, which is acceptable — the rules
@@ -34,6 +40,27 @@ open Parsetree
 type diag = { file : string; line : int; col : int; rule : string; msg : string }
 
 let to_string d = Printf.sprintf "%s:%d: %s: %s" d.file d.line d.rule d.msg
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"msg\":\"%s\"}"
+    (json_escape d.file) d.line d.col (json_escape d.rule) (json_escape d.msg)
+
+let to_json_array diags = "[" ^ String.concat ",\n " (List.map to_json diags) ^ "]"
 
 let compare_diag a b =
   let c = String.compare a.file b.file in
@@ -69,19 +96,108 @@ let contains ~sub s =
   let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
   m = 0 || at 0
 
-let waived_lines src =
-  (* (line, rule) pairs for every waiver comment in the source text. *)
-  let lines = String.split_on_char '\n' src in
-  List.concat
-    (List.mapi
-       (fun i line ->
-         List.filter_map
-           (fun (tok, rule) -> if contains ~sub:tok line then Some (i + 1, rule) else None)
-           waiver_tokens)
-       lines)
-
 let in_lib path =
   String.length path >= 4 && String.sub path 0 4 = "lib/" || contains ~sub:"/lib/" path
+
+(* nkscope (tools/nkscope) owns these tokens inside lib/ .ml files; nklint
+   only polices them where nkscope never looks (W1 below). *)
+let nkscope_tokens = [ "volatile"; "ce-owner"; "nondet-ok" ]
+
+(* The word following [marker] on [line] ("ordered-ok" after "nklint:"), or
+   None when the marker is absent. *)
+let token_word line marker =
+  let n = String.length line and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = marker then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let i = ref i in
+      while !i < n && line.[!i] = ' ' do
+        incr i
+      done;
+      let j = ref !i in
+      while
+        !j < n
+        &&
+        match line.[!j] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true
+        | _ -> false
+      do
+        incr j
+      done;
+      Some (String.sub line !i (!j - !i))
+
+type waiver = { w_line : int; w_rule : string; w_token : string; mutable w_used : bool }
+
+let scan_waivers ~path ~strlit src =
+  (* (waiver records for known nklint tokens, W1 diags for tokens that can
+     never suppress anything: unknown nklint tokens, and nkscope tokens
+     outside the lib/ .ml files nkscope analyzes). Lines inside
+     waiver-bearing string literals are fixture text, not waivers. *)
+  let in_strlit line = List.exists (fun (a, b) -> line >= a && line <= b) strlit in
+  let waivers = ref [] and w1 = ref [] in
+  let add_w1 line msg =
+    w1 := { file = path; line; col = 0; rule = "W1"; msg } :: !w1
+  in
+  List.iteri
+    (fun i line ->
+      let lnum = i + 1 in
+      if not (in_strlit lnum) then (
+        (match token_word line "nklint:" with
+        | None | Some "" -> ()
+        | Some word ->
+            let token = "nklint: " ^ word in
+            (match List.assoc_opt token waiver_tokens with
+            | Some rule ->
+                waivers :=
+                  { w_line = lnum; w_rule = rule; w_token = token; w_used = false }
+                  :: !waivers
+            | None -> add_w1 lnum (Printf.sprintf "unknown nklint waiver token %S" token)));
+        match token_word line "nkscope:" with
+        | None | Some "" -> ()
+        | Some word ->
+            let token = "nkscope: " ^ word in
+            if not (List.mem word nkscope_tokens) then
+              add_w1 lnum (Printf.sprintf "unknown nkscope waiver token %S" token)
+            else if not (in_lib path) then
+              add_w1 lnum
+                (Printf.sprintf
+                   "%S has no effect here — nkscope only analyzes .ml files under lib/"
+                   token)))
+    (String.split_on_char '\n' src);
+  (List.rev !waivers, List.rev !w1)
+
+(* Line ranges of string literals that carry waiver-like tokens — the lint
+   test fixtures quote whole waived programs, and those quoted tokens are
+   not waivers of anything in the quoting file. *)
+let waiver_string_literal_lines ast =
+  let ranges = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let record (loc : Location.t) s =
+    if contains ~sub:"nklint:" s || contains ~sub:"nkscope:" s then
+      ranges :=
+        (loc.Location.loc_start.Lexing.pos_lnum, loc.Location.loc_end.Lexing.pos_lnum)
+        :: !ranges
+  in
+  let expr self e =
+    (match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> record e.pexp_loc s
+    | _ -> ());
+    default.expr self e
+  in
+  let pat self p =
+    (match p.ppat_desc with
+    | Ppat_constant (Pconst_string (s, _, _)) -> record p.ppat_loc s
+    | _ -> ());
+    default.pat self p
+  in
+  let it = { default with expr; pat } in
+  it.structure it ast;
+  !ranges
 
 (* The lib/core modules on the per-NQE datapath, where a full record decode
    is wall-clock the whole simulation pays millions of times. *)
@@ -397,13 +513,39 @@ let lint_source ~path src =
           @ (if Filename.basename path = "nqe.ml" && in_lib path then nqe_rules ~path ast
              else [])
         in
-        let waivers = waived_lines src in
-        let waived d =
-          List.exists
-            (fun (line, rule) -> rule = d.rule && (line = d.line || line = d.line - 1))
+        let strlit = waiver_string_literal_lines ast in
+        let waivers, w1 = scan_waivers ~path ~strlit src in
+        let kept =
+          List.filter
+            (fun d ->
+              let covering =
+                List.filter
+                  (fun w ->
+                    w.w_rule = d.rule && (w.w_line = d.line || w.w_line = d.line - 1))
+                  waivers
+              in
+              List.iter (fun w -> w.w_used <- true) covering;
+              covering = [])
+            diags
+        in
+        let stale =
+          List.filter_map
+            (fun w ->
+              if w.w_used then None
+              else
+                Some
+                  {
+                    file = path;
+                    line = w.w_line;
+                    col = 0;
+                    rule = "W1";
+                    msg =
+                      Printf.sprintf "stale waiver %S suppresses no %s diagnostic"
+                        w.w_token w.w_rule;
+                  })
             waivers
         in
-        List.filter (fun d -> not (waived d)) diags |> List.sort compare_diag
+        kept @ w1 @ stale |> List.sort compare_diag
 
 let read_file path =
   let ic = open_in_bin path in
