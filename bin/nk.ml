@@ -112,9 +112,8 @@ let bench_cmd =
         else begin
           List.iter
             (fun (m : Experiments.Bench.mismatch) ->
-              Printf.printf "DRIFT %-18s %-20s %s -> %s\n" m.Experiments.Bench.m_id
-                m.Experiments.Bench.m_where m.Experiments.Bench.m_old
-                m.Experiments.Bench.m_new)
+              Printf.printf "DRIFT %-18s %s\n" m.Experiments.Bench.m_id
+                (Experiments.Bench.describe m))
             mismatches;
           Printf.printf "bench compare: %d mismatches beyond tolerance %.4f\n"
             (List.length mismatches) tolerance;

@@ -1,7 +1,7 @@
 module Cpu = Sim.Cpu
 
 type backend =
-  | Tcp of { service : Servicelib.t; stacks : Tcpstack.Stack.t list }
+  | Svc of { service : Servicelib.t; proto : string; stacks : Tcpstack.Stack.t list }
   | Shm of Nsm_shmem.t
 
 type t = {
@@ -60,10 +60,12 @@ let create_kernel host ~name ~vcpus ?(profile = Sim.Cost_profile.linux_kernel) ?
   in
   let service =
     Servicelib.create ~engine:(Host.engine host) ~device
-      ~ops:(Tcpstack.Stack_ops.of_stack stack) ~cores ~costs:(Host.costs host)
+      ~ops:(Tcpstack.Tcp_ops.of_stack stack) ~cores ~costs:(Host.costs host)
       ~pressure:(Host.pressure host) ~mon:(Host.mon host) ~spans:(Host.spans host) ()
   in
-  finish host ~name ~cores ~device ~backend:(Tcp { service; stacks = [ stack ] }) ~nsm_id
+  finish host ~name ~cores ~device
+    ~backend:(Svc { service; proto = Tcpstack.Tcp_ops.proto; stacks = [ stack ] })
+    ~nsm_id
 
 let create_mtcp host ~name ~vcpus ?cc_factory ?tcb () =
   let nsm_id = Host.fresh_nsm_id host in
@@ -80,7 +82,42 @@ let create_mtcp host ~name ~vcpus ?cc_factory ?tcb () =
       ~spans:(Host.spans host) ()
   in
   finish host ~name ~cores ~device
-    ~backend:(Tcp { service; stacks = Array.to_list (Mtcpstack.Mtcp.shards mtcp) })
+    ~backend:
+      (Svc
+         {
+           service;
+           proto = Tcpstack.Tcp_ops.proto;
+           stacks = Array.to_list (Mtcpstack.Mtcp.shards mtcp);
+         })
+    ~nsm_id
+
+let create_homa host ~name ~vcpus ?cfg () =
+  let nsm_id = Host.fresh_nsm_id host in
+  let cores = Host.new_cores host ~name ~n:vcpus in
+  let device = make_device host ~nsm_id ~vcpus in
+  let base = match cfg with Some c -> c | None -> Homastack.Homa.default_config in
+  let cfg =
+    {
+      base with
+      (* Same slicing rule as the TCP NSMs: several NSMs may originate
+         connections from one VM IP, so each takes a disjoint ephemeral
+         range. *)
+      Homastack.Homa.ephemeral_base = 32768 + (nsm_id mod 8 * 3500);
+      ephemeral_count = 3500;
+    }
+  in
+  let homa =
+    Homastack.Homa.create ~engine:(Host.engine host) ~name ~cores
+      ~vswitch:(Host.vswitch host) ~registry:(Host.registry host) ~mon:(Host.mon host)
+      ~spans:(Host.spans host) ~cfg ()
+  in
+  let service =
+    Servicelib.create ~engine:(Host.engine host) ~device ~ops:(Homastack.Homa.ops homa)
+      ~cores ~costs:(Host.costs host) ~pressure:(Host.pressure host) ~mon:(Host.mon host)
+      ~spans:(Host.spans host) ()
+  in
+  finish host ~name ~cores ~device
+    ~backend:(Svc { service; proto = Homastack.Homa.proto; stacks = [] })
     ~nsm_id
 
 let create_shmem host ~name ~vcpus ?copy_cycles_per_byte () =
@@ -95,25 +132,26 @@ let create_shmem host ~name ~vcpus ?copy_cycles_per_byte () =
 
 let register_vm t ~vm_id ~hugepages ~ips =
   match t.backend with
-  | Tcp { service; _ } -> Servicelib.register_vm service ~vm_id ~hugepages ~ips
+  | Svc { service; _ } -> Servicelib.register_vm service ~vm_id ~hugepages ~ips
   | Shm shm -> Nsm_shmem.register_vm shm ~vm_id ~hugepages ~ips
 
 let deregister_vm t ~vm_id =
   match t.backend with
-  | Tcp { service; _ } -> Servicelib.deregister_vm service ~vm_id
+  | Svc { service; _ } -> Servicelib.deregister_vm service ~vm_id
   | Shm shm -> Nsm_shmem.deregister_vm shm ~vm_id
 
 let close_vm_listeners t ~vm_id =
   match t.backend with
-  | Tcp { service; _ } -> Servicelib.close_vm_listeners service ~vm_id
+  | Svc { service; _ } -> Servicelib.close_vm_listeners service ~vm_id
   | Shm _ -> ()
 
-(* Live-migration verbs (Nkfabric): only TCP-backend NSMs carry serializable
-   per-VM state; the shared-memory NSM has no cross-host story. *)
+(* Live-migration verbs (Nkfabric): only ServiceLib-backed NSMs carry
+   serializable per-VM state; the shared-memory NSM has no cross-host
+   story. *)
 
 let service_exn t ~verb =
   match t.backend with
-  | Tcp { service; _ } -> service
+  | Svc { service; _ } -> service
   | Shm _ -> invalid_arg (Printf.sprintf "Nsm.%s: %s is a shared-memory NSM" verb t.name)
 
 let export_vm t ~vm_id = Servicelib.export_vm (service_exn t ~verb:"export_vm") ~vm_id
@@ -129,18 +167,18 @@ let clear_vm_forwarder t ~vm_id =
 
 let release_vm_ips t ~ips =
   match t.backend with
-  | Tcp { service; _ } -> Servicelib.release_ips service ips
+  | Svc { service; _ } -> Servicelib.release_ips service ips
   | Shm _ -> ()
 
-let pause_vm_listeners t ~vm_id =
-  Servicelib.pause_vm_listeners (service_exn t ~verb:"pause_vm_listeners") ~vm_id
+let quiesce_vm_listeners t ~vm_id =
+  Servicelib.quiesce_vm_listeners (service_exn t ~verb:"quiesce_vm_listeners") ~vm_id
 
 let fail t =
   if not t.failed then begin
     t.failed <- true;
     (* Silence the module first (no parting NQEs), then let CoreEngine drop
        the device and error out every socket it was serving. *)
-    (match t.backend with Tcp { service; _ } -> Servicelib.fail service | Shm _ -> ());
+    (match t.backend with Svc { service; _ } -> Servicelib.fail service | Shm _ -> ());
     Coreengine.crash_nsm (Host.coreengine t.host) ~nsm_id:t.nsm_id
   end
 
@@ -152,10 +190,13 @@ let retire t =
 
 let stack_stats t =
   match t.backend with
-  | Tcp { stacks; _ } -> List.map Tcpstack.Stack.stats stacks
+  | Svc { stacks; _ } -> List.map Tcpstack.Stack.stats stacks
   | Shm _ -> []
 
+let proto t =
+  match t.backend with Svc { proto; _ } -> proto | Shm _ -> "shm"
+
 let servicelib_stats t =
-  match t.backend with Tcp { service; _ } -> Some (Servicelib.stats service) | Shm _ -> None
+  match t.backend with Svc { service; _ } -> Some (Servicelib.stats service) | Shm _ -> None
 
 let busy_cycles t = Cpu.Set.total_busy_cycles t.cores

@@ -8,6 +8,9 @@
     - {!create_kernel}: the Linux-kernel-stack NSM (ServiceLib calls kernel
       APIs directly — no syscall cost, §5);
     - {!create_mtcp}: the mTCP NSM ({!Mtcpstack.Mtcp}, §6.3);
+    - {!create_homa}: the Homa-style RPC NSM ({!Homastack.Homa}) — the
+      non-TCP transport a tenant can switch to live ("changing the network
+      stack on the fly", paper §3.2);
     - {!create_shmem}: the shared-memory NSM for colocated VMs (§6.4). *)
 
 type t
@@ -30,6 +33,12 @@ val create_mtcp :
   ?tcb:Tcpstack.Tcb.config ->
   unit ->
   t
+
+val create_homa :
+  Host.t -> name:string -> vcpus:int -> ?cfg:Homastack.Homa.config -> unit -> t
+(** The Homa-style RPC NSM ({!Homastack.Homa}): message-oriented,
+    backlog-free, receiver-driven. The ephemeral-port slice is carved per
+    NSM id exactly like the TCP NSMs'. *)
 
 val create_shmem : Host.t -> name:string -> vcpus:int -> ?copy_cycles_per_byte:float -> unit -> t
 
@@ -71,9 +80,10 @@ val release_vm_ips : t -> ips:Addr.ip list -> unit
     segments drop silently instead of drawing RSTs. No-op for the
     shared-memory NSM. *)
 
-val pause_vm_listeners : t -> vm_id:int -> unit
-(** Migration quiesce (before the cut): the VM's listeners silently drop
-    fresh SYNs while in-flight handshakes and queued accepts settle, so
+val quiesce_vm_listeners : t -> vm_id:int -> unit
+(** Migration quiesce (before the cut): the VM's listeners silently stop
+    admitting new connections (peers retry per their protocol's own
+    recovery) while in-flight handshakes and queued accepts settle, so
     the later {!export_vm} finds nothing half-done to abort. *)
 
 val fail : t -> unit
@@ -90,7 +100,11 @@ val failed : t -> bool
 (** True once {!fail} or {!retire} ran. *)
 
 val stack_stats : t -> Tcpstack.Stack.stats list
-(** Per-stack (or per-shard) statistics; empty for the shared-memory NSM. *)
+(** Per-TCP-stack (or per-shard) statistics; empty for non-TCP NSMs. *)
+
+val proto : t -> string
+(** Transport protocol id this NSM serves ("tcp", "homa", "shm") — what
+    the control plane reports on a live protocol handover. *)
 
 val servicelib_stats : t -> Servicelib.stats option
 

@@ -201,7 +201,7 @@ let rec pump_recv t ss =
       if (not ss.recv_pumping) && (not ss.closing) && not ss.closed then begin
         ss.recv_pumping <- true;
         Cpu.charge (t.ops.Stack_ops.conn_core conn)
-          ~cycles:t.ops.Stack_ops.epoll_wake_cycles;
+          ~cycles:t.ops.Stack_ops.wake_cycles;
         let rec go () =
           let credit = t.costs.Nk_costs.nsm_rwnd - ss.recv_credit_used in
           if credit <= 0 then begin
@@ -556,17 +556,18 @@ let close_vm_listeners t ~vm_id =
           Hashtbl.remove vm.socks gid)
         listeners
 
-(* Migration quiesce: stop the VM's listeners from taking fresh SYNs while
-   in-flight handshakes finish and queued accepts drain, so the cut moments
-   later finds nothing to abort in the accept queues. *)
-let pause_vm_listeners t ~vm_id =
+(* Migration quiesce: stop the VM's listeners from admitting fresh
+   connections while in-flight handshakes finish and queued accepts drain,
+   so the cut moments later finds nothing half-done to abort. Peers retry
+   per their protocol's own recovery and land on the post-cut owner. *)
+let quiesce_vm_listeners t ~vm_id =
   match Hashtbl.find_opt t.vms vm_id with
   | None -> ()
   | Some vm ->
       Nkutil.Det_tbl.iter ~cmp:Int.compare
         (fun _ ss ->
           match ss.listener with
-          | Some l -> t.ops.Stack_ops.pause_listener l
+          | Some l -> t.ops.Stack_ops.quiesce_listener l
           | None -> ())
         vm.socks
 
@@ -624,7 +625,7 @@ type sock_export = {
   x_closing : bool;
   x_eof_sent : bool;
   x_err_sent : bool;
-  x_conn : Tcpstack.Stack.export option;
+  x_conn : Stack_ops.export option;
 }
 
 type vm_export = { x_vm_id : int; x_next_gid : int; x_socks : sock_export list }
@@ -692,7 +693,7 @@ let export_vm t ~vm_id =
                   match ss.conn with
                   | None -> finish None
                   | Some conn -> (
-                      match Stack_ops.export_conn conn with
+                      match t.ops.Stack_ops.export_conn conn with
                       | Ok ex -> finish (Some ex)
                       | Error _ ->
                           (* Connection already dead on the stack side; its

@@ -3,14 +3,15 @@
 
     Polls the NSM device's job and send queues (busy-polling, emulated
     kick-driven), translates each NQE into the corresponding call of the
-    backend stack ({!Tcpstack.Stack_ops.t} — kernel stack or mTCP), and
-    translates stack results and received data back into NQEs:
+    backend transport ({!Tcpstack.Stack_ops.t} — kernel stack, mTCP, or a
+    non-TCP protocol such as Homa), and translates backend results and
+    received data back into NQEs:
 
     - accepted connections are announced eagerly ([Ev_accept], pipelined
       accept per §4.6), with NSM-allocated socket ids;
     - received data is copied into the VM's hugepages and announced with
       [Ev_data]; a per-connection receive credit bounds in-flight data and
-      closes the TCP window when the VM stops reading;
+      exerts backpressure on the transport when the VM stops reading;
     - sends drain from hugepages into the stack, buffering when the stack's
       send buffer is full, and return the credit with [Comp_send].
 
@@ -72,17 +73,17 @@ type sock_export = {
   x_closing : bool;
   x_eof_sent : bool;
   x_err_sent : bool;
-  x_conn : Tcpstack.Stack.export option;  (** [None] for a bare socket *)
+  x_conn : Tcpstack.Stack_ops.export option;  (** [None] for a bare socket *)
 }
 
 type vm_export = { x_vm_id : int; x_next_gid : int; x_socks : sock_export list }
 
 val export_vm : t -> vm_id:int -> vm_export option
 (** Quietly detach every one of the VM's sockets: connections are
-    serialized via {!Tcpstack.Stack.export_conn} (no RST, no events),
-    listeners are closed silently (the protocol replays them at the
-    destination via {!Guestlib.remigrate_listeners}), and the VM leaves
-    this ServiceLib. [None] if the VM is not registered here. *)
+    serialized via the backend's [export_conn] (no parting segment, no
+    events), listeners are closed silently (the migration protocol replays
+    them at the destination via {!Guestlib.remigrate_listeners}), and the
+    VM leaves this ServiceLib. [None] if the VM is not registered here. *)
 
 val import_vm : t -> vm_export -> hugepages:Hugepages.t -> ips:Addr.ip list -> unit
 (** Resume an exported VM here: registers it, rebuilds each socket,
@@ -102,11 +103,12 @@ val release_ips : t -> Addr.ip list -> unit
     stray in-flight segments are silently dropped by the vswitch instead of
     drawing an RST from this stack. *)
 
-val pause_vm_listeners : t -> vm_id:int -> unit
-(** Migration quiesce, before [export_vm]: the VM's listeners drop fresh
-    SYNs silently (the client's SYN RTO retries against the destination
-    after the cut) while in-flight handshakes finish and queued accepts
-    drain — so the cut finds empty accept queues and aborts nothing. *)
+val quiesce_vm_listeners : t -> vm_id:int -> unit
+(** Migration quiesce, before [export_vm]: the VM's listeners silently
+    stop admitting new connections (peers retry per their protocol's own
+    recovery and land on the post-cut owner) while in-flight handshakes
+    finish and queued accepts drain — so the cut finds empty accept
+    queues and aborts nothing. *)
 
 type stats = {
   nqes_rx : int;

@@ -10,6 +10,7 @@ type entry = {
   b_id : string;
   b_headers : string list;
   b_rows : string list list;
+  b_percentiles : Report.pctl list;
   b_wall_s : float;
 }
 
@@ -31,17 +32,30 @@ let escape s =
 let to_json entries =
   let str s = "\"" ^ escape s ^ "\"" in
   let arr items = "[" ^ String.concat ", " items ^ "]" in
+  (* Fixed decimals keep the rendering deterministic across runs. *)
+  let pctl (p : Report.pctl) =
+    Printf.sprintf
+      "{\"label\": %s, \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f, \
+       \"p999_ms\": %.4f}"
+      (str p.Report.p_label) p.Report.p50_ms p.Report.p90_ms p.Report.p99_ms
+      p.Report.p999_ms
+  in
   let entry e =
     String.concat "\n"
-      [
-        "  {";
-        Printf.sprintf "    \"id\": %s," (str e.b_id);
-        Printf.sprintf "    \"headers\": %s," (arr (List.map str e.b_headers));
-        Printf.sprintf "    \"rows\": %s,"
-          (arr (List.map (fun r -> arr (List.map str r)) e.b_rows));
-        Printf.sprintf "    \"wall_s\": %.3f" e.b_wall_s;
-        "  }";
-      ]
+      ([
+         "  {";
+         Printf.sprintf "    \"id\": %s," (str e.b_id);
+         Printf.sprintf "    \"headers\": %s," (arr (List.map str e.b_headers));
+         Printf.sprintf "    \"rows\": %s,"
+           (arr (List.map (fun r -> arr (List.map str r)) e.b_rows));
+       ]
+      @ (if e.b_percentiles = [] then []
+         else
+           [
+             Printf.sprintf "    \"percentiles\": %s,"
+               (arr (List.map pctl e.b_percentiles));
+           ])
+      @ [ Printf.sprintf "    \"wall_s\": %.3f" e.b_wall_s; "  }" ])
   in
   "[\n" ^ String.concat ",\n" (List.map entry entries) ^ "\n]\n"
 
@@ -173,12 +187,29 @@ let of_json text =
     let as_string = function S s -> s | _ -> raise (Parse "expected string") in
     let as_list = function A l -> l | _ -> raise (Parse "expected array") in
     let as_float = function N f -> f | _ -> raise (Parse "expected number") in
+    let pctl = function
+      | O o ->
+          {
+            Report.p_label = as_string (field o "label");
+            p50_ms = as_float (field o "p50_ms");
+            p90_ms = as_float (field o "p90_ms");
+            p99_ms = as_float (field o "p99_ms");
+            p999_ms = as_float (field o "p999_ms");
+          }
+      | _ -> raise (Parse "expected percentile object")
+    in
     let entry = function
       | O o ->
           {
             b_id = as_string (field o "id");
             b_headers = List.map as_string (as_list (field o "headers"));
             b_rows = List.map (fun r -> List.map as_string (as_list r)) (as_list (field o "rows"));
+            (* Baselines predate the percentiles key; absent means none
+               recorded, not a malformed snapshot. *)
+            b_percentiles =
+              (match List.assoc_opt "percentiles" o with
+              | None -> []
+              | Some v -> List.map pctl (as_list v));
             b_wall_s = as_float (field o "wall_s");
           }
       | _ -> raise (Parse "expected entry object")
@@ -259,9 +290,50 @@ let compare_entries ~tolerance ~baseline ~fresh =
                       in
                       check_cell ~id:old_e.b_id ~where old_c new_c)
                     (List.combine old_r new_r))
-              (List.combine old_e.b_rows new_e.b_rows))
+              (List.combine old_e.b_rows new_e.b_rows);
+          (* An empty baseline list means the snapshot predates percentile
+             recording — nothing to hold the fresh run to. *)
+          List.iter
+            (fun (op : Report.pctl) ->
+              match
+                List.find_opt
+                  (fun (np : Report.pctl) -> np.Report.p_label = op.Report.p_label)
+                  new_e.b_percentiles
+              with
+              | None ->
+                  fail ~id:old_e.b_id
+                    ~where:(Printf.sprintf "percentiles %s" op.Report.p_label)
+                    ~old_v:"present" ~new_v:"missing"
+              | Some np ->
+                  List.iter
+                    (fun (metric, a, b) ->
+                      let scale = Float.max (Float.abs a) (Float.abs b) in
+                      let delta = Float.abs (a -. b) in
+                      if scale > 0.0 && delta /. scale > tolerance then
+                        fail ~id:old_e.b_id
+                          ~where:(Printf.sprintf "%s %s" op.Report.p_label metric)
+                          ~old_v:(Printf.sprintf "%.4f" a)
+                          ~new_v:(Printf.sprintf "%.4f" b))
+                    [
+                      ("p50_ms", op.Report.p50_ms, np.Report.p50_ms);
+                      ("p90_ms", op.Report.p90_ms, np.Report.p90_ms);
+                      ("p99_ms", op.Report.p99_ms, np.Report.p99_ms);
+                      ("p999_ms", op.Report.p999_ms, np.Report.p999_ms);
+                    ])
+            old_e.b_percentiles)
     baseline;
   List.rev !mismatches
+
+(* The DRIFT line an operator actually reads: which metric moved and by how
+   much, relative to the baseline, when both cells carry a number. *)
+let describe m =
+  let delta =
+    match (split_number m.m_old, split_number m.m_new) with
+    | Some (a, _), Some (b, _) when Float.abs a > 0.0 ->
+        Printf.sprintf " (%+.1f%%)" (100.0 *. (b -. a) /. Float.abs a)
+    | _ -> ""
+  in
+  Printf.sprintf "%-20s %s -> %s%s" m.m_where m.m_old m.m_new delta
 
 let wall_ratios ~baseline ~fresh =
   List.filter_map
@@ -273,4 +345,10 @@ let wall_ratios ~baseline ~fresh =
     baseline
 
 let of_report ~wall_s (r : Report.t) =
-  { b_id = r.Report.id; b_headers = r.Report.headers; b_rows = r.Report.rows; b_wall_s = wall_s }
+  {
+    b_id = r.Report.id;
+    b_headers = r.Report.headers;
+    b_rows = r.Report.rows;
+    b_percentiles = r.Report.percentiles;
+    b_wall_s = wall_s;
+  }

@@ -10,6 +10,8 @@ type entry = {
   b_id : string;
   b_headers : string list;
   b_rows : string list list;  (** rendered cells, exactly as the report prints *)
+  b_percentiles : Report.pctl list;
+      (** the report's latency percentile summaries, gated per metric *)
   b_wall_s : float;  (** wall-clock seconds of the quick run that produced it *)
 }
 
@@ -18,7 +20,9 @@ val of_report : wall_s:float -> Report.t -> entry
 val to_json : entry list -> string
 
 val of_json : string -> (entry list, string) result
-(** Parses only the JSON subset {!to_json} emits. *)
+(** Parses only the JSON subset {!to_json} emits. A baseline written before
+    percentile recording (no ["percentiles"] key) parses with an empty list
+    rather than failing. *)
 
 type mismatch = {
   m_id : string;
@@ -32,7 +36,14 @@ val compare_entries :
 (** Cell-by-cell diff of every baseline entry against the fresh run with
     the same id. Cells with a numeric prefix and matching unit suffix
     compare as relative difference against [tolerance]; all other cells
-    must match exactly. Wall-clock is not compared. *)
+    must match exactly. Baseline percentile summaries gate the fresh run's
+    per metric (one mismatch per drifted [label pXX_ms]); a baseline with
+    none recorded gates nothing. Wall-clock is not compared. *)
+
+val describe : mismatch -> string
+(** The one-line human rendering: metric name, old and new values, and the
+    relative change in percent when both sides are numeric — e.g.
+    ["tcp-before p99_ms    3087.0080 -> 2401.1200 (-22.2%)"]. *)
 
 val wall_ratios :
   baseline:entry list -> fresh:entry list -> (string * float * float * float) list

@@ -29,6 +29,8 @@ let all =
     { id = "ce-scale"; title = "RPS scaling with CoreEngine shards"; run = Ce_scaling.run };
     { id = "cluster"; title = "Cluster fabric: cross-host live NSM migration";
       run = Fig_cluster.run };
+    { id = "incast"; title = "N-to-1 incast: live TCP->Homa protocol handover";
+      run = Incast.run };
     { id = "table4"; title = "Multi-NSM scalability"; run = Table4_multi_nsm.run };
     { id = "fig21"; title = "Isolation time series"; run = Fig21_isolation.run };
     { id = "table5"; title = "Latency distribution"; run = Table5_latency.run };

@@ -1,0 +1,77 @@
+(** Homa-style receiver-driven RPC transport (message-oriented NSM
+    backend).
+
+    Connections are admitted on first contact — there is no SYN backlog to
+    overflow, which is what removes the incast tail TCP suffers when many
+    clients hit one listener at once. Each [send] is one message; the
+    first [unsched_bytes] of a message travel unscheduled and the rest is
+    released by receiver GRANTs paced SRPT across all incomplete inbound
+    messages (shortest remaining first), so short RPCs preempt long
+    transfers.
+
+    The stack plugs into ServiceLib through {!ops} (the protocol-neutral
+    {!Tcpstack.Stack_ops} boundary) and supports full connection
+    export/import for live NSM migration and protocol handover; payload
+    bytes travel through {!Tcpstack.Conn_registry} content channels like
+    the TCP stack's. *)
+
+type t
+
+val proto : string
+(** ["homa"] — the protocol id stamped into exports. *)
+
+val caps : Tcpstack.Stack_ops.caps
+(** Message semantics, no listener backlog. *)
+
+type config = {
+  profile : Sim.Cost_profile.t;
+  cc_factory : Tcpstack.Cc.factory;
+      (** per-connection congestion control (any TCP factory plugs in) *)
+  unsched_bytes : int;  (** per-message unscheduled (first-RTT) allotment *)
+  grant_quantum : int;  (** bytes released per grant *)
+  grant_interval : float;  (** pacer period, seconds *)
+  request_rto : float;  (** REQUEST retransmit period *)
+  max_request_retx : int;  (** give up connecting after this many resends *)
+  ephemeral_base : int;
+  ephemeral_count : int;
+}
+
+val default_config : config
+
+val create :
+  engine:Sim.Engine.t ->
+  name:string ->
+  cores:Sim.Cpu.Set.t ->
+  vswitch:Vswitch.t ->
+  registry:Tcpstack.Conn_registry.t ->
+  ?mon:Nkmon.t ->
+  ?spans:Nkspan.t ->
+  ?cfg:config ->
+  unit ->
+  t
+
+val ops : t -> Tcpstack.Stack_ops.t
+(** The backend boundary ServiceLib drives. *)
+
+type Tcpstack.Stack_ops.conn += Conn of Hcb.t
+
+type Tcpstack.Stack_ops.payload += Homa_state of Hcb.Snapshot.t
+
+val input : t -> Segment.t -> unit
+(** Segment ingress (registered with the vswitch by [add_ip]/connect). *)
+
+val conn_count : t -> int
+
+type stats = {
+  segs_rx : int;
+  segs_tx : int;
+  payload_rx : int;
+  payload_tx : int;
+  msgs_rx : int;
+  grants_tx : int;
+  req_drops : int;  (** REQUESTs silently dropped (quiesced/absent listener) *)
+  conns_established : int;
+  conns_failed : int;
+}
+
+val stats : t -> stats

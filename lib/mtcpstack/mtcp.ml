@@ -86,7 +86,7 @@ let connect t ~dst ~k =
           | Ok () ->
               T.Stack.connect shard s dst ~k:(fun r ->
                   match r with
-                  | Ok () -> k (Ok (T.Stack_ops.conn_of_sock shard s))
+                  | Ok () -> k (Ok (T.Tcp_ops.conn_of_sock shard s))
                   | Error T.Types.Eaddrinuse -> attempt (tries + 1)
                   | Error e -> k (Error e))
         end
@@ -94,7 +94,7 @@ let connect t ~dst ~k =
       attempt 0
 
 let ops t =
-  let single = T.Stack_ops.of_stack t.shards.(0) in
+  let single = T.Tcp_ops.of_stack t.shards.(0) in
   {
     single with
     T.Stack_ops.name = t.name;
@@ -102,17 +102,20 @@ let ops t =
     remove_ip = remove_ip t;
     new_listener =
       (fun ~addr ~backlog ~on_accept ->
-        T.Stack_ops.listener_on_group (Array.to_list t.shards) ~addr ~backlog ~on_accept);
+        T.Tcp_ops.listener_on_group (Array.to_list t.shards) ~addr ~backlog ~on_accept);
     connect = (fun ~dst ~k -> connect t ~dst ~k);
     import_conn =
-      (fun ex ->
-        (* Steer migrated-in flows across shards the same way RSS steers
-           their segments, so imports spread like natively accepted
-           connections. *)
-        let shard = shard_for t ex.T.Stack.e_registry_flow in
-        match T.Stack.import_conn shard ex with
-        | Ok s -> Ok (T.Stack_ops.conn_of_sock shard s)
-        | Error e -> Error e);
+      (fun x ->
+        match T.Tcp_ops.unpack_export x with
+        | Error e -> Error e
+        | Ok ex -> (
+            (* Steer migrated-in flows across shards the same way RSS
+               steers their segments, so imports spread like natively
+               accepted connections. *)
+            let shard = shard_for t x.T.Stack_ops.e_flow in
+            match T.Stack.import_conn shard ex with
+            | Ok s -> Ok (T.Tcp_ops.conn_of_sock shard s)
+            | Error e -> Error e));
   }
 
 let api t = T.Ops_socket.make (ops t)

@@ -57,6 +57,7 @@ type stats = {
   mutable failovers : int;
   mutable drains_completed : int;
   mutable ce_scale_outs : int;
+  mutable protocol_switches : int;
 }
 
 type t = {
@@ -79,6 +80,7 @@ type t = {
   c_failover : Nkmon.Registry.counter;
   c_drain_done : Nkmon.Registry.counter;
   c_ce_scale : Nkmon.Registry.counter;
+  c_proto_switch : Nkmon.Registry.counter;
   g_active : Nkmon.Registry.gauge;
   g_draining : Nkmon.Registry.gauge;
 }
@@ -102,7 +104,7 @@ let create host ?(policy = Policy.default) ~spawn () =
     samples_rev = [];
     stats =
       { scale_ups = 0; scale_downs = 0; handovers = 0; failovers = 0;
-        drains_completed = 0; ce_scale_outs = 0 };
+        drains_completed = 0; ce_scale_outs = 0; protocol_switches = 0 };
     last_scale = -.infinity;
     last_ce_scale = -.infinity;
     ce_last_busy =
@@ -117,6 +119,7 @@ let create host ?(policy = Policy.default) ~spawn () =
     c_failover = c "failovers";
     c_drain_done = c "drains_completed";
     c_ce_scale = c "ce_scale_outs";
+    c_proto_switch = c "protocol_switches";
     g_active = g "active_nsms";
     g_draining = g "draining_nsms";
   }
@@ -211,6 +214,34 @@ let handover t ~vm ~target =
     let source = mv.home in
     rehome t mv target ~source_alive:(not (Nsm.failed source.nsm));
     drain_if_empty t source
+  end
+
+(* Live protocol handover ("changing the network stack on the fly", §3.2):
+   mechanically a rehome onto an NSM speaking a different transport. New
+   sockets — and the listeners GuestLib replays — land on the target and
+   speak its protocol at once; established connections finish on the source
+   stack's protocol and the source drains out from under them. *)
+let switch_protocol t ~vm ~target =
+  check_live ~verb:"switch_protocol" target;
+  let target = managed t target in
+  let mv =
+    match List.find_opt (fun mv -> Vm.vm_id mv.vm = Vm.vm_id vm) t.vms with
+    | Some mv -> mv
+    | None -> invalid_arg "Nkctl.switch_protocol: VM not tracked (use add_vm)"
+  in
+  if Nsm.id mv.home.nsm <> Nsm.id target.nsm then begin
+    let source = mv.home in
+    let from_proto = Nsm.proto source.nsm in
+    let to_proto = Nsm.proto target.nsm in
+    rehome t mv target ~source_alive:(not (Nsm.failed source.nsm));
+    drain_if_empty t source;
+    if not (String.equal from_proto to_proto) then begin
+      t.stats.protocol_switches <- t.stats.protocol_switches + 1;
+      Nkmon.Registry.incr t.c_proto_switch;
+      ctl_event t "protocol_switch"
+        (Printf.sprintf "vm=%d %s->%s target=%s" (Vm.vm_id mv.vm) from_proto
+           to_proto (Nsm.name target.nsm))
+    end
   end
 
 (* Drop a VM or NSM from tracking with no side effects: Nkfabric is about to

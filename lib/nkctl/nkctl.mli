@@ -71,6 +71,8 @@ type stats = {
   mutable failovers : int;  (** crashed NSMs detected and replaced *)
   mutable drains_completed : int;  (** drained NSMs retired at zero conns *)
   mutable ce_scale_outs : int;  (** CoreEngine shards added by the policy *)
+  mutable protocol_switches : int;
+      (** live protocol handovers ({!switch_protocol}) *)
 }
 
 val create :
@@ -97,6 +99,17 @@ val handover : t -> vm:Vm.t -> target:Nsm.t -> unit
     [target] without the application noticing. Raises [Invalid_argument]
     if [target] is retired or crashed — handing flows to a dead NSM would
     silently pin them on a module CoreEngine no longer polls. *)
+
+val switch_protocol : t -> vm:Vm.t -> target:Nsm.t -> unit
+(** Live protocol handover: move [vm] to an NSM speaking a different
+    transport ("changing the network stack on the fly", paper §3.2).
+    Mechanically a {!handover} — new sockets (and replayed listeners) land
+    on [target] immediately and speak its protocol, while established
+    connections finish on the source stack's protocol — plus a recorded
+    [protocol_switch] control event naming the two protocol ids
+    ({!Nsm.proto}). Raises [Invalid_argument] if [target] is dead or the
+    VM is untracked; a same-protocol target degrades to a plain
+    handover. *)
 
 val release_vm : t -> vm:Vm.t -> unit
 (** Stop tracking [vm] with no side effects (no drain, no handover): the

@@ -645,7 +645,7 @@ let migrate_nsm t ~nsm:source ~dst ?dest ?(quiesce = 0.02) () =
      retry lands on the destination after the cut) while in-flight
      handshakes and queued accepts settle — so the cut finds empty accept
      queues and resets nothing. *)
-  List.iter (fun e -> Nsm.pause_vm_listeners source ~vm_id:(Vm.vm_id e.e_vm)) moving;
+  List.iter (fun e -> Nsm.quiesce_vm_listeners source ~vm_id:(Vm.vm_id e.e_vm)) moving;
   fabric_event t "quiesce"
     (Printf.sprintf "nsm=%s vms=%d window=%gs" (Nsm.name source) (List.length moving) quiesce);
   ignore

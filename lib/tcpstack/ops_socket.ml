@@ -154,7 +154,7 @@ let make ops =
     Hashtbl.replace st.epolls epid
       (Epoll_core.create ~engine:ops.Stack_ops.engine ~cmp:Int.compare
          ~events_of:(events_of st) ~core_of:(core_of st)
-         ~wake_cycles:ops.Stack_ops.epoll_wake_cycles ());
+         ~wake_cycles:ops.Stack_ops.wake_cycles ());
     epid
   in
   let epoll_add epid fd ~mask =

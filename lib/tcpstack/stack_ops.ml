@@ -1,15 +1,28 @@
-(* Handles are (shard stack, stack sock) pairs, so the same code serves a
-   single stack and the sharded mTCP facade. *)
+(* The protocol-neutral NSM transport boundary. Handles and migration
+   payloads are extensible variants: each backend (Tcp_ops, the mTCP
+   facade, Homastack) adds its own constructors, so nothing
+   protocol-specific appears here. *)
 
-type conn = { c_stack : Stack.t; c_sock : Stack.sock }
+type conn = ..
 
-type listener = {
-  mutable l_open : bool;
-  mutable parts : (Stack.t * Stack.sock) list;
+type listener = ..
+
+type payload = ..
+
+type export = {
+  e_proto : string;
+  e_flow : Addr.Flow.t;
+  e_payload : payload;
 }
+
+type semantics = Byte_stream | Message
+
+type caps = { semantics : semantics; has_backlog : bool }
 
 type t = {
   name : string;
+  proto : string;
+  caps : caps;
   engine : Sim.Engine.t;
   add_ip : Addr.ip -> unit;
   remove_ip : Addr.ip -> unit;
@@ -17,7 +30,7 @@ type t = {
     addr:Addr.t -> backlog:int -> on_accept:(conn -> peer:Addr.t -> unit) ->
     (listener, Types.err) result;
   close_listener : listener -> unit;
-  pause_listener : listener -> unit;
+  quiesce_listener : listener -> unit;
   connect : dst:Addr.t -> k:((conn, Types.err) result -> unit) -> unit;
   send : conn -> Types.payload -> k:((int, Types.err) result -> unit) -> unit;
   recv :
@@ -31,104 +44,8 @@ type t = {
   conn_peer : conn -> Addr.t option;
   conn_local : conn -> Addr.t option;
   conn_error : conn -> Types.err option;
-  import_conn : Stack.export -> (conn, Types.err) result;
+  export_conn : conn -> (export, Types.err) result;
+  import_conn : export -> (conn, Types.err) result;
   default_core : Sim.Cpu.t;
-  epoll_wake_cycles : float;
+  wake_cycles : float;
 }
-
-let conn_of_sock stack sock = { c_stack = stack; c_sock = sock }
-
-let export_conn c = Stack.export_conn c.c_stack c.c_sock
-
-let conn_stack c = c.c_stack
-
-let conn_sock c = c.c_sock
-
-(* Eagerly accept everything a listener part produces. *)
-let rec accept_pump l stack sock ~on_accept =
-  Stack.accept stack sock ~k:(fun r ->
-      match r with
-      | Error _ -> () (* listener closed *)
-      | Ok cs ->
-          let peer =
-            match Stack.peer_addr stack cs with Some a -> a | None -> Addr.make 0 0
-          in
-          on_accept { c_stack = stack; c_sock = cs } ~peer;
-          if l.l_open then accept_pump l stack sock ~on_accept)
-
-let listener_on_group stacks ~addr ~backlog ~on_accept =
-  let l = { l_open = true; parts = [] } in
-  let rec setup = function
-    | [] ->
-        List.iter
-          (fun (stack, sock) ->
-            (* Parallel accept chains, like one thread per core. *)
-            for _ = 1 to 4 do
-              accept_pump l stack sock ~on_accept
-            done)
-          l.parts;
-        Ok l
-    | stack :: rest -> (
-        let s = Stack.socket stack in
-        match Stack.bind stack s addr with
-        | Error e ->
-            List.iter (fun (st, so) -> Stack.close st so) l.parts;
-            Error e
-        | Ok () -> (
-            match Stack.listen stack s ~backlog with
-            | Error e ->
-                List.iter (fun (st, so) -> Stack.close st so) l.parts;
-                Error e
-            | Ok () ->
-                l.parts <- (stack, s) :: l.parts;
-                setup rest))
-  in
-  setup stacks
-
-let listener_on stack ~addr ~backlog ~on_accept =
-  listener_on_group [ stack ] ~addr ~backlog ~on_accept
-
-let close_listener_handle l =
-  if l.l_open then begin
-    l.l_open <- false;
-    List.iter (fun (stack, sock) -> Stack.close stack sock) l.parts
-  end
-
-let pause_listener_handle l =
-  if l.l_open then
-    List.iter (fun (stack, sock) -> Stack.pause_listener stack sock) l.parts
-
-let of_stack stack =
-  {
-    name = Stack.name stack;
-    engine = Stack.engine stack;
-    add_ip = Stack.add_ip stack;
-    remove_ip = Stack.remove_ip stack;
-    new_listener = (fun ~addr ~backlog ~on_accept -> listener_on stack ~addr ~backlog ~on_accept);
-    close_listener = close_listener_handle;
-    pause_listener = pause_listener_handle;
-    connect =
-      (fun ~dst ~k ->
-        let s = Stack.socket stack in
-        Stack.connect stack s dst ~k:(fun r ->
-            match r with
-            | Ok () -> k (Ok { c_stack = stack; c_sock = s })
-            | Error e -> k (Error e)));
-    send = (fun c payload ~k -> Stack.send c.c_stack c.c_sock payload ~k);
-    recv = (fun c ~max ~mode ~k -> Stack.recv c.c_stack c.c_sock ~max ~mode ~k);
-    close_conn = (fun c -> Stack.close c.c_stack c.c_sock);
-    abort_conn = (fun c -> Stack.abort c.c_stack c.c_sock);
-    set_conn_handler = (fun c h -> Stack.set_event_handler c.c_stack c.c_sock h);
-    conn_events = (fun c -> Stack.sock_events c.c_stack c.c_sock);
-    conn_core = (fun c -> Stack.sock_core c.c_stack c.c_sock);
-    conn_peer = (fun c -> Stack.peer_addr c.c_stack c.c_sock);
-    conn_local = (fun c -> Stack.local_addr c.c_stack c.c_sock);
-    conn_error = (fun c -> Stack.sock_error c.c_stack c.c_sock);
-    import_conn =
-      (fun ex ->
-        match Stack.import_conn stack ex with
-        | Ok s -> Ok { c_stack = stack; c_sock = s }
-        | Error e -> Error e);
-    default_core = Sim.Cpu.Set.core (Stack.cores stack) 0;
-    epoll_wake_cycles = (Stack.config stack).Stack.profile.Sim.Cost_profile.epoll_wake;
-  }

@@ -1,32 +1,78 @@
-(** Event-driven backend interface over a network stack.
+(** Event-driven backend interface over a network transport — the
+    protocol-neutral NSM boundary.
 
     NetKernel's ServiceLib "translates NQEs to network stack APIs" (paper
-    §5) and must work with different stacks — the kernel stack, mTCP, or a
-    shared-memory path. This record is that boundary: connection-oriented,
-    callback-based, with eager accept (the NSM accepts and announces new
-    connections immediately, per the paper's pipelining optimization §4.6).
+    §5) and must work with different stacks — the kernel TCP stack, mTCP,
+    or a message-oriented RPC transport. This record is that boundary:
+    connection-oriented, callback-based, with eager accept (the NSM accepts
+    and announces new connections immediately, per the paper's pipelining
+    optimization §4.6).
 
-    [of_stack] adapts a single {!Stack}; {!Mtcpstack.Mtcp.ops} adapts the
-    sharded per-core mTCP facade. *)
+    Nothing protocol-specific crosses it. Connection and listener handles
+    are extensible variants each backend enlarges privately; migration
+    state travels as an opaque {!payload} tagged with the backend's
+    protocol id, so ServiceLib and the cluster fabric move connections
+    between NSMs without knowing what is inside. {!Tcp_ops.of_stack}
+    adapts a single kernel-style {!Stack}; [Mtcpstack.Mtcp.ops] adapts the
+    sharded per-core mTCP facade; [Homastack.Homa.ops] adapts the
+    receiver-driven RPC transport. *)
 
-type conn
-(** Connection handle. *)
+type conn = ..
+(** Connection handle. Each backend adds its own constructor and only ever
+    receives handles it created; passing a foreign handle is a caller bug
+    and raises [Invalid_argument]. *)
 
-type listener
+type listener = ..
+(** Listening endpoint handle (possibly spanning several shards). *)
+
+type payload = ..
+(** Backend-private serialized connection state carried inside an
+    {!export}. Only the protocol that produced a payload can destructure
+    it. *)
+
+type export = {
+  e_proto : string;  (** protocol id of the backend that produced it *)
+  e_flow : Addr.Flow.t;
+      (** client → server flow of the connection — enough for any sharded
+          backend to steer the import (RSS) without opening the payload *)
+  e_payload : payload;
+}
+(** A serialized connection, as carried across a live NSM migration. *)
+
+type semantics = Byte_stream | Message
+
+type caps = {
+  semantics : semantics;
+      (** [Byte_stream]: send/recv move an unframed octet stream.
+          [Message]: each send is one message and recv never returns bytes
+          that cross a message boundary. *)
+  has_backlog : bool;
+      (** whether listeners queue half-open handshakes (a TCP SYN
+          backlog). Backlog-free transports admit connections on first
+          contact; the [backlog] argument of [new_listener] is advisory
+          for them. *)
+}
+(** What tenants and the control plane may assume of the transport. *)
 
 type t = {
   name : string;
+  proto : string;  (** protocol id stamped into every {!export} *)
+  caps : caps;
   engine : Sim.Engine.t;
   add_ip : Addr.ip -> unit;
   remove_ip : Addr.ip -> unit;
-      (** release an IP (live migration moved its VM off this stack) *)
+      (** release an IP (live migration moved its VM off this backend) *)
   new_listener :
     addr:Addr.t -> backlog:int -> on_accept:(conn -> peer:Addr.t -> unit) ->
     (listener, Types.err) result;
   close_listener : listener -> unit;
-  pause_listener : listener -> unit;
-      (** migration quiesce: drop fresh SYNs silently, keep settling
-          in-flight handshakes and queued accepts ({!Stack.pause_listener}) *)
+  quiesce_listener : listener -> unit;
+      (** migration quiesce: silently stop admitting new connections — no
+          refusal reaches the peer, so clients retry per their protocol's
+          own recovery (TCP retransmits the SYN, an RPC transport resends
+          its request) and land on whichever NSM owns the listener after
+          the cut. In-flight handshakes and queued accepts keep
+          settling. *)
   connect : dst:Addr.t -> k:((conn, Types.err) result -> unit) -> unit;
   send : conn -> Types.payload -> k:((int, Types.err) result -> unit) -> unit;
   recv :
@@ -40,40 +86,19 @@ type t = {
   conn_peer : conn -> Addr.t option;
   conn_local : conn -> Addr.t option;
   conn_error : conn -> Types.err option;
-  import_conn : Stack.export -> (conn, Types.err) result;
-      (** resume a connection exported from another stack (live NSM
-          migration); the backend picks which shard hosts it *)
+  export_conn : conn -> (export, Types.err) result;
+      (** quietly detach the connection from whichever shard owns it and
+          serialize it — no parting segment, no callbacks; the content
+          channel survives for the importing side *)
+  import_conn : export -> (conn, Types.err) result;
+      (** resume a connection exported from another backend of the same
+          protocol (live NSM migration); the backend picks which shard
+          hosts it, and rejects payloads of a foreign protocol with
+          [Einval] *)
   default_core : Sim.Cpu.t;
-  epoll_wake_cycles : float;
+  wake_cycles : float;
+      (** what one event-loop wakeup costs on this backend (an epoll wake
+          on the kernel stack, a context poll on a user-level stack) —
+          charged by ServiceLib and the epoll emulation per delivered
+          wake *)
 }
-
-val of_stack : Stack.t -> t
-(** Adapt a single stack instance (used by the kernel-stack NSM). *)
-
-(** {1 Building blocks for composite backends (the mTCP facade)} *)
-
-val conn_of_sock : Stack.t -> Stack.sock -> conn
-
-val listener_on :
-  Stack.t -> addr:Addr.t -> backlog:int ->
-  on_accept:(conn -> peer:Addr.t -> unit) -> (listener, Types.err) result
-(** Bind+listen on one stack and pump accepted connections into
-    [on_accept]. *)
-
-val listener_on_group :
-  Stack.t list -> addr:Addr.t -> backlog:int ->
-  on_accept:(conn -> peer:Addr.t -> unit) -> (listener, Types.err) result
-(** Listen on the same address on every shard (SO_REUSEPORT-style). *)
-
-val close_listener_handle : listener -> unit
-
-val pause_listener_handle : listener -> unit
-
-val conn_stack : conn -> Stack.t
-
-val conn_sock : conn -> Stack.sock
-
-val export_conn : conn -> (Stack.export, Types.err) result
-(** Quietly detach the connection from whichever stack owns it and return
-    the serialized state ({!Stack.export_conn}); works for any backend
-    because the handle carries its shard. *)

@@ -1,0 +1,64 @@
+(** TCP backend for the protocol-neutral {!Stack_ops} boundary.
+
+    [of_stack] adapts a single {!Stack} (the kernel-stack NSM); the
+    building blocks below let composite backends — the sharded mTCP facade
+    — assemble their own {!Stack_ops.t} from the same pieces. *)
+
+type Stack_ops.conn += Conn of { c_stack : Stack.t; c_sock : Stack.sock }
+
+type group
+(** Listener spanning one or more stack shards. *)
+
+type Stack_ops.listener += Listener of group
+
+type Stack_ops.payload += Tcp_state of Stack.export
+(** The TCP migration payload: a full {!Stack.export} (TCB snapshot plus
+    content-channel key and vswitch registrations). *)
+
+val proto : string
+(** ["tcp"]. *)
+
+val caps : Stack_ops.caps
+(** Byte-stream semantics, listener backlog present. *)
+
+val of_stack : Stack.t -> Stack_ops.t
+(** Adapt a single stack instance (used by the kernel-stack NSM). *)
+
+(** {1 Building blocks for composite backends (the mTCP facade)} *)
+
+val conn_of_sock : Stack.t -> Stack.sock -> Stack_ops.conn
+
+val listener_on :
+  Stack.t -> addr:Addr.t -> backlog:int ->
+  on_accept:(Stack_ops.conn -> peer:Addr.t -> unit) ->
+  (Stack_ops.listener, Types.err) result
+(** Bind+listen on one stack and pump accepted connections into
+    [on_accept]. *)
+
+val listener_on_group :
+  Stack.t list -> addr:Addr.t -> backlog:int ->
+  on_accept:(Stack_ops.conn -> peer:Addr.t -> unit) ->
+  (Stack_ops.listener, Types.err) result
+(** Listen on the same address on every shard (SO_REUSEPORT-style). *)
+
+val close_listener_handle : Stack_ops.listener -> unit
+
+val quiesce_listener_handle : Stack_ops.listener -> unit
+(** Stop admitting fresh connections on every part ({!Stack.pause_listener}:
+    new SYNs drop silently, queued accepts keep settling). *)
+
+val conn_stack : Stack_ops.conn -> Stack.t
+
+val conn_sock : Stack_ops.conn -> Stack.sock
+
+val export_of : Stack.export -> Stack_ops.export
+(** Wrap a stack export in the neutral envelope (proto ["tcp"], steering
+    flow = the registry's client → server flow). *)
+
+val export_conn : Stack_ops.conn -> (Stack_ops.export, Types.err) result
+(** Quietly detach the connection from whichever stack owns it and return
+    the serialized state ({!Stack.export_conn}); works for any TCP backend
+    because the handle carries its shard. *)
+
+val unpack_export : Stack_ops.export -> (Stack.export, Types.err) result
+(** [Einval] unless the payload is {!Tcp_state}. *)

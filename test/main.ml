@@ -20,6 +20,7 @@ let () =
       ("nkctl", Test_nkctl.tests);
       ("nkfabric", Test_nkfabric.tests);
       ("tcb-roundtrip", Test_tcb_roundtrip.tests);
+      ("homastack", Test_homastack.tests);
       ("nkspan", Test_nkspan.tests);
       ("nklint", Test_nklint.tests);
       ("nkscope", Test_nkscope.tests);

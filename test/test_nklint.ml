@@ -32,6 +32,12 @@ let d1_randomness () =
   check_diags "ambient Random flagged under lib/nkfabric/"
     [ ("D1", 1) ]
     ~path:"lib/nkfabric/nkfabric.ml" "let pick = Random.int 2";
+  (* The Homa grant pacer's SRPT choice must be a deterministic fold over
+     active messages — ambient randomness there would desynchronize the
+     grant clock across identical runs. *)
+  check_diags "ambient Random flagged under lib/homastack/"
+    [ ("D1", 1) ]
+    ~path:"lib/homastack/homa.ml" "let quantum = Random.int 5792";
   check_diags "Random.self_init flagged" [ ("D1", 1) ] "let () = Random.self_init ()";
   check_diags "seeded Nkutil.Rng is the sanctioned source" []
     "let r = Nkutil.Rng.create ~seed:7\nlet x = Nkutil.Rng.int r 5"

@@ -51,13 +51,27 @@ if ! diff -q "$cl1" "$cl2" >/dev/null; then
   exit 1
 fi
 echo "check.sh: cluster determinism smoke OK"
+# Incast smoke: the quick N-to-1 incast run (live TCP->Homa protocol
+# handover under Nkctl) is executed twice and the CSVs diffed — the Homa
+# grant pacer, the handover pump and the post-switch RPC phase must all
+# be deterministic.
+in1=$(mktemp) in2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$cat1" "$cat2" "$cl1" "$cl2" "$in1" "$in2"' EXIT
+dune exec bin/nk.exe -- run incast --quick --csv > "$in1"
+dune exec bin/nk.exe -- run incast --quick --csv > "$in2"
+if ! diff -q "$in1" "$in2" >/dev/null; then
+  echo "check.sh: incast runs diverged (nondeterminism in homastack or the handover):" >&2
+  diff "$in1" "$in2" >&2 || true
+  exit 1
+fi
+echo "check.sh: incast determinism smoke OK"
 # Bench drift gate: fresh quick-mode snapshots are diffed against the
 # committed BENCH_<id>.json baselines. The simulated metric tables are
 # deterministic, so any drift beyond the tolerance is a behaviour change
 # that must be acknowledged by regenerating the baseline
 # (`dune exec bin/nk.exe -- bench <id> -o BENCH_<id>.json`). Wall-clock
 # is reported as a ratio only, never gated.
-for id in ce-scale latency-breakdown cluster; do
+for id in ce-scale latency-breakdown cluster incast; do
   snap=$(mktemp)
   dune exec bin/nk.exe -- bench "$id" -o "$snap"
   dune exec bin/nk.exe -- bench --compare "BENCH_$id.json,$snap"
