@@ -200,6 +200,67 @@ let observed_world ~trace ~config =
   ignore (Experiments.Worlds.measure_rps w ~concurrency:32 ~total:2_000 ());
   mon
 
+(* The cluster counterpart for the --cluster variants: a two-node Nkfabric
+   world under keep-alive load, federated by an Nkobs plane (per-node
+   registries and trace rings merge back into one host-tagged view). *)
+let observed_cluster ~trace ~seed =
+  let open Nkcore in
+  let tb =
+    Testbed.create
+      ~config:{ Testbed.Config.default with seed; trace_enabled = trace }
+      ()
+  in
+  let cluster = Nkfabric.create ~policy:Nkfabric.Spread tb in
+  let nodea = Nkfabric.add_node cluster ~name:"nodeA" in
+  let nodeb = Nkfabric.add_node cluster ~name:"nodeB" in
+  Nkfabric.add_nsm cluster nodea
+    (Nsm.create_kernel (Nkfabric.node_host nodea) ~name:"nsmA" ~vcpus:1 ());
+  Nkfabric.add_nsm cluster nodeb
+    (Nsm.create_kernel (Nkfabric.node_host nodeb) ~name:"nsmB" ~vcpus:1 ());
+  let vms =
+    List.init 2 (fun i ->
+        Nkfabric.place_vm cluster ~name:(Printf.sprintf "srv%d" i) ~vcpus:1
+          ~ips:[ 10 + i ] ())
+  in
+  let clients_host = Testbed.add_host tb ~name:"clients" in
+  let client =
+    Vm.create_baseline clients_host ~name:"client" ~vcpus:8 ~ips:[ 100; 101 ]
+      ~profile:Sim.Cost_profile.ideal ()
+  in
+  let proto = Nkapps.Proto.Fixed { request = 128; response = 1024; keepalive = true } in
+  List.iteri
+    (fun i vm ->
+      let addr = Addr.make (10 + i) 80 in
+      (match
+         Nkapps.Epoll_server.start ~engine:tb.Testbed.engine ~api:(Vm.api vm)
+           (Nkapps.Epoll_server.config ~proto addr)
+       with
+      | Ok _ -> ()
+      | Error e -> failwith (Tcpstack.Types.err_to_string e));
+      ignore
+        (Nkapps.Loadgen.start ~engine:tb.Testbed.engine ~api:(Vm.api client)
+           {
+             Nkapps.Loadgen.server = addr;
+             proto;
+             mode = Nkapps.Loadgen.Closed { concurrency = 8; total = Some 1_000; duration = None };
+             warmup = 0.0;
+           }))
+    vms;
+  let obs = Nkobs.of_fabric cluster in
+  Nkobs.start obs;
+  Testbed.run tb ~until:1.0;
+  Nkobs.stop obs;
+  obs
+
+let cluster_flag =
+  Arg.(
+    value & flag
+    & info [ "cluster" ]
+        ~doc:
+          "Observe a two-node Nkfabric cluster through Nkobs instead of a \
+           single host: metrics are host-tagged and traces merged in \
+           virtual-time order. World knobs other than --seed are ignored.")
+
 let ce_cores_arg =
   Arg.(
     value & opt int 1
@@ -241,9 +302,14 @@ let stats_cmd =
       & info [ "filter" ] ~docv:"PREFIX"
           ~doc:"Keep only metrics whose component name starts with $(docv).")
   in
-  let run csv format filter config =
-    let mon = observed_world ~trace:false ~config in
-    let report = Experiments.Mon_report.table ~filter mon in
+  let run csv format filter cluster config =
+    let report =
+      if cluster then
+        let seed = config.Experiments.Worlds.Config.tb.Nkcore.Testbed.Config.seed in
+        let obs = observed_cluster ~trace:false ~seed in
+        Experiments.Mon_report.cluster_table ~filter obs
+      else Experiments.Mon_report.table ~filter (observed_world ~trace:false ~config)
+    in
     match (if csv then `Csv else format) with
     | `Table -> print_report ~csv:false report
     | `Csv -> print_endline (Experiments.Report.to_csv report)
@@ -253,30 +319,46 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Run a small NetKernel workload and print every Nkmon metric \
-          (component/instance/metric) it produced")
-    Term.(const run $ csv $ format $ filter $ world_config_term)
+          (component/instance/metric) it produced; with --cluster, the \
+          Nkobs-federated host-tagged view of a two-node fabric")
+    Term.(const run $ csv $ format $ filter $ cluster_flag $ world_config_term)
 
 let trace_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of JSON.") in
-  let run csv config =
-    let mon = observed_world ~trace:true ~config in
-    let tr = Nkmon.trace mon in
-    if csv then print_string (Nkmon.Trace.to_csv tr)
-    else print_string (Nkmon.Trace.to_json tr);
-    let dropped = Nkmon.Trace.dropped tr in
-    if dropped > 0 then
-      Printf.eprintf
-        "nk trace: warning: %d events dropped (ring capacity %d); rerun with a \
-         larger trace ring to keep them\n"
-        dropped
-        (Nkmon.Trace.capacity tr)
+  let run csv cluster config =
+    if cluster then begin
+      let seed = config.Experiments.Worlds.Config.tb.Nkcore.Testbed.Config.seed in
+      let obs = observed_cluster ~trace:true ~seed in
+      if csv then print_string (Nkobs.merged_trace_csv obs)
+      else print_string (Nkobs.merged_trace_json obs);
+      List.iter
+        (fun (host, mon) ->
+          let dropped = Nkmon.dropped_events mon in
+          if dropped > 0 then
+            Printf.eprintf "nk trace: warning: host %s dropped %d events\n" host dropped)
+        (Nkobs.sources obs)
+    end
+    else begin
+      let mon = observed_world ~trace:true ~config in
+      let tr = Nkmon.trace mon in
+      if csv then print_string (Nkmon.Trace.to_csv tr)
+      else print_string (Nkmon.Trace.to_json tr);
+      let dropped = Nkmon.Trace.dropped tr in
+      if dropped > 0 then
+        Printf.eprintf
+          "nk trace: warning: %d events dropped (ring capacity %d); rerun with a \
+           larger trace ring to keep them\n"
+          dropped
+          (Nkmon.Trace.capacity tr)
+    end
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run a small NetKernel workload with event tracing enabled and dump \
-          the virtual-time trace (JSON by default)")
-    Term.(const run $ csv $ world_config_term)
+          the virtual-time trace (JSON by default); with --cluster, every \
+          host's trace merged in virtual-time order")
+    Term.(const run $ csv $ cluster_flag $ world_config_term)
 
 let write_file path contents =
   let oc = open_out path in

@@ -102,20 +102,31 @@ let shard_instance ~instance ~solo idx =
 
 let make_shard mon ~instance ~solo ~idx cpu =
   let instance = shard_instance ~instance ~solo idx in
-  {
-    idx;
-    sinstance = instance;
-    cpu;
-    running = false;
-    release_scheduled = false;
-    deferred = Hashtbl.create 16;
-    ctr = make_counters mon ~instance;
-    sweep_batch =
-      Nkmon.histogram mon ~component:"coreengine" ~instance ~name:"sweep_batch";
-    sweep_src = Array.make 64 (-1);
-    sweep_raw = Array.make 64 Bytes.empty;
-    sweep_len = 0;
-  }
+  let sh =
+    {
+      idx;
+      sinstance = instance;
+      cpu;
+      running = false;
+      release_scheduled = false;
+      deferred = Hashtbl.create 16;
+      ctr = make_counters mon ~instance;
+      sweep_batch =
+        Nkmon.histogram mon ~component:"coreengine" ~instance ~name:"sweep_batch";
+      sweep_src = Array.make 64 (-1);
+      sweep_raw = Array.make 64 Bytes.empty;
+      sweep_len = 0;
+    }
+  in
+  (* Instantaneous parked-NQE depth across this shard's deferred queues:
+     the CE-side backpressure signal the Nkobs ring-pressure alert reads.
+     Evaluated only when a registry snapshot is taken. *)
+  Nkmon.sampler mon ~component:"coreengine" ~instance ~name:"deferred_depth" (fun () ->
+      float_of_int
+        (Nkutil.Det_tbl.fold ~cmp:Int.compare
+           (fun _ dq acc -> acc + Queue.length dq.entries)
+           sh.deferred 0));
+  sh
 
 let create ~engine ~cores ?(mon = Nkmon.null ()) ?(spans = Nkspan.null ())
     ?(instance = "ce") costs =

@@ -49,6 +49,11 @@ let create ?(page_size = 2 * 1024 * 1024) ?(pages = 32) ?(mon = Nkmon.null ())
       float_of_int t.in_use);
   Nkmon.sampler mon ~component:"hugepages" ~instance:region ~name:"allocations" (fun () ->
       float_of_int (Hashtbl.length t.live));
+  (* Capacity next to bytes_in_use so pressure (in_use / capacity) is
+     computable from a registry snapshot alone — the Nkobs hugepage
+     pressure alert reads exactly these two rows. *)
+  Nkmon.sampler mon ~component:"hugepages" ~instance:region ~name:"capacity_bytes" (fun () ->
+      float_of_int t.size);
   t
 
 let capacity t = t.size

@@ -1,13 +1,3 @@
-type t = {
-  engine : Sim.Engine.t;
-  registry : Tcpstack.Conn_registry.t;
-  fabric : Fabric.t;
-  rng : Nkutil.Rng.t;
-  costs : Nk_costs.t;
-  mon : Nkmon.t;
-  spans : Nkspan.t;
-}
-
 module Config = struct
   type t = {
     rate_gbps : float;
@@ -35,6 +25,17 @@ module Config = struct
     }
 end
 
+type t = {
+  engine : Sim.Engine.t;
+  registry : Tcpstack.Conn_registry.t;
+  fabric : Fabric.t;
+  rng : Nkutil.Rng.t;
+  costs : Nk_costs.t;
+  mon : Nkmon.t;
+  spans : Nkspan.t;
+  config : Config.t;
+}
+
 let create ?(config = Config.default) () =
   let {
     Config.rate_gbps;
@@ -61,11 +62,13 @@ let create ?(config = Config.default) () =
   in
   let spans = Nkspan.create ~span_every ~now:(fun () -> Sim.Engine.now engine) () in
   { engine; registry = Tcpstack.Conn_registry.create (); fabric;
-    rng = Nkutil.Rng.create ~seed; costs; mon; spans }
+    rng = Nkutil.Rng.create ~seed; costs; mon; spans; config }
 
-let add_host t ~name =
+let add_host ?mon ?spans t ~name =
+  let mon = Option.value mon ~default:t.mon in
+  let spans = Option.value spans ~default:t.spans in
   Host.create ~engine:t.engine ~fabric:t.fabric ~registry:t.registry
-    ~rng:(Nkutil.Rng.split t.rng) ~costs:t.costs ~name ~mon:t.mon ~spans:t.spans ()
+    ~rng:(Nkutil.Rng.split t.rng) ~costs:t.costs ~name ~mon ~spans ()
 
 let run ?until t = Sim.Engine.run ?until t.engine
 

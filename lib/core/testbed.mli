@@ -4,16 +4,6 @@
     100G NICs behind a switch. Experiments, tests and examples all build
     their worlds through this module. *)
 
-type t = {
-  engine : Sim.Engine.t;
-  registry : Tcpstack.Conn_registry.t;
-  fabric : Fabric.t;
-  rng : Nkutil.Rng.t;
-  costs : Nk_costs.t;
-  mon : Nkmon.t;  (** shared observability handle for the whole world *)
-  spans : Nkspan.t;  (** shared request-span recorder (disabled by default) *)
-}
-
 (** All construction knobs in one record, so a new knob is one field (plus
     its default) instead of another optional argument rippling through every
     constructor signature. Build variants with record update:
@@ -34,6 +24,20 @@ module Config : sig
   val default : t
 end
 
+type t = {
+  engine : Sim.Engine.t;
+  registry : Tcpstack.Conn_registry.t;
+  fabric : Fabric.t;
+  rng : Nkutil.Rng.t;
+  costs : Nk_costs.t;
+  mon : Nkmon.t;  (** shared observability handle for the whole world *)
+  spans : Nkspan.t;  (** shared request-span recorder (disabled by default) *)
+  config : Config.t;
+      (** the knobs this world was built with, retained so cluster layers
+          (Nkfabric) can derive per-node observability instances with the
+          same trace/span settings *)
+}
+
 val create : ?config:Config.t -> unit -> t
 (** Defaults ({!Config.default}): 100 Gb/s ports, 20 us one-way delay,
     seed 42. Every host added to the testbed shares [mon], so all component
@@ -42,7 +46,10 @@ val create : ?config:Config.t -> unit -> t
     samples one request span per that many GuestLib sends, shared across
     hosts like [mon]. *)
 
-val add_host : t -> name:string -> Host.t
+val add_host : ?mon:Nkmon.t -> ?spans:Nkspan.t -> t -> name:string -> Host.t
+(** Hosts default to the testbed-wide [mon]/[spans]; cluster layers pass
+    per-node instances so each node keeps its own registry, trace ring and
+    host-unique span ids (federated back together by Nkobs). *)
 
 val run : ?until:float -> t -> unit
 

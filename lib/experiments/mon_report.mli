@@ -1,8 +1,17 @@
-(** Render an {!Nkmon} registry as a {!Report} table, so observability
-    snapshots print and export exactly like experiment results. *)
+(** Render an {!Nkmon} registry (or an {!Nkobs} federation of them) as a
+    {!Report} table, so observability snapshots print and export exactly
+    like experiment results. *)
 
 val table : ?id:string -> ?title:string -> ?filter:string -> Nkmon.t -> Report.t
 (** One row per registered metric in deterministic
     [component/instance/metric] order; histograms and time series are
     summarised into the value cell. [filter] keeps only rows whose
-    component name starts with it (default "": keep everything). *)
+    component name starts with it (default "": keep everything). A note
+    reports the trace ring's [dropped_events] count when it is nonzero,
+    so truncation shows up in every output format (table, CSV, JSON). *)
+
+val cluster_table :
+  ?id:string -> ?title:string -> ?filter:string -> Nkobs.t -> Report.t
+(** The cluster view [nk stats --cluster] prints: one host-tagged row per
+    metric of every federated source ({!Nkobs.to_rows} order), with one
+    note per source whose trace ring dropped events. *)

@@ -31,6 +31,8 @@ let all =
       run = Fig_cluster.run };
     { id = "incast"; title = "N-to-1 incast: live TCP->Homa protocol handover";
       run = Incast.run };
+    { id = "slo"; title = "Tenant SLO breach -> Nkobs alert -> Nkctl reaction";
+      run = Slo.run };
     { id = "table4"; title = "Multi-NSM scalability"; run = Table4_multi_nsm.run };
     { id = "fig21"; title = "Isolation time series"; run = Fig21_isolation.run };
     { id = "table5"; title = "Latency distribution"; run = Table5_latency.run };

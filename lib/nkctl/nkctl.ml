@@ -256,13 +256,18 @@ let release_nsm t nsm =
 
 (* ---- policy loop -------------------------------------------------------- *)
 
-let spawn_nsm t =
+let spawn_managed t =
   let nsm = t.spawn t.spawned in
   t.spawned <- t.spawned + 1;
   let m = { nsm; nstate = Active; last_busy = Nsm.busy_cycles nsm } in
   t.pool <- t.pool @ [ m ];
   ctl_event t "spawn" (Printf.sprintf "nsm=%s" (Nsm.name nsm));
   m
+
+(* The operator-facing spawn verb: alert responders (Nkobs subscribers)
+   use it to bring up capacity outside the watermark loop, then [handover]
+   the breaching tenant onto the returned NSM. *)
+let spawn_nsm t = (spawn_managed t).nsm
 
 (* Least-loaded active by tracked-VM count (ties broken by spawn order). *)
 let pick_target t ~excluding =
@@ -301,12 +306,12 @@ let detect_failures t =
           let target =
             match pick_target t ~excluding:dead with
             | Some m -> m
-            | None -> spawn_nsm t
+            | None -> spawn_managed t
           in
           rehome t mv target ~source_alive:false)
         orphans)
     failed;
-  if actives t = [] && t.vms <> [] then ignore (spawn_nsm t)
+  if actives t = [] && t.vms <> [] then ignore (spawn_managed t)
 
 (* 2. Retire drained NSMs whose last established connection closed. *)
 let complete_drains t =
@@ -454,7 +459,7 @@ let scale t (s : sample) =
   if now -. t.last_scale >= t.policy.cooldown then
     if s.s_utilization > t.policy.high_watermark && n_active < t.policy.max_nsms
     then begin
-      ignore (spawn_nsm t);
+      ignore (spawn_managed t);
       t.stats.scale_ups <- t.stats.scale_ups + 1;
       Nkmon.Registry.incr t.c_scale_up;
       t.last_scale <- now;

@@ -122,6 +122,13 @@ val release_nsm : t -> Nsm.t -> unit
     crash on the next tick and trigger a spurious failover. No-op if the
     NSM is unmanaged. *)
 
+val spawn_nsm : t -> Nsm.t
+(** Spawn one fresh NSM via the controller's [spawn] closure and put it in
+    the pool as active (a recorded [spawn] control event, like a policy
+    scale-up but on operator demand). This is the verb an Nkobs alert
+    responder pairs with {!handover}: bring up capacity the moment a
+    tenant SLO breaches, without waiting for the watermark loop. *)
+
 val scale_out_ce : t -> add:int -> unit
 (** Grow the host's CoreEngine by [add] switching shards ({!Host.scale_ce})
     and record the action. The policy loop calls this when the busiest shard

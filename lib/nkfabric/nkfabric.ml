@@ -25,10 +25,16 @@ module Spine = struct
 
   let create ~engine ~mon ?(latency = 50e-6) ?(gbps = 40.0) () =
     let c name = Nkmon.counter mon ~component:"nkfabric" ~instance:"spine" ~name in
+    let bytes_per_sec = gbps *. 1e9 /. 8.0 in
+    (* Default per-link capacity next to the shipped counters, so
+       saturation (windowed bytes_shipped delta vs capacity) is computable
+       from a registry snapshot alone — the Nkobs spine alert reads it. *)
+    Nkmon.sampler mon ~component:"nkfabric" ~instance:"spine"
+      ~name:"link_capacity_bytes_per_sec" (fun () -> bytes_per_sec);
     {
       engine;
       latency;
-      bytes_per_sec = gbps *. 1e9 /. 8.0;
+      bytes_per_sec;
       links = Hashtbl.create 16;
       c_nqes = c "nqes_shipped";
       c_bytes = c "bytes_shipped";
@@ -89,6 +95,8 @@ type policy = Spread | Pack
 type node = {
   n_index : int;
   n_host : Host.t;
+  n_mon : Nkmon.t; (* per-node registry + trace ring *)
+  n_spans : Nkspan.t; (* per-node spans, host-unique ids *)
   mutable n_nsms : Nsm.t list; (* serving pool, add order *)
   mutable n_ctl : Nkctl.t option;
 }
@@ -166,17 +174,42 @@ let add_node t ~name =
   let base = 1 + (ids_per_node * idx) in
   if base + ids_per_node > 256 then
     invalid_arg "Nkfabric.add_node: id space exhausted (max 6 nodes)";
-  let host = Testbed.add_host t.tb ~name in
+  (* Each node keeps its own registry, trace ring and span recorder — built
+     with the testbed's knobs, so one Config governs the whole cluster. Span
+     host index [idx + 1] leaves 0 for the testbed-wide instance (plain
+     hosts outside the cluster); ids can then never collide across hosts. *)
+  let engine = t.tb.Testbed.engine in
+  let cfg = t.tb.Testbed.config in
+  let mon =
+    Nkmon.create ?trace_capacity:cfg.Testbed.Config.trace_capacity
+      ~trace_enabled:cfg.Testbed.Config.trace_enabled
+      ~now:(fun () -> Engine.now engine)
+      ()
+  in
+  let spans =
+    Nkspan.create ~span_every:cfg.Testbed.Config.span_every ~host_index:(idx + 1)
+      ~now:(fun () -> Engine.now engine)
+      ()
+  in
+  let host = Testbed.add_host ~mon ~spans t.tb ~name in
   Host.set_id_base host base;
-  let node = { n_index = idx; n_host = host; n_nsms = []; n_ctl = None } in
+  let node =
+    { n_index = idx; n_host = host; n_mon = mon; n_spans = spans; n_nsms = []; n_ctl = None }
+  in
   t.nodes <- t.nodes @ [ node ];
   node
+
+let testbed t = t.tb
 
 let nodes t = t.nodes
 
 let node_host n = n.n_host
 
 let node_index n = n.n_index
+
+let node_mon n = n.n_mon
+
+let node_spans n = n.n_spans
 
 let node_nsms n = n.n_nsms
 
@@ -269,7 +302,15 @@ let wire_bytes raw =
    NSM. The proxy is read at delivery time (re-migration re-points it). *)
 let ship_to_dest t relay ~src raw =
   relay.r_nqes_out <- relay.r_nqes_out + 1;
+  (* Traced requests crossing the spine record the flight as an explicit
+     ["spine"] stage. The span was minted by the home host's GuestLib, so
+     it lives in the home node's recorder; stage calls with a foreign id
+     are no-ops there, which makes this safe for every shipment. *)
+  let span = Nqe.View.span raw in
+  if span <> 0 then
+    Nkspan.begin_stage relay.r_home.n_spans ~id:span ~component:"nkfabric" "spine";
   Spine.ship t.spine ~src ~dst:relay.r_dest.n_index ~bytes:(wire_bytes raw) (fun () ->
+      if span <> 0 then Nkspan.end_stage relay.r_home.n_spans ~id:span "spine";
       let q = match Nqe.View.op raw with Nqe.Send -> `Send | _ -> `Job in
       Nk_device.post relay.r_proxy ~qset:(Nqe.View.qset raw) q raw)
 
@@ -281,7 +322,11 @@ let ship_to_dest t relay ~src raw =
    follow-up NQEs of the same connection land on the same queue set. *)
 let ship_back t relay ~src raw =
   relay.r_nqes_back <- relay.r_nqes_back + 1;
+  let span = Nqe.View.span raw in
+  if span <> 0 then
+    Nkspan.begin_stage relay.r_home.n_spans ~id:span ~component:"nkfabric" "spine";
   Spine.ship t.spine ~src ~dst:relay.r_home.n_index ~bytes:(wire_bytes raw) (fun () ->
+      if span <> 0 then Nkspan.end_stage relay.r_home.n_spans ~id:span "spine";
       let stub = relay.r_stub in
       let q, key =
         match Nqe.View.op raw with

@@ -95,7 +95,18 @@ val create : ?policy:policy -> ?latency:float -> ?gbps:float -> Testbed.t -> t
 
 val add_node : t -> name:string -> node
 (** Add a host as a cluster node with its own disjoint id range. Raises
-    after 6 nodes (the one-byte NQE vm-id field bounds the id space). *)
+    after 6 nodes (the one-byte NQE vm-id field bounds the id space).
+
+    Each node gets its own {!Nkmon.t} (registry + trace ring) and
+    {!Nkspan.t} (span host index [node_index + 1], so span ids are
+    host-unique cluster-wide), both built with the testbed's
+    {!Testbed.Config} knobs. The testbed-wide [tb.mon]/[tb.spans] keep
+    serving hosts added outside the cluster and cluster-scope metrics (the
+    spine, migrations); Nkobs federates all of them back into one view. *)
+
+val testbed : t -> Testbed.t
+(** The world the cluster is built over (engine, fabric, cluster-scope
+    [mon]/[spans]). *)
 
 val nodes : t -> node list
 (** In add order. *)
@@ -103,6 +114,16 @@ val nodes : t -> node list
 val node_host : node -> Host.t
 
 val node_index : node -> int
+
+val node_mon : node -> Nkmon.t
+(** The node's own observability handle (all components on the node's host
+    report here). *)
+
+val node_spans : node -> Nkspan.t
+(** The node's span recorder; {!Nkspan.host_index} is [node_index + 1].
+    The spine relay records the ["spine"] stage against the {e home}
+    node's recorder, since that is where a migrated VM's spans are
+    minted. *)
 
 val node_nsms : node -> Nsm.t list
 (** The node's serving pool, in add order. *)

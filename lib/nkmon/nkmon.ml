@@ -22,6 +22,8 @@ let registry t = t.registry
 
 let trace t = t.trace
 
+let dropped_events t = Trace.dropped t.trace
+
 let counter t = Registry.counter t.registry
 
 let gauge t = Registry.gauge t.registry

@@ -32,6 +32,11 @@ val registry : t -> Registry.t
 
 val trace : t -> Trace.t
 
+val dropped_events : t -> int
+(** Trace-ring overwrites so far ([Trace.dropped] on this instance's
+    trace). Surfaced in [nk stats] / [Mon_report] output and watched by
+    the Nkobs federation so silent trace truncation raises an alert. *)
+
 (** {1 Convenience forwarding} *)
 
 val counter : t -> component:string -> instance:string -> name:string -> Registry.counter

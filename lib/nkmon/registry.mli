@@ -87,6 +87,15 @@ val cardinality : t -> int
 val row_headers : string list
 (** ["component"; "instance"; "metric"; "value"] — matches {!to_rows}. *)
 
+val value_cell : value -> string
+(** The table/CSV rendering of one value — counters and gauges as numbers,
+    histograms and time series summarised. Exposed so cross-host
+    aggregators (Nkobs federation) render merged rows identically. *)
+
+val value_json : value -> string
+(** The JSON body rendered for one value (the [kind/value] fields of a
+    {!to_json} metric object, without the surrounding braces). *)
+
 val to_rows : t -> string list list
 (** One row per metric in {!entries} order; histograms and time series
     are summarised into the value cell. *)

@@ -79,6 +79,12 @@ val clear : t -> unit
 
 val event_type : event -> string
 
+val event_args : event -> (string * string) list
+(** The event's payload as ordered [key, value] pairs — the same pairs
+    {!to_json} / {!to_csv} render. Exposed so cross-host aggregators
+    (Nkobs federation, the flight recorder) can re-render merged streams
+    without reimplementing the taxonomy. *)
+
 val to_json : t -> string
 (** [{"events":[...],"recorded":N,"dropped":M}], one event object per
     line, deterministic. *)

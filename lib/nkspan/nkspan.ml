@@ -29,8 +29,9 @@ type t = {
   now : unit -> float;
   every : int; (* sample 1 in [every] requests; 0 disables spans *)
   capacity : int; (* max spans retained; later samples count as dropped *)
+  id_base : int; (* host index lsl 24, OR'd into every minted id *)
   spans : (int, span) Hashtbl.t;
-  mutable next_id : int;
+  mutable next_seq : int;
   mutable births : int;
   mutable dropped : int;
   (* profiler *)
@@ -39,13 +40,23 @@ type t = {
   cells : (string * string, float ref) Hashtbl.t;
 }
 
-let create ?(span_every = 0) ?(capacity = 1 lsl 16) ~now () =
+(* Span ids are host-unique across a cluster: the host index occupies the
+   high bits of the 32-bit NQE span field (bytes 28-31, unchanged on the
+   wire) and a dense per-host sequence the low 24. Id 0 stays "untraced",
+   so stage calls against a foreign host's instance remain safe no-ops. *)
+let seq_bits = 24
+let max_host_index = (1 lsl (32 - seq_bits)) - 1
+
+let create ?(span_every = 0) ?(capacity = 1 lsl 16) ?(host_index = 0) ~now () =
+  if host_index < 0 || host_index > max_host_index then
+    invalid_arg "Nkspan.create: host_index out of range";
   {
     now;
     every = span_every;
     capacity;
+    id_base = host_index lsl seq_bits;
     spans = Hashtbl.create 256;
-    next_id = 1;
+    next_seq = 1;
     births = 0;
     dropped = 0;
     profiling = false;
@@ -58,6 +69,8 @@ let null () = create ~now:(fun () -> 0.0) ()
 let enabled t = t.every > 0
 
 let dropped t = t.dropped
+
+let host_index t = t.id_base lsr seq_bits
 
 (* ---- span lifecycle ---------------------------------------------------- *)
 
@@ -72,8 +85,8 @@ let sample t ~vm =
       0
     end
     else begin
-      let id = t.next_id in
-      t.next_id <- id + 1;
+      let id = t.id_base lor t.next_seq in
+      t.next_seq <- t.next_seq + 1;
       Hashtbl.replace t.spans id
         { id; vm; birth = t.now (); finished_at = -1.0; open_stage = None; segs = [] };
       id
@@ -123,12 +136,13 @@ let finish t ~id =
       close_open t sp;
       sp.finished_at <- t.now ()
 
-(* Ids are dense from 1, so iterating [1, next_id) with [find_opt] visits
-   spans in creation order without touching Hashtbl bucket order. *)
+(* Sequence numbers are dense from 1, so iterating [1, next_seq) with the
+   host base OR'd back in visits spans in creation order without touching
+   Hashtbl bucket order. *)
 let fold_spans t f acc =
   let acc = ref acc in
-  for id = 1 to t.next_id - 1 do
-    match Hashtbl.find_opt t.spans id with
+  for seq = 1 to t.next_seq - 1 do
+    match Hashtbl.find_opt t.spans (t.id_base lor seq) with
     | Some sp -> acc := f !acc sp
     | None -> ()
   done;
@@ -150,7 +164,8 @@ let span_count t = Hashtbl.length t.spans
 
 (* Canonical presentation order of the request-path taxonomy; stages outside
    it (component-specific extensions) sort alphabetically after. *)
-let stage_order = [ "guestlib"; "ring"; "ce-switch"; "servicelib"; "stack"; "completion" ]
+let stage_order =
+  [ "guestlib"; "ring"; "ce-switch"; "spine"; "servicelib"; "stack"; "completion" ]
 
 let ring_stage = "ring"
 

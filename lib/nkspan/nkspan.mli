@@ -31,11 +31,18 @@ type seg = {
   g_t1 : float;  (** virtual-time interval covered *)
 }
 
-val create : ?span_every:int -> ?capacity:int -> now:(unit -> float) -> unit -> t
+val create :
+  ?span_every:int -> ?capacity:int -> ?host_index:int -> now:(unit -> float) -> unit -> t
 (** [create ~now ()] with [span_every = 0] (the default) disables span
     collection entirely. [span_every = n] samples one request in [n];
     [capacity] (default 65536) bounds retained spans — samples past it are
-    counted in {!dropped} instead of being silently lost. *)
+    counted in {!dropped} instead of being silently lost.
+
+    [host_index] (default 0, max 255) is OR'd into the high 8 bits of
+    every minted span id so that per-host instances in a cluster can never
+    collide: the id still fits the NQE's 32-bit span field (wire bytes
+    28-31 unchanged) and [0] still means "untraced", which makes stage
+    calls routed to the wrong host's instance safe no-ops. *)
 
 val null : unit -> t
 (** Detached disabled instance; the default for components built without
@@ -45,6 +52,17 @@ val enabled : t -> bool
 
 val dropped : t -> int
 (** Sampled requests not retained because [capacity] was reached. *)
+
+val host_index : t -> int
+(** The host index baked into this instance's span ids (0 by default). *)
+
+val seq_bits : int
+(** Low bits of a span id holding the per-instance sequence number (24);
+    the host index lives in the bits above ([id lsr seq_bits]). *)
+
+val max_host_index : int
+(** Largest accepted [?host_index] (255 — the id must fit the NQE's
+    32-bit span field). *)
 
 (** {1 Span lifecycle — called by datapath components} *)
 
@@ -81,7 +99,9 @@ val span_segs : span -> seg list
 
 val stage_order : string list
 (** Canonical request-path taxonomy:
-    guestlib, ring, ce-switch, servicelib, stack, completion. *)
+    guestlib, ring, ce-switch, spine, servicelib, stack, completion.
+    ["spine"] is recorded by the Nkfabric relay while a traced NQE is in
+    flight between hosts. *)
 
 type breakdown = {
   b_spans : int;  (** finished spans aggregated *)

@@ -115,6 +115,62 @@ let merge_into ~src ~dst =
     if src.vmax > dst.vmax then dst.vmax <- src.vmax
   end
 
+let copy t =
+  { t with counts = Array.copy t.counts }
+
+let diff ~newer ~older =
+  if
+    Array.length newer.counts <> Array.length older.counts
+    || newer.sub <> older.sub
+  then invalid_arg "Histogram.diff: incompatible histograms";
+  let counts =
+    Array.init (Array.length newer.counts) (fun i ->
+        let d = newer.counts.(i) - older.counts.(i) in
+        if d < 0 then invalid_arg "Histogram.diff: newer is not a superset"
+        else d)
+  in
+  let total = newer.total - older.total in
+  if total < 0 then invalid_arg "Histogram.diff: newer is not a superset";
+  (* Chan's update run in reverse recovers the exact mean and (up to float
+     rounding) the m2 of the window; min/max are only known to bucket
+     resolution, so use the edges of the outermost non-empty buckets. *)
+  let mean_acc =
+    if total = 0 then 0.0
+    else
+      ((float_of_int newer.total *. newer.mean_acc)
+      -. (float_of_int older.total *. older.mean_acc))
+      /. float_of_int total
+  in
+  let m2 =
+    if total = 0 then 0.0
+    else begin
+      let na = float_of_int older.total and nb = float_of_int total in
+      let delta = older.mean_acc -. mean_acc in
+      Float.max 0.0
+        (newer.m2 -. older.m2 -. (delta *. delta *. na *. nb /. (na +. nb)))
+    end
+  in
+  let vmin = ref infinity and vmax = ref neg_infinity in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let edge = upper_of_index newer i in
+        if !vmin = infinity then vmin := edge;
+        vmax := edge
+      end)
+    counts;
+  {
+    sub = newer.sub;
+    sub_bits = newer.sub_bits;
+    max_ticks = newer.max_ticks;
+    counts;
+    total;
+    vmin = !vmin;
+    vmax = !vmax;
+    mean_acc;
+    m2;
+  }
+
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.total <- 0;

@@ -42,4 +42,18 @@ val merge_into : src:t -> dst:t -> unit
 (** [merge_into ~src ~dst] adds [src]'s bucket counts into [dst]. The two
     histograms must have been created with the same parameters. *)
 
+val copy : t -> t
+(** Independent snapshot of [t]; further records on either side do not
+    affect the other. *)
+
+val diff : newer:t -> older:t -> t
+(** [diff ~newer ~older] is the histogram of observations recorded between
+    the [older] and [newer] cumulative snapshots of the same histogram
+    (bucketwise count subtraction). Count, percentiles and mean are exact
+    (percentiles to bucket resolution, as always); min/max degrade to the
+    edges of the outermost non-empty buckets. Raises [Invalid_argument] if
+    the histograms are incompatible or [newer] does not dominate [older].
+    This is what turns a cumulative latency histogram into a rolling SLO
+    window. *)
+
 val clear : t -> unit

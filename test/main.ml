@@ -19,6 +19,7 @@ let () =
       ("extensions", Test_extensions.tests);
       ("nkctl", Test_nkctl.tests);
       ("nkfabric", Test_nkfabric.tests);
+      ("nkobs", Test_nkobs.tests);
       ("tcb-roundtrip", Test_tcb_roundtrip.tests);
       ("homastack", Test_homastack.tests);
       ("nkspan", Test_nkspan.tests);

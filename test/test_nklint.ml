@@ -38,6 +38,12 @@ let d1_randomness () =
   check_diags "ambient Random flagged under lib/homastack/"
     [ ("D1", 1) ]
     ~path:"lib/homastack/homa.ml" "let quantum = Random.int 5792";
+  (* The observability plane must observe virtual time only: a wall clock
+     in an alert timestamp or flight dump would break byte-identical
+     same-seed replays. *)
+  check_diags "wall clock flagged under lib/nkobs/"
+    [ ("D1", 1) ]
+    ~path:"lib/nkobs/nkobs.ml" "let stamp = Unix.gettimeofday ()";
   check_diags "Random.self_init flagged" [ ("D1", 1) ] "let () = Random.self_init ()";
   check_diags "seeded Nkutil.Rng is the sanctioned source" []
     "let r = Nkutil.Rng.create ~seed:7\nlet x = Nkutil.Rng.int r 5"

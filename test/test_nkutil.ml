@@ -171,6 +171,36 @@ let histogram_merge () =
   if Float.abs (Hist.mean a -. 0.025) > 1e-9 then Alcotest.fail "merged mean";
   if Float.abs (Hist.max a -. 0.04) > 1e-12 then Alcotest.fail "merged max"
 
+(* copy is independent of the original; diff of two snapshots of a growing
+   cumulative histogram recovers the window exactly (count and mean) and
+   its percentiles reflect only the window's samples — the rolling-window
+   primitive Nkobs SLO accounting is built on. *)
+let histogram_copy_diff () =
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 0.001; 0.002 ];
+  let snap = Hist.copy h in
+  List.iter (Hist.record h) [ 0.040; 0.050; 0.060 ];
+  Alcotest.(check int) "copy frozen at snapshot" 2 (Hist.count snap);
+  let w = Hist.diff ~newer:h ~older:snap in
+  Alcotest.(check int) "window count" 3 (Hist.count w);
+  if Float.abs (Hist.mean w -. 0.050) > 1e-9 then
+    Alcotest.failf "window mean %f" (Hist.mean w);
+  (* The window's p50 sits in the new samples' range, far from the old
+     fast samples the diff subtracted out. *)
+  let p50 = Hist.percentile w 50.0 in
+  if p50 < 0.030 then Alcotest.failf "window p50 %f contaminated by old samples" p50;
+  (* Empty window: diffing a snapshot against itself. *)
+  let z = Hist.diff ~newer:(Hist.copy h) ~older:(Hist.copy h) in
+  Alcotest.(check int) "empty window count" 0 (Hist.count z);
+  (* Incompatible geometries are rejected rather than silently misbinned. *)
+  (match Hist.diff ~newer:(Hist.create ~sub_buckets:8 ()) ~older:(Hist.create ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "diff accepted incompatible geometries");
+  (* A shrinking counter (newer missing older's samples) is a caller bug. *)
+  match Hist.diff ~newer:snap ~older:h with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "diff accepted a non-superset newer"
+
 (* ---- byte fifo ----------------------------------------------------------- *)
 
 let byte_fifo_content () =
@@ -282,6 +312,7 @@ let tests =
     Alcotest.test_case "histogram moments" `Quick histogram_moments;
     QCheck_alcotest.to_alcotest histogram_qcheck;
     Alcotest.test_case "histogram merge" `Quick histogram_merge;
+    Alcotest.test_case "histogram copy/diff windows" `Quick histogram_copy_diff;
     Alcotest.test_case "byte fifo content" `Quick byte_fifo_content;
     Alcotest.test_case "byte fifo zero runs" `Quick byte_fifo_zero_runs;
     Alcotest.test_case "byte fifo coalesce-after-drain" `Quick

@@ -65,13 +65,27 @@ if ! diff -q "$in1" "$in2" >/dev/null; then
   exit 1
 fi
 echo "check.sh: incast determinism smoke OK"
+# SLO smoke: the quick slo run (tenant SLO breach -> Nkobs alert -> Nkctl
+# reaction) is executed twice and the CSVs diffed — federation order, SLO
+# window evaluation, alert firing and the flight-recorder dumps (the report
+# embeds a dump digest) must all be deterministic.
+sl1=$(mktemp) sl2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$cat1" "$cat2" "$cl1" "$cl2" "$in1" "$in2" "$sl1" "$sl2"' EXIT
+dune exec bin/nk.exe -- run slo --quick --csv > "$sl1"
+dune exec bin/nk.exe -- run slo --quick --csv > "$sl2"
+if ! diff -q "$sl1" "$sl2" >/dev/null; then
+  echo "check.sh: slo runs diverged (nondeterminism in Nkobs):" >&2
+  diff "$sl1" "$sl2" >&2 || true
+  exit 1
+fi
+echo "check.sh: slo determinism smoke OK"
 # Bench drift gate: fresh quick-mode snapshots are diffed against the
 # committed BENCH_<id>.json baselines. The simulated metric tables are
 # deterministic, so any drift beyond the tolerance is a behaviour change
 # that must be acknowledged by regenerating the baseline
 # (`dune exec bin/nk.exe -- bench <id> -o BENCH_<id>.json`). Wall-clock
 # is reported as a ratio only, never gated.
-for id in ce-scale latency-breakdown cluster incast; do
+for id in ce-scale latency-breakdown cluster incast slo; do
   snap=$(mktemp)
   dune exec bin/nk.exe -- bench "$id" -o "$snap"
   dune exec bin/nk.exe -- bench --compare "BENCH_$id.json,$snap"
